@@ -1,0 +1,229 @@
+// Package satalloc's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (§6) plus the §7 learned-clause-reuse
+// claim, and add ablation benchmarks for the design choices DESIGN.md
+// calls out (incremental vs fresh solving, const-multiplier circuits,
+// SA vs SAT effort).
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks run the Scaled experiment mode (see internal/experiments);
+// run `go run ./cmd/benchtab -mode full` for paper-shaped sizes.
+package satalloc
+
+import (
+	"fmt"
+	"testing"
+
+	"satalloc/internal/baseline"
+	"satalloc/internal/bv"
+	"satalloc/internal/core"
+	"satalloc/internal/encode"
+	"satalloc/internal/experiments"
+	"satalloc/internal/model"
+	"satalloc/internal/opt"
+	"satalloc/internal/sat"
+	"satalloc/internal/workload"
+)
+
+// BenchmarkTable1TokenRing regenerates Table 1, row 1: the [5]-shaped
+// workload on the 8-ECU token ring, SAT-optimal TRT vs heuristics.
+func BenchmarkTable1TokenRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := workload.Partition(workload.T43(), 14)
+		sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+		b.ReportMetric(float64(sol.Cost), "TRT-ticks")
+		b.ReportMetric(float64(sol.BoolVars), "bool-vars")
+		b.ReportMetric(float64(sol.Literals), "literals")
+	}
+}
+
+// BenchmarkTable1CAN regenerates Table 1, row 2: minimum CAN utilization.
+func BenchmarkTable1CAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := workload.Partition(workload.T43CAN(), 12)
+		sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeBusUtilization})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+		b.ReportMetric(float64(sol.Cost), "U_CAN-milli")
+		b.ReportMetric(float64(sol.BoolVars), "bool-vars")
+	}
+}
+
+// BenchmarkTable2ArchScaling regenerates Table 2: complexity vs ECU count
+// (one sub-benchmark per architecture size).
+func BenchmarkTable2ArchScaling(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("ECUs=%d", n), func(b *testing.B) {
+			o := workload.T43Options()
+			o.Tasks = 12
+			o.Chains = 3
+			o.Restricted = 2
+			o.SeparatedPairs = 1
+			for i := 0; i < b.N; i++ {
+				sys := workload.Populate(workload.RingArchitecture(n), o)
+				sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(sol.BoolVars), "bool-vars")
+				b.ReportMetric(float64(sol.Literals), "literals")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3TaskScaling regenerates Table 3: complexity vs task-set
+// size (partitions of the [5]-shaped set).
+func BenchmarkTable3TaskScaling(b *testing.B) {
+	full := workload.T43()
+	for _, n := range []int{5, 8, 11, 14} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := workload.Partition(full, n)
+				sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(sol.BoolVars), "bool-vars")
+				b.ReportMetric(float64(sol.Literals), "literals")
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Hierarchical regenerates Table 4: the Figure 2
+// architectures A, B, C, and C with a CAN upper bus, minimizing ΣTRT.
+func BenchmarkTable4Hierarchical(b *testing.B) {
+	build := func(arch *model.System, can bool) *model.System {
+		if can {
+			workload.SwapMediumToCAN(arch, 1)
+		}
+		return workload.Partition(workload.HierarchicalT43(arch), 10)
+	}
+	cases := []struct {
+		name string
+		mk   func() *model.System
+	}{
+		{"ArchA", func() *model.System { return build(workload.ArchitectureA(), false) }},
+		{"ArchB", func() *model.System { return build(workload.ArchitectureB(), false) }},
+		{"ArchC", func() *model.System { return build(workload.ArchitectureC(), false) }},
+		{"ArchC-CAN", func() *model.System { return build(workload.ArchitectureC(), true) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(tc.mk(), core.Config{Objective: core.MinimizeSumTRT})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Feasible {
+					b.ReportMetric(float64(sol.Cost), "sumTRT-ticks")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLearnedClauseReuse regenerates the §7 claim: keeping the solver
+// (and its learned clauses) across the binary-search SOLVE calls vs a
+// fresh solver per call.
+func BenchmarkLearnedClauseReuse(b *testing.B) {
+	sys := workload.Partition(workload.T43(), 12)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := opt.Minimize(enc, opt.Options{Incremental: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := opt.Minimize(enc, opt.Options{Incremental: false}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBaselineSA measures the simulated-annealing allocator at the
+// Table 1 budget — the wall-clock comparison point for the SAT runs.
+func BenchmarkBaselineSA(b *testing.B) {
+	sys := workload.Partition(workload.T43(), 14)
+	opts := baseline.DefaultSAOptions()
+	opts.Encode = encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1}
+	opts.Steps = 5000
+	opts.Restarts = 1
+	for i := 0; i < b.N; i++ {
+		res := baseline.SimulatedAnnealing(sys, opts)
+		if res.Feasible {
+			b.ReportMetric(float64(res.Cost), "TRT-ticks")
+		}
+	}
+}
+
+// BenchmarkSuite runs the entire scaled experiment suite once per
+// iteration — the "regenerate the whole evaluation section" button.
+func BenchmarkSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(experiments.Scaled); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table2(experiments.Scaled); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table3(experiments.Scaled); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table4(experiments.Scaled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCarryEncodingAblation compares the paper's PB axiomatization of
+// the adder carry (eq. 19) against a plain 6-clause CNF majority encoding
+// — the §5.1 claim that PB keeps the encoding compact. The reported
+// literals metric shows the size difference; ns/op the solving impact.
+func BenchmarkCarryEncodingAblation(b *testing.B) {
+	sys := workload.Partition(workload.T43(), 10)
+	for _, mode := range []struct {
+		name string
+		cnf  bool
+	}{{"pb-carry", false}, {"cnf-carry", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				compiled, err := bv.CompileWith(enc.F, bv.Options{CarryAsCNF: mode.cnf})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if compiled.Solve() != sat.Sat {
+					b.Fatal("expected sat")
+				}
+				b.ReportMetric(float64(compiled.S.Stats.NumLiterals), "literals")
+				b.ReportMetric(float64(compiled.S.NumVariables()), "bool-vars")
+			}
+		})
+	}
+}

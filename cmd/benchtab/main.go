@@ -1,0 +1,80 @@
+// Command benchtab regenerates the tables of the paper's evaluation
+// section and prints them in the paper's layout.
+//
+// Usage:
+//
+//	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|all]
+//
+// Scaled mode (default) shrinks the instances so the whole suite finishes
+// in minutes; full mode uses paper-shaped sizes (expect long runtimes on
+// the largest instances, as the authors did).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"satalloc/internal/experiments"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "scaled", "instance sizes: scaled or full")
+	tableFlag := flag.String("table", "all", "which table to run: 1, 2, 3, 4, reuse, or all")
+	flag.Parse()
+
+	mode := experiments.Scaled
+	switch *modeFlag {
+	case "scaled":
+	case "full":
+		mode = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+	want := func(name string) bool { return *tableFlag == "all" || *tableFlag == name }
+
+	fmt.Printf("== satalloc experiment suite (%s mode) ==\n\n", mode)
+	if want("1") {
+		rows, err := experiments.Table1(mode)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if want("2") {
+		rows, err := experiments.Table2(mode)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatScaleTable(
+			"Table 2. Complexity vs. architecture size (token ring, min TRT)", "ECUs", rows))
+	}
+	if want("3") {
+		rows, err := experiments.Table3(mode)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatScaleTable(
+			"Table 3. Complexity vs. task-set size (8-ECU ring, min TRT)", "Tasks", rows))
+	}
+	if want("4") {
+		rows, err := experiments.Table4(mode)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+	}
+	if want("reuse") {
+		row, err := experiments.LearnedClauseReuse(mode)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatReuse(row))
+	}
+}

@@ -1,0 +1,162 @@
+// Command solvesat exposes the allocator's CDCL/pseudo-Boolean engine as a
+// standalone solver for DIMACS CNF and OPB pseudo-Boolean files — the
+// GOBLIN-equivalent substrate of the reproduction, usable on its own.
+//
+// Usage:
+//
+//	solvesat [-format cnf|opb] [file]
+//
+// Without -format the format is inferred from the file extension (.cnf /
+// .opb), defaulting to cnf on stdin. For OPB files with a "min:" objective
+// line the solver minimizes it by iterative strengthening (the
+// Davis-Putnam-based enumeration of Barth [15]: after each model, demand a
+// strictly better one until UNSAT). Output follows SAT-competition
+// conventions (s/v/o lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"satalloc/internal/sat"
+)
+
+func main() {
+	format := flag.String("format", "", "input format: cnf or opb (default: by extension)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := ""
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	fm := *format
+	if fm == "" {
+		switch {
+		case strings.HasSuffix(name, ".opb"):
+			fm = "opb"
+		default:
+			fm = "cnf"
+		}
+	}
+
+	switch fm {
+	case "cnf":
+		s, n, err := sat.ParseDIMACS(in)
+		if err != nil {
+			fatal(err)
+		}
+		switch s.Solve() {
+		case sat.Sat:
+			fmt.Println("s SATISFIABLE")
+			printModel(s, n)
+		case sat.Unsat:
+			fmt.Println("s UNSATISFIABLE")
+			os.Exit(20)
+		default:
+			fmt.Println("s UNKNOWN")
+		}
+	case "opb":
+		s, obj, err := sat.ParseOPB(in)
+		if err != nil {
+			fatal(err)
+		}
+		n := s.NumVariables()
+		if len(obj) == 0 {
+			switch s.Solve() {
+			case sat.Sat:
+				fmt.Println("s SATISFIABLE")
+				printModel(s, n)
+			case sat.Unsat:
+				fmt.Println("s UNSATISFIABLE")
+				os.Exit(20)
+			default:
+				fmt.Println("s UNKNOWN")
+			}
+			return
+		}
+		// Minimize: iterative strengthening. Each round adds the permanent
+		// (and entailed-by-optimality-search) constraint obj ≤ best−1.
+		best, haveModel := int64(0), false
+		var model []bool
+		for {
+			st := s.Solve()
+			if st != sat.Sat {
+				break
+			}
+			var v int64
+			for _, t := range obj {
+				if s.ModelLit(t.Lit) {
+					v += t.Coef
+				}
+			}
+			haveModel = true
+			best = v
+			model = snapshot(s, n)
+			fmt.Printf("o %d\n", v)
+			// Demand strictly better: Σ obj ≤ best−1 ⇔ Σ −obj ≥ −(best−1).
+			neg := make([]sat.PBTerm, len(obj))
+			for i, t := range obj {
+				neg[i] = sat.PBTerm{Coef: -t.Coef, Lit: t.Lit}
+			}
+			if err := s.AddPB(neg, -(best - 1)); err != nil {
+				fatal(err)
+			}
+		}
+		if !haveModel {
+			fmt.Println("s UNSATISFIABLE")
+			os.Exit(20)
+		}
+		fmt.Println("s OPTIMUM FOUND")
+		fmt.Printf("c objective = %d\n", best)
+		printSnapshot(model)
+	default:
+		fatal(fmt.Errorf("unknown format %q", fm))
+	}
+}
+
+func printModel(s *sat.Solver, n int) {
+	fmt.Print("v")
+	for i := 1; i <= n; i++ {
+		if s.Model(sat.Var(i)) {
+			fmt.Printf(" %d", i)
+		} else {
+			fmt.Printf(" -%d", i)
+		}
+	}
+	fmt.Println(" 0")
+}
+
+func snapshot(s *sat.Solver, n int) []bool {
+	out := make([]bool, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = s.Model(sat.Var(i))
+	}
+	return out
+}
+
+func printSnapshot(model []bool) {
+	fmt.Print("v")
+	for i, b := range model {
+		if b {
+			fmt.Printf(" x%d", i+1)
+		} else {
+			fmt.Printf(" -x%d", i+1)
+		}
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "solvesat: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command workgen emits benchmark problem instances as JSON specs for
+// cmd/allocate.
+//
+// Usage:
+//
+//	workgen [-kind t43|t43can|ring|archA|archB|archC] [-ecus n] [-tasks n]
+//	        [-seed n]
+//
+// Kinds:
+//
+//	t43    — the 43-task/12-chain [5]-shaped set on an 8-ECU token ring
+//	t43can — the same set on an 8-ECU CAN bus
+//	ring   — a synthetic set (-tasks) on an n-ECU token ring (-ecus)
+//	archA/B/C — the Figure 2 hierarchical architectures with the T43 set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"satalloc/internal/core"
+	"satalloc/internal/model"
+	"satalloc/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "t43", "instance kind: t43, t43can, ring, archA, archB, archC")
+	ecus := flag.Int("ecus", 8, "ECU count for -kind ring")
+	tasks := flag.Int("tasks", 20, "task count for -kind ring")
+	seed := flag.Int64("seed", 43, "generator seed for -kind ring")
+	describe := flag.Bool("describe", false, "print a topology overview to stderr")
+	flag.Parse()
+
+	var sys *model.System
+	switch *kind {
+	case "t43":
+		sys = workload.T43()
+	case "t43can":
+		sys = workload.T43CAN()
+	case "ring":
+		o := workload.T43Options()
+		o.Seed = *seed
+		o.Tasks = *tasks
+		o.Chains = *tasks / 4
+		o.Restricted = *tasks / 8
+		o.SeparatedPairs = *tasks / 16
+		o.ForcedRemoteChains = o.Chains / 2
+		sys = workload.Populate(workload.RingArchitecture(*ecus), o)
+	case "archA":
+		sys = workload.HierarchicalT43(workload.ArchitectureA())
+	case "archB":
+		sys = workload.HierarchicalT43(workload.ArchitectureB())
+	case "archC":
+		sys = workload.HierarchicalT43(workload.ArchitectureC())
+	default:
+		fmt.Fprintf(os.Stderr, "workgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := sys.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "workgen: generated system invalid: %v\n", err)
+		os.Exit(1)
+	}
+	if *describe {
+		fmt.Fprint(os.Stderr, sys.Describe())
+	}
+	if err := core.WriteSpec(os.Stdout, sys); err != nil {
+		fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package satalloc is a from-scratch Go reproduction of "An optimal
+// approach to the task allocation problem on hierarchical architectures"
+// (Metzner, Fränzle, Herde, Stierand; IPDPS 2006): provably optimal
+// allocation of hard real-time tasks and messages onto hierarchical
+// ECU/bus architectures via a pseudo-Boolean SAT encoding and binary
+// search.
+//
+// The root package carries only the benchmark harness that regenerates
+// the paper's evaluation tables (see bench_test.go); the implementation
+// lives under internal/ — start with internal/core for the public API,
+// and see README.md, DESIGN.md and EXPERIMENTS.md for the system map and
+// the paper-vs-measured record.
+package satalloc

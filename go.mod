@@ -1,0 +1,3 @@
+module satalloc
+
+go 1.22

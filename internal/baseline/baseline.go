@@ -1,0 +1,392 @@
+// Package baseline provides the comparison allocators of the paper's
+// evaluation: a simulated-annealing allocator in the spirit of Tindell,
+// Burns and Wellings (the paper's reference [5], whose 8.7 ms TRT result
+// Table 1 improves upon), a greedy first-fit heuristic, and an exhaustive
+// search usable as an optimality oracle on tiny instances.
+//
+// All baselines evaluate candidate allocations with the same independent
+// response-time analysis (package rta) that validates the SAT results, so
+// the comparison is apples-to-apples.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+// Candidate is a partial deployment decision the baselines search over:
+// task placement, message routes, and TDMA slot quanta. Priorities and
+// local message deadlines are derived deterministically.
+type Candidate struct {
+	TaskECU map[int]int
+	Route   map[int]model.Path
+	SlotQ   map[[2]int]int64 // (medium, ECU) → slot length in quanta
+}
+
+// Clone deep-copies the candidate.
+func (c *Candidate) Clone() *Candidate {
+	d := &Candidate{TaskECU: map[int]int{}, Route: map[int]model.Path{}, SlotQ: map[[2]int]int64{}}
+	for k, v := range c.TaskECU {
+		d.TaskECU[k] = v
+	}
+	for k, v := range c.Route {
+		d.Route[k] = append(model.Path{}, v...)
+	}
+	for k, v := range c.SlotQ {
+		d.SlotQ[k] = v
+	}
+	return d
+}
+
+// Complete derives a full model.Allocation from the candidate:
+// deadline-monotonic priorities, slot lengths in time units, and local
+// message deadlines split across hops (each hop gets its transmission time
+// plus an equal share of the remaining budget).
+func (c *Candidate) Complete(sys *model.System) *model.Allocation {
+	a := model.NewAllocation()
+	for k, v := range c.TaskECU {
+		a.TaskECU[k] = v
+	}
+	for k, v := range c.Route {
+		a.Route[k] = append(model.Path{}, v...)
+	}
+	a.AssignDeadlineMonotonic(sys)
+	for key, q := range c.SlotQ {
+		med := sys.MediumByID(key[0])
+		a.SlotLen[key] = q * med.SlotQuantum
+	}
+	for _, msg := range sys.Messages {
+		route := a.Route[msg.ID]
+		if len(route) == 0 {
+			continue
+		}
+		budget := msg.Deadline - sys.PathServiceCost(route)
+		var sumRho int64
+		for _, k := range route {
+			sumRho += sys.MediumByID(k).Rho(msg.Size)
+		}
+		extra := budget - sumRho
+		if extra < 0 {
+			extra = 0
+		}
+		n := int64(len(route))
+		share := extra / n
+		rem := extra - share*n
+		for i, k := range route {
+			d := sys.MediumByID(k).Rho(msg.Size) + share
+			if int64(i) < rem {
+				d++
+			}
+			a.MsgLocalDeadline[[2]int{msg.ID, k}] = d
+		}
+	}
+	return a
+}
+
+// Objective evaluates the optimization goal on a completed allocation,
+// mirroring the encoder's cost definitions exactly.
+func Objective(sys *model.System, a *model.Allocation, opts encode.Options) int64 {
+	switch opts.Objective {
+	case encode.MinimizeTRT:
+		med := pickMedium(sys, opts, model.TokenRing)
+		if med == nil {
+			return math.MaxInt64
+		}
+		return a.RoundLength(med)
+	case encode.MinimizeSumTRT:
+		return rta.SumTokenRotation(sys, a)
+	case encode.MinimizeBusUtilization:
+		med := pickMedium(sys, opts, model.CAN)
+		if med == nil {
+			return math.MaxInt64
+		}
+		var u int64
+		for _, msg := range sys.Messages {
+			for _, k := range a.Route[msg.ID] {
+				if k == med.ID {
+					contrib := 1000 * med.Rho(msg.Size) / sys.TaskByID(msg.From).Period
+					if contrib == 0 {
+						contrib = 1
+					}
+					u += contrib
+				}
+			}
+		}
+		return u
+	case encode.MinimizeUsedECUs:
+		used := map[int]bool{}
+		for _, p := range a.TaskECU {
+			used[p] = true
+		}
+		return int64(len(used))
+	case encode.MinimizeMaxECUUtilization:
+		var max int64
+		for _, e := range sys.ECUs {
+			var u int64
+			for _, t := range sys.Tasks {
+				if a.TaskECU[t.ID] == e.ID {
+					c := 1000 * t.WCET[e.ID] / t.Period
+					if c == 0 {
+						c = 1
+					}
+					u += c
+				}
+			}
+			if u > max {
+				max = u
+			}
+		}
+		return max
+	}
+	return math.MaxInt64
+}
+
+func pickMedium(sys *model.System, opts encode.Options, kind model.MediumKind) *model.Medium {
+	if opts.ObjectiveMedium >= 0 {
+		m := sys.MediumByID(opts.ObjectiveMedium)
+		if m != nil && m.Kind == kind {
+			return m
+		}
+		return nil
+	}
+	for _, m := range sys.Media {
+		if m.Kind == kind {
+			return m
+		}
+	}
+	return nil
+}
+
+// Energy scores a candidate for the annealer: the objective value if
+// schedulable, otherwise a large penalty plus the number of violations so
+// the search gradient points toward feasibility.
+func Energy(sys *model.System, cand *Candidate, opts encode.Options) (int64, bool) {
+	a := cand.Complete(sys)
+	res := rta.Analyze(sys, a)
+	if !res.Schedulable {
+		return 1_000_000 + int64(len(res.Violations))*1000, false
+	}
+	return Objective(sys, a, opts), true
+}
+
+// shortestValidPath returns the shortest candidate path for a message under
+// a placement, or nil.
+func shortestValidPath(sys *model.System, paths []model.Path, src, dst int) model.Path {
+	var best model.Path
+	found := false
+	for _, h := range paths {
+		if sys.ValidEndpoints(h, src, dst) {
+			if !found || len(h) < len(best) {
+				best = h
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	return append(model.Path{}, best...)
+}
+
+// minSlotQuanta returns the minimal slot size (in quanta) that fits every
+// frame ECU p must transmit on medium med under the candidate routes.
+func minSlotQuanta(sys *model.System, cand *Candidate, med *model.Medium, p int) int64 {
+	q := int64(1)
+	for _, msg := range sys.Messages {
+		route := cand.Route[msg.ID]
+		for i, k := range route {
+			if k != med.ID {
+				continue
+			}
+			sender := cand.TaskECU[msg.From]
+			if i > 0 {
+				sender = sys.GatewayBetween(route[i-1], route[i])
+			}
+			if sender != p {
+				continue
+			}
+			need := (med.Rho(msg.Size) + med.SlotQuantum - 1) / med.SlotQuantum
+			if need > q {
+				q = need
+			}
+		}
+	}
+	return q
+}
+
+// InitialCandidate builds a feasibility-oriented starting point: tasks
+// greedily placed on their least-utilized candidate ECU, messages routed on
+// shortest valid paths, slots at the per-station minimum.
+func InitialCandidate(sys *model.System, rng *rand.Rand) *Candidate {
+	cand := &Candidate{TaskECU: map[int]int{}, Route: map[int]model.Path{}, SlotQ: map[[2]int]int64{}}
+	util := map[int]int64{}
+	// Heaviest tasks first.
+	tasks := append([]*model.Task{}, sys.Tasks...)
+	sort.Slice(tasks, func(i, j int) bool {
+		ui := minUtil(tasks[i])
+		uj := minUtil(tasks[j])
+		if ui != uj {
+			return ui > uj
+		}
+		return tasks[i].ID < tasks[j].ID
+	})
+	mem := map[int]int64{}
+	for _, t := range tasks {
+		cands := sys.CandidateECUs(t)
+		best := -1
+		var bestU int64
+		for _, p := range cands {
+			if violatesSeparation(sys, cand, t, p) {
+				continue
+			}
+			if cap := sys.ECUByID(p).MemCapacity; cap > 0 && mem[p]+t.MemSize > cap {
+				continue
+			}
+			u := util[p] + 1000*t.WCET[p]/t.Period
+			if best < 0 || u < bestU {
+				best, bestU = p, u
+			}
+		}
+		if best < 0 {
+			best = cands[rng.Intn(len(cands))]
+		}
+		cand.TaskECU[t.ID] = best
+		util[best] += 1000 * t.WCET[best] / t.Period
+		mem[best] += t.MemSize
+	}
+	paths := sys.EnumeratePaths()
+	for _, msg := range sys.Messages {
+		h := shortestValidPath(sys, paths, cand.TaskECU[msg.From], cand.TaskECU[msg.To])
+		if h == nil {
+			h = model.Path{}
+		}
+		cand.Route[msg.ID] = h
+	}
+	resetSlots(sys, cand)
+	return cand
+}
+
+func minUtil(t *model.Task) int64 {
+	first := true
+	var m int64
+	for _, c := range t.WCET {
+		u := 1000 * c / t.Period
+		if first || u < m {
+			m = u
+			first = false
+		}
+	}
+	return m
+}
+
+func violatesSeparation(sys *model.System, cand *Candidate, t *model.Task, p int) bool {
+	for _, other := range t.Separation {
+		if q, ok := cand.TaskECU[other]; ok && q == p {
+			return true
+		}
+	}
+	for _, other := range sys.Tasks {
+		if q, ok := cand.TaskECU[other.ID]; ok && q == p {
+			for _, d := range other.Separation {
+				if d == t.ID {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// resetSlots sets every token-ring slot to its per-station minimum under
+// the current routes.
+func resetSlots(sys *model.System, cand *Candidate) {
+	for _, med := range sys.Media {
+		if med.Kind != model.TokenRing {
+			continue
+		}
+		for _, p := range med.ECUs {
+			cand.SlotQ[[2]int{med.ID, p}] = minSlotQuanta(sys, cand, med, p)
+		}
+	}
+}
+
+// newDeterministicRand returns a fixed-seed RNG for the deterministic
+// greedy baseline.
+func newDeterministicRand() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// CoLocateChains tries to place communicating task pairs on a shared ECU,
+// which removes their messages from the bus entirely (the dominant lever
+// for shrinking TDMA rounds). A move is taken only when it respects π, δ
+// and keeps the target ECU below the utilization ceiling (in ‰).
+func CoLocateChains(sys *model.System, cand *Candidate, utilCeilingMilli int64) {
+	util := map[int]int64{}
+	for id, p := range cand.TaskECU {
+		t := sys.TaskByID(id)
+		util[p] += 1000 * t.WCET[p] / t.Period
+	}
+	paths := sys.EnumeratePaths()
+	for _, msg := range sys.Messages {
+		src := cand.TaskECU[msg.From]
+		dst := cand.TaskECU[msg.To]
+		if src == dst {
+			continue
+		}
+		rcv := sys.TaskByID(msg.To)
+		// Can the receiver move to the sender's ECU?
+		okPi := false
+		for _, p := range sys.CandidateECUs(rcv) {
+			if p == src {
+				okPi = true
+				break
+			}
+		}
+		if !okPi || violatesSeparation(sys, &Candidate{TaskECU: without(cand.TaskECU, rcv.ID)}, rcv, src) {
+			continue
+		}
+		add := 1000 * rcv.WCET[src] / rcv.Period
+		if util[src]+add > utilCeilingMilli {
+			continue
+		}
+		if cap := sys.ECUByID(src).MemCapacity; cap > 0 {
+			var used int64
+			for id, p := range cand.TaskECU {
+				if p == src {
+					used += sys.TaskByID(id).MemSize
+				}
+			}
+			if used+rcv.MemSize > cap {
+				continue
+			}
+		}
+		util[dst] -= 1000 * rcv.WCET[dst] / rcv.Period
+		util[src] += add
+		cand.TaskECU[rcv.ID] = src
+		// Recompute routes touching the moved task.
+		for _, m2 := range sys.Messages {
+			if m2.From != rcv.ID && m2.To != rcv.ID {
+				continue
+			}
+			h := shortestValidPath(sys, paths, cand.TaskECU[m2.From], cand.TaskECU[m2.To])
+			if h == nil {
+				h = model.Path{}
+			}
+			cand.Route[m2.ID] = h
+		}
+	}
+	resetSlots(sys, cand)
+}
+
+func without(m map[int]int, key int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}

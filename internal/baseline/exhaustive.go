@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"math"
+
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+)
+
+// ExhaustiveResult reports the outcome of the brute-force oracle.
+type ExhaustiveResult struct {
+	Feasible   bool
+	Cost       int64
+	Allocation *model.Allocation
+	Explored   int64
+}
+
+// Exhaustive enumerates every task placement, every combination of message
+// routes, and every TDMA slot vector, evaluating each with the
+// response-time analysis and returning the provably cheapest schedulable
+// allocation. It is exponential and intended only as an optimality oracle
+// on tiny instances (the tests use it to confirm the SAT optimizer's
+// optimum). maxExplored caps the search; 0 means unbounded.
+func Exhaustive(sys *model.System, opts encode.Options, maxExplored int64) *ExhaustiveResult {
+	res := &ExhaustiveResult{Cost: math.MaxInt64}
+	paths := sys.EnumeratePaths()
+
+	tasks := sys.Tasks
+	msgs := sys.Messages
+
+	// Slot dimensions.
+	type slotDim struct {
+		key [2]int
+		max int64
+	}
+	var slotDims []slotDim
+	for _, med := range sys.Media {
+		if med.Kind != model.TokenRing {
+			continue
+		}
+		for _, p := range med.ECUs {
+			slotDims = append(slotDims, slotDim{key: [2]int{med.ID, p}, max: med.MaxSlots})
+		}
+	}
+
+	cand := &Candidate{TaskECU: map[int]int{}, Route: map[int]model.Path{}, SlotQ: map[[2]int]int64{}}
+
+	evaluate := func() {
+		res.Explored++
+		e, ok := Energy(sys, cand, opts)
+		if ok && e < res.Cost {
+			res.Feasible = true
+			res.Cost = e
+			res.Allocation = cand.Complete(sys)
+		}
+	}
+
+	overBudget := func() bool {
+		return maxExplored > 0 && res.Explored >= maxExplored
+	}
+
+	var slotRec func(i int)
+	slotRec = func(i int) {
+		if overBudget() {
+			return
+		}
+		if i == len(slotDims) {
+			evaluate()
+			return
+		}
+		d := slotDims[i]
+		for q := int64(1); q <= d.max; q++ {
+			cand.SlotQ[d.key] = q
+			slotRec(i + 1)
+			if overBudget() {
+				return
+			}
+		}
+	}
+
+	var routeRec func(i int)
+	routeRec = func(i int) {
+		if overBudget() {
+			return
+		}
+		if i == len(msgs) {
+			slotRec(0)
+			return
+		}
+		msg := msgs[i]
+		src := cand.TaskECU[msg.From]
+		dst := cand.TaskECU[msg.To]
+		any := false
+		for _, h := range paths {
+			if !sys.ValidEndpoints(h, src, dst) {
+				continue
+			}
+			any = true
+			cand.Route[msg.ID] = h
+			routeRec(i + 1)
+			if overBudget() {
+				return
+			}
+		}
+		if !any {
+			return // unroutable placement
+		}
+	}
+
+	var placeRec func(i int)
+	placeRec = func(i int) {
+		if overBudget() {
+			return
+		}
+		if i == len(tasks) {
+			routeRec(0)
+			return
+		}
+		t := tasks[i]
+		for _, p := range sys.CandidateECUs(t) {
+			cand.TaskECU[t.ID] = p
+			placeRec(i + 1)
+			if overBudget() {
+				return
+			}
+		}
+	}
+
+	placeRec(0)
+	return res
+}
+
+// GreedyFirstFit is the simplest baseline: the InitialCandidate heuristic
+// followed by a chain co-location pass. It reports feasibility and cost
+// without any global search.
+func GreedyFirstFit(sys *model.System, opts encode.Options) *SAResult {
+	cand := InitialCandidate(sys, newDeterministicRand())
+	CoLocateChains(sys, cand, 900)
+	e, ok := Energy(sys, cand, opts)
+	res := &SAResult{Feasible: ok, Cost: e, Evaluated: 1}
+	if ok {
+		res.Allocation = cand.Complete(sys)
+	}
+	return res
+}

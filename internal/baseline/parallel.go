@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+)
+
+// ParallelSA runs the simulated-annealing restarts concurrently, one
+// goroutine per restart (bounded by GOMAXPROCS), and returns the best
+// result. Each restart derives its own seed, so the search is
+// deterministic for a fixed option set regardless of scheduling order.
+func ParallelSA(sys *model.System, opts SAOptions) *SAResult {
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	results := make([]*SAResult, restarts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < restarts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Restarts = 1
+			o.Seed = opts.Seed + int64(i)*7919 // distinct deterministic seeds
+			results[i] = SimulatedAnnealing(sys, o)
+		}(i)
+	}
+	wg.Wait()
+
+	best := &SAResult{Feasible: false, Cost: math.MaxInt64}
+	for _, r := range results {
+		best.Evaluated += r.Evaluated
+		if r.Feasible && r.Cost < best.Cost {
+			best.Feasible = true
+			best.Cost = r.Cost
+			best.Allocation = r.Allocation
+		}
+	}
+	return best
+}
+
+// ParallelExhaustive splits the brute-force search over the first task's
+// candidate placements and explores the branches concurrently. The result
+// is identical to Exhaustive (it is a pure partition of the search space);
+// maxExplored caps each branch independently, so pass 0 when exact
+// optimality is required.
+func ParallelExhaustive(sys *model.System, opts encode.Options, maxExploredPerBranch int64) *ExhaustiveResult {
+	if len(sys.Tasks) == 0 {
+		return Exhaustive(sys, opts, maxExploredPerBranch)
+	}
+	first := sys.Tasks[0]
+	cands := sys.CandidateECUs(first)
+	if len(cands) < 2 {
+		return Exhaustive(sys, opts, maxExploredPerBranch)
+	}
+
+	results := make([]*ExhaustiveResult, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range cands {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Branch: clone the system with the first task pinned to p.
+			branch := *sys
+			branch.Tasks = make([]*model.Task, len(sys.Tasks))
+			for j, t := range sys.Tasks {
+				if j == 0 {
+					pinned := *t
+					pinned.Allowed = []int{p}
+					branch.Tasks[j] = &pinned
+				} else {
+					branch.Tasks[j] = t
+				}
+			}
+			results[i] = Exhaustive(&branch, opts, maxExploredPerBranch)
+		}(i, p)
+	}
+	wg.Wait()
+
+	best := &ExhaustiveResult{Cost: math.MaxInt64}
+	for _, r := range results {
+		best.Explored += r.Explored
+		if r.Feasible && r.Cost < best.Cost {
+			best.Feasible = true
+			best.Cost = r.Cost
+			best.Allocation = r.Allocation
+		}
+	}
+	return best
+}

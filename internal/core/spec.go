@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"satalloc/internal/model"
+)
+
+// Spec is the JSON wire format for problem instances, used by the CLI
+// tools (cmd/allocate, cmd/workgen).
+type Spec struct {
+	Name     string        `json:"name"`
+	ECUs     []ECUSpec     `json:"ecus"`
+	Media    []MediumSpec  `json:"media"`
+	Tasks    []TaskSpec    `json:"tasks"`
+	Messages []MessageSpec `json:"messages,omitempty"`
+}
+
+// ECUSpec mirrors model.ECU.
+type ECUSpec struct {
+	ID          int    `json:"id"`
+	Name        string `json:"name"`
+	GatewayOnly bool   `json:"gatewayOnly,omitempty"`
+	ServiceCost int64  `json:"serviceCost,omitempty"`
+	MemCapacity int64  `json:"memCapacity,omitempty"`
+}
+
+// MediumSpec mirrors model.Medium.
+type MediumSpec struct {
+	ID            int    `json:"id"`
+	Name          string `json:"name"`
+	Kind          string `json:"kind"` // "token-ring" or "can"
+	ECUs          []int  `json:"ecus"`
+	TimePerUnit   int64  `json:"timePerUnit"`
+	FrameOverhead int64  `json:"frameOverhead,omitempty"`
+	SlotQuantum   int64  `json:"slotQuantum,omitempty"`
+	MaxSlots      int64  `json:"maxSlots,omitempty"`
+}
+
+// TaskSpec mirrors model.Task.
+type TaskSpec struct {
+	ID         int              `json:"id"`
+	Name       string           `json:"name"`
+	Period     int64            `json:"period"`
+	Deadline   int64            `json:"deadline"`
+	WCET       map[string]int64 `json:"wcet"` // ECU id (as string) → wcet
+	Allowed    []int            `json:"allowed,omitempty"`
+	Separation []int            `json:"separation,omitempty"`
+	Messages   []int            `json:"messages,omitempty"`
+	Jitter     int64            `json:"jitter,omitempty"`
+	Blocking   int64            `json:"blocking,omitempty"`
+	MemSize    int64            `json:"memSize,omitempty"`
+}
+
+// MessageSpec mirrors model.Message.
+type MessageSpec struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Size     int64  `json:"size"`
+	Deadline int64  `json:"deadline"`
+}
+
+// ToSpec converts a model.System to its wire format.
+func ToSpec(s *model.System) *Spec {
+	sp := &Spec{Name: s.Name}
+	for _, e := range s.ECUs {
+		sp.ECUs = append(sp.ECUs, ECUSpec{ID: e.ID, Name: e.Name, GatewayOnly: e.GatewayOnly, ServiceCost: e.ServiceCost, MemCapacity: e.MemCapacity})
+	}
+	for _, m := range s.Media {
+		kind := "token-ring"
+		if m.Kind == model.CAN {
+			kind = "can"
+		}
+		sp.Media = append(sp.Media, MediumSpec{
+			ID: m.ID, Name: m.Name, Kind: kind, ECUs: m.ECUs,
+			TimePerUnit: m.TimePerUnit, FrameOverhead: m.FrameOverhead,
+			SlotQuantum: m.SlotQuantum, MaxSlots: m.MaxSlots,
+		})
+	}
+	for _, t := range s.Tasks {
+		wcet := map[string]int64{}
+		for p, c := range t.WCET {
+			wcet[fmt.Sprintf("%d", p)] = c
+		}
+		sp.Tasks = append(sp.Tasks, TaskSpec{
+			ID: t.ID, Name: t.Name, Period: t.Period, Deadline: t.Deadline,
+			WCET: wcet, Allowed: t.Allowed, Separation: t.Separation,
+			Messages: t.Messages, Jitter: t.Jitter, Blocking: t.Blocking,
+			MemSize: t.MemSize,
+		})
+	}
+	for _, m := range s.Messages {
+		sp.Messages = append(sp.Messages, MessageSpec{
+			ID: m.ID, Name: m.Name, From: m.From, To: m.To,
+			Size: m.Size, Deadline: m.Deadline,
+		})
+	}
+	return sp
+}
+
+// ToSystem converts a wire-format spec back into a model.System and
+// validates it.
+func (sp *Spec) ToSystem() (*model.System, error) {
+	s := &model.System{Name: sp.Name}
+	for _, e := range sp.ECUs {
+		s.ECUs = append(s.ECUs, &model.ECU{ID: e.ID, Name: e.Name, GatewayOnly: e.GatewayOnly, ServiceCost: e.ServiceCost, MemCapacity: e.MemCapacity})
+	}
+	for _, m := range sp.Media {
+		var kind model.MediumKind
+		switch m.Kind {
+		case "token-ring", "tdma":
+			kind = model.TokenRing
+		case "can", "priority":
+			kind = model.CAN
+		default:
+			return nil, fmt.Errorf("spec: unknown medium kind %q", m.Kind)
+		}
+		s.Media = append(s.Media, &model.Medium{
+			ID: m.ID, Name: m.Name, Kind: kind, ECUs: m.ECUs,
+			TimePerUnit: m.TimePerUnit, FrameOverhead: m.FrameOverhead,
+			SlotQuantum: m.SlotQuantum, MaxSlots: m.MaxSlots,
+		})
+	}
+	for _, t := range sp.Tasks {
+		wcet := map[int]int64{}
+		for ps, c := range t.WCET {
+			var p int
+			if _, err := fmt.Sscanf(ps, "%d", &p); err != nil {
+				return nil, fmt.Errorf("spec: bad WCET key %q for task %q", ps, t.Name)
+			}
+			wcet[p] = c
+		}
+		s.Tasks = append(s.Tasks, &model.Task{
+			ID: t.ID, Name: t.Name, Period: t.Period, Deadline: t.Deadline,
+			WCET: wcet, Allowed: t.Allowed, Separation: t.Separation,
+			Messages: t.Messages, Jitter: t.Jitter, Blocking: t.Blocking,
+			MemSize: t.MemSize,
+		})
+	}
+	for _, m := range sp.Messages {
+		s.Messages = append(s.Messages, &model.Message{
+			ID: m.ID, Name: m.Name, From: m.From, To: m.To,
+			Size: m.Size, Deadline: m.Deadline,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteSpec serializes a system as indented JSON.
+func WriteSpec(w io.Writer, s *model.System) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToSpec(s))
+}
+
+// ReadSpec parses a JSON spec into a validated system.
+func ReadSpec(r io.Reader) (*model.System, error) {
+	var sp Spec
+	if err := json.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return sp.ToSystem()
+}

@@ -1,0 +1,400 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"satalloc/internal/ir"
+	"satalloc/internal/model"
+)
+
+// encodeRouting builds Γ: path selection per message. The paper (§4,
+// eq. 14) introduces a path-closure variable Pf_m and a disjunction that
+// enables exactly one sub-path of the chosen closure, checked against the
+// K^k_m usage bits and the endpoint condition v(h). Since the sub-paths of
+// all closures are exactly the simple paths of the media graph and eq. (14)
+// enables precisely one of them, we encode the equivalent one-hot selection
+// over the closure sub-paths directly and define K^k_m from it.
+func (e *Encoding) encodeRouting() error {
+	allPaths := e.Sys.EnumeratePaths()
+	for _, msg := range e.Sys.Messages {
+		snd := e.Sys.TaskByID(msg.From)
+		rcv := e.Sys.TaskByID(msg.To)
+		sndCands := e.Sys.CandidateECUs(snd)
+		rcvCands := e.Sys.CandidateECUs(rcv)
+
+		// Candidate paths: some candidate placement of sender and receiver
+		// must satisfy v(h).
+		var cands []model.Path
+		for _, h := range allPaths {
+			ok := false
+			for _, src := range sndCands {
+				for _, dst := range rcvCands {
+					if e.Sys.ValidEndpoints(h, src, dst) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					break
+				}
+			}
+			if ok {
+				cands = append(cands, h)
+			}
+		}
+		if len(cands) == 0 {
+			return fmt.Errorf("encode: message %q has no routable path", msg.Name)
+		}
+		e.paths[msg.ID] = cands
+		sel := map[int]*ir.BoolVar{}
+		var lits []ir.BoolExpr
+		for idx, h := range cands {
+			v := e.F.Bool(fmt.Sprintf("Pf[%s]=%v", msg.Name, h))
+			sel[idx] = v
+			lits = append(lits, v)
+		}
+		e.route[msg.ID] = sel
+		e.F.Require(ir.Or(lits...))
+		for i := range cands {
+			for j := i + 1; j < len(cands); j++ {
+				e.F.Require(ir.NotE(ir.And(sel[i], sel[j])))
+			}
+		}
+
+		// v(h): endpoint conditions per selected path.
+		for idx, h := range cands {
+			e.F.Require(ir.Imply(sel[idx], e.endpointCond(msg, h)))
+		}
+
+		// K^k_m usage bits: K ⇔ ⋁ paths through k.
+		media := map[int]bool{}
+		for _, h := range cands {
+			for _, k := range h {
+				media[k] = true
+			}
+		}
+		e.used[msg.ID] = map[int]*ir.BoolVar{}
+		e.localDL[msg.ID] = map[int]*ir.IntVar{}
+		var mediaIDs []int
+		for k := range media {
+			mediaIDs = append(mediaIDs, k)
+		}
+		sort.Ints(mediaIDs)
+		for _, k := range mediaIDs {
+			kv := e.F.Bool(fmt.Sprintf("K[%s,k%d]", msg.Name, k))
+			e.used[msg.ID][k] = kv
+			var through []ir.BoolExpr
+			for idx, h := range cands {
+				for _, kk := range h {
+					if kk == k {
+						through = append(through, sel[idx])
+						break
+					}
+				}
+			}
+			e.F.Require(ir.Iff(kv, ir.Or(through...)))
+		}
+
+		// Local deadlines d^k_m with the §4 budget
+		// Σ_k d^k_m + serv_m ≤ Δ_m and d^k_m = 0 for unused media.
+		var dls []ir.IntExpr
+		for _, k := range mediaIDs {
+			kv := e.used[msg.ID][k]
+			med := e.Sys.MediumByID(k)
+			rho := med.Rho(msg.Size)
+			d := e.F.Int(fmt.Sprintf("d[%s,k%d]", msg.Name, k), 0, msg.Deadline)
+			e.localDL[msg.ID][k] = d
+			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(d, ir.Const(0))))
+			e.F.Require(ir.Imply(kv, ir.Ge(d, ir.Const(rho))))
+			dls = append(dls, d)
+		}
+		// serv_m: gateway forwarding costs of the chosen path.
+		var serv ir.IntExpr = ir.Const(0)
+		maxServ := int64(0)
+		for _, h := range cands {
+			if c := e.Sys.PathServiceCost(h); c > maxServ {
+				maxServ = c
+			}
+		}
+		if maxServ > 0 {
+			sv := e.F.Int(fmt.Sprintf("serv[%s]", msg.Name), 0, maxServ)
+			for idx, h := range cands {
+				e.F.Require(ir.Imply(sel[idx], ir.Eq(sv, ir.Const(e.Sys.PathServiceCost(h)))))
+			}
+			serv = sv
+		}
+		if len(dls) > 0 {
+			e.F.Require(ir.Le(ir.Add(ir.Sum(dls...), serv), ir.Const(msg.Deadline)))
+		}
+
+		// Stations: on which ECU does the message enter each token-ring
+		// medium (needed for slot fit, TDMA interference and blocking).
+		e.station[msg.ID] = map[int]map[int]*ir.BoolVar{}
+		for _, k := range mediaIDs {
+			med := e.Sys.MediumByID(k)
+			if med.Kind != model.TokenRing {
+				continue
+			}
+			// Possible entry ECUs: sender candidates attached to k (path
+			// position 0) and gateways from predecessor media.
+			entry := map[int][]ir.BoolExpr{}
+			for idx, h := range cands {
+				pos := -1
+				for i, kk := range h {
+					if kk == k {
+						pos = i
+						break
+					}
+				}
+				if pos < 0 {
+					continue
+				}
+				if pos == 0 {
+					for _, p := range sndCands {
+						if med.Connects(p) {
+							if av, ok := e.alloc[snd.ID][p]; ok {
+								entry[p] = append(entry[p], ir.And(sel[idx], av))
+							}
+						}
+					}
+				} else {
+					g := e.Sys.GatewayBetween(h[pos-1], h[pos])
+					entry[g] = append(entry[g], sel[idx])
+				}
+			}
+			sts := map[int]*ir.BoolVar{}
+			var ecus []int
+			for p := range entry {
+				ecus = append(ecus, p)
+			}
+			sort.Ints(ecus)
+			for _, p := range ecus {
+				st := e.F.Bool(fmt.Sprintf("st[%s,k%d]=%d", msg.Name, k, p))
+				e.F.Require(ir.Iff(st, ir.Or(entry[p]...)))
+				sts[p] = st
+			}
+			e.station[msg.ID][k] = sts
+		}
+	}
+	return nil
+}
+
+// endpointCond builds v(h) (§4) over the allocation variables for a
+// message and path.
+func (e *Encoding) endpointCond(msg *model.Message, h model.Path) ir.BoolExpr {
+	snd := e.Sys.TaskByID(msg.From)
+	rcv := e.Sys.TaskByID(msg.To)
+	if len(h) == 0 {
+		return e.sameECULit(snd.ID, rcv.ID)
+	}
+	memberOf := func(taskID int, allowed func(p int) bool) ir.BoolExpr {
+		var opts []ir.BoolExpr
+		for _, p := range sortedKeysB(e.alloc[taskID]) {
+			if allowed(p) {
+				opts = append(opts, e.alloc[taskID][p])
+			}
+		}
+		return ir.Or(opts...)
+	}
+	first := e.Sys.MediumByID(h[0])
+	last := e.Sys.MediumByID(h[len(h)-1])
+	var sndOK, rcvOK ir.BoolExpr
+	if len(h) == 1 {
+		sndOK = memberOf(snd.ID, first.Connects)
+		rcvOK = memberOf(rcv.ID, last.Connects)
+		// Same-ECU pairs communicate locally, not over the bus.
+		return ir.And(sndOK, rcvOK, ir.NotE(e.sameECULit(snd.ID, rcv.ID)))
+	}
+	gwFirst := e.Sys.GatewayBetween(h[0], h[1])
+	gwLast := e.Sys.GatewayBetween(h[len(h)-1], h[len(h)-2])
+	sndOK = memberOf(snd.ID, func(p int) bool { return first.Connects(p) && p != gwFirst })
+	rcvOK = memberOf(rcv.ID, func(p int) bool { return last.Connects(p) && p != gwLast })
+	return ir.And(sndOK, rcvOK)
+}
+
+// encodeSlots declares the TDMA slot-length variables (in quanta) of every
+// token-ring medium: each attached station owns one slot of at least one
+// quantum.
+func (e *Encoding) encodeSlots() error {
+	for _, med := range e.Sys.Media {
+		if med.Kind != model.TokenRing {
+			continue
+		}
+		slots := map[int]*ir.IntVar{}
+		for _, p := range med.ECUs {
+			slots[p] = e.F.Int(fmt.Sprintf("slot[k%d,%d]", med.ID, p), 1, med.MaxSlots)
+		}
+		e.slot[med.ID] = slots
+	}
+	return nil
+}
+
+// roundLenExpr returns Λ of a token-ring medium in time units.
+func (e *Encoding) roundLenExpr(med *model.Medium) ir.IntExpr {
+	var slots []ir.IntExpr
+	var ecus []int
+	for p := range e.slot[med.ID] {
+		ecus = append(ecus, p)
+	}
+	sort.Ints(ecus)
+	for _, p := range ecus {
+		slots = append(slots, e.slot[med.ID][p])
+	}
+	return ir.Mul(ir.Sum(slots...), ir.Const(med.SlotQuantum))
+}
+
+// jitterVar builds J^k_m: the arrival jitter of message m on medium k per
+// the §4 formula, defined path-wise from the local deadlines of the
+// preceding hops.
+func (e *Encoding) jitterVar(msg *model.Message, k int) *ir.IntVar {
+	key := [2]int{msg.ID, k}
+	if v, ok := e.jitters[key]; ok {
+		return v
+	}
+	snd := e.Sys.TaskByID(msg.From)
+	maxJ := snd.Jitter + msg.Deadline
+	j := e.F.Int(fmt.Sprintf("J[%s,k%d]", msg.Name, k), 0, maxJ)
+	for idx, h := range e.paths[msg.ID] {
+		pos := -1
+		for i, kk := range h {
+			if kk == k {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		terms := []ir.IntExpr{ir.Const(snd.Jitter)}
+		for i := 0; i < pos; i++ {
+			med := e.Sys.MediumByID(h[i])
+			terms = append(terms, ir.Sub(e.localDL[msg.ID][h[i]], ir.Const(med.Rho(msg.Size))))
+		}
+		e.F.Require(ir.Imply(e.route[msg.ID][idx], ir.Eq(j, ir.Sum(terms...))))
+	}
+	e.F.Require(ir.Imply(ir.NotE(e.used[msg.ID][k]), ir.Eq(j, ir.Const(0))))
+	e.jitters[key] = j
+	return j
+}
+
+// msgPrioLess reports whether message a outranks message b: deadline-
+// monotonic over the end-to-end deadlines, ties broken by ID — the unique
+// consistent priority assignment, fixed at transformation time.
+func (e *Encoding) msgPrioLess(a, b *model.Message) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.ID < b.ID
+}
+
+// encodeMessageTiming builds the per-medium response-time constraints for
+// every message: eq. (2) on priority buses, eq. (3) with the non-linear
+// blocking term on TDMA buses, both with the §4 jitter in the interference
+// ceilings, and the local deadline checks r^k_m ≤ d^k_m.
+func (e *Encoding) encodeMessageTiming() error {
+	e.jitters = map[[2]int]*ir.IntVar{}
+	for _, msg := range e.Sys.Messages {
+		var mediaIDs []int
+		for k := range e.used[msg.ID] {
+			mediaIDs = append(mediaIDs, k)
+		}
+		sort.Ints(mediaIDs)
+		for _, k := range mediaIDs {
+			kv := e.used[msg.ID][k]
+			med := e.Sys.MediumByID(k)
+			rho := med.Rho(msg.Size)
+
+			r := e.F.Int(fmt.Sprintf("r[%s,k%d]", msg.Name, k), 0, msg.Deadline)
+			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(r, ir.Const(0))))
+
+			// Interference from higher-priority messages on the medium.
+			var terms []ir.IntExpr
+			terms = append(terms, ir.Const(rho))
+			for _, other := range e.Sys.Messages {
+				if other.ID == msg.ID || !e.msgPrioLess(other, msg) {
+					continue
+				}
+				okv, onMedium := e.used[other.ID][k]
+				if !onMedium {
+					continue
+				}
+				cond := ir.And(ir.BoolExpr(kv), ir.BoolExpr(okv))
+				if med.Kind == model.TokenRing {
+					// Only frames queued at the same station compete.
+					var same []ir.BoolExpr
+					for _, p := range sortedKeysB(e.station[msg.ID][k]) {
+						if st2, ok := e.station[other.ID][k][p]; ok {
+							same = append(same, ir.And(e.station[msg.ID][k][p], st2))
+						}
+					}
+					cond = ir.And(cond, ir.Or(same...))
+				}
+				oPeriod := e.Sys.TaskByID(other.From).Period
+				oRho := med.Rho(other.Size)
+				maxI := ceilDiv(msg.Deadline+e.Sys.TaskByID(other.From).Jitter+other.Deadline, oPeriod) + 1
+				iv := e.F.Int(fmt.Sprintf("Im[%s<-%s,k%d]", msg.Name, other.Name, k), 0, maxI)
+				pc := e.F.Int(fmt.Sprintf("pcm[%s<-%s,k%d]", msg.Name, other.Name, k), 0, maxI*oRho)
+				terms = append(terms, pc)
+				j := e.jitterVar(other, k)
+				busy := ir.Add(r, j)
+				e.F.Require(ir.Imply(cond, ir.And(
+					ir.Ge(ir.Mul(iv, ir.Const(oPeriod)), busy),
+					ir.Lt(ir.Mul(ir.Sub(iv, ir.Const(1)), ir.Const(oPeriod)), busy),
+					ir.Eq(pc, ir.Mul(iv, ir.Const(oRho))),
+				)))
+				e.F.Require(ir.Imply(ir.NotE(cond), ir.And(
+					ir.Eq(iv, ir.Const(0)), ir.Eq(pc, ir.Const(0)))))
+			}
+
+			if med.Kind == model.TokenRing {
+				// eq. (3): blocking = Imb · (Λ − λ(own station)), a
+				// genuinely non-linear term (Imb, Λ and λ are all decision
+				// variables — cf. the discussion at the end of §3).
+				nStations := int64(len(e.slot[med.ID]))
+				lambdaMax := med.MaxSlots * med.SlotQuantum
+				roundMax := nStations * lambdaMax
+				roundLen := e.roundLenExpr(med)
+				maxImb := ceilDiv(msg.Deadline, nStations*med.SlotQuantum) // Λ ≥ one quantum per station
+				imb := e.F.Int(fmt.Sprintf("Imb[%s,k%d]", msg.Name, k), 0, maxImb)
+				osl := e.F.Int(fmt.Sprintf("osl[%s,k%d]", msg.Name, k), 0, lambdaMax)
+				blk := e.F.Int(fmt.Sprintf("blk[%s,k%d]", msg.Name, k), 0, msg.Deadline+roundMax)
+				for _, p := range sortedKeysB(e.station[msg.ID][k]) {
+					st := e.station[msg.ID][k][p]
+					// Own slot length in time units; the slot must fit the
+					// frame.
+					slotQ := e.slot[med.ID][p]
+					e.F.Require(ir.Imply(st, ir.And(
+						ir.Eq(osl, ir.Mul(slotQ, ir.Const(med.SlotQuantum))),
+						ir.Ge(slotQ, ir.Const(ceilDiv(rho, med.SlotQuantum))),
+					)))
+				}
+				e.F.Require(ir.Imply(kv, ir.And(
+					ir.Ge(ir.Mul(imb, roundLen), r),
+					ir.Lt(ir.Mul(ir.Sub(imb, ir.Const(1)), roundLen), r),
+					ir.Eq(blk, ir.Mul(imb, ir.Sub(roundLen, osl))),
+				)))
+				e.F.Require(ir.Imply(ir.NotE(kv), ir.And(
+					ir.Eq(imb, ir.Const(0)), ir.Eq(blk, ir.Const(0)), ir.Eq(osl, ir.Const(0)))))
+				terms = append(terms, blk)
+			}
+
+			e.F.Require(ir.Imply(kv, ir.And(
+				ir.Eq(r, ir.Sum(terms...)),
+				ir.Le(r, e.localDL[msg.ID][k]),
+			)))
+		}
+	}
+	return nil
+}
+
+// sortedKeysB returns the sorted integer keys of a Boolean-variable map,
+// for deterministic formula construction.
+func sortedKeysB(m map[int]*ir.BoolVar) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,158 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"satalloc/internal/ir"
+	"satalloc/internal/model"
+)
+
+// encodeObjective declares the cost variable and ties it to the selected
+// objective. The binary search of §5.2 then minimizes this single integer.
+func (e *Encoding) encodeObjective() error {
+	switch e.Opts.Objective {
+	case MinimizeTRT:
+		med := e.pickMedium(model.TokenRing)
+		if med == nil {
+			return fmt.Errorf("encode: %v needs a token-ring medium", e.Opts.Objective)
+		}
+		hi := int64(len(med.ECUs)) * med.MaxSlots * med.SlotQuantum
+		lo := int64(len(med.ECUs)) * med.SlotQuantum
+		e.Cost = e.F.Int("cost", lo, hi)
+		e.F.Require(ir.Eq(e.Cost, e.roundLenExpr(med)))
+
+	case MinimizeSumTRT:
+		var exprs []ir.IntExpr
+		var lo, hi int64
+		for _, med := range e.Sys.Media {
+			if med.Kind != model.TokenRing {
+				continue
+			}
+			exprs = append(exprs, e.roundLenExpr(med))
+			lo += int64(len(med.ECUs)) * med.SlotQuantum
+			hi += int64(len(med.ECUs)) * med.MaxSlots * med.SlotQuantum
+		}
+		if len(exprs) == 0 {
+			return fmt.Errorf("encode: %v needs at least one token-ring medium", e.Opts.Objective)
+		}
+		e.Cost = e.F.Int("cost", lo, hi)
+		e.F.Require(ir.Eq(e.Cost, ir.Sum(exprs...)))
+
+	case MinimizeBusUtilization:
+		med := e.pickMedium(model.CAN)
+		if med == nil {
+			return fmt.Errorf("encode: %v needs a CAN medium", e.Opts.Objective)
+		}
+		// Utilization in ‰: Σ_m K^k_m · (1000·ρ_m / t_m); each message
+		// contributes a constant when routed across the bus.
+		var exprs []ir.IntExpr
+		var hi int64
+		for _, msg := range e.Sys.Messages {
+			kv, ok := e.used[msg.ID][med.ID]
+			if !ok {
+				continue
+			}
+			contrib := 1000 * med.Rho(msg.Size) / e.Sys.TaskByID(msg.From).Period
+			if contrib == 0 {
+				contrib = 1 // any routed message occupies some bandwidth
+			}
+			u := e.F.Int(fmt.Sprintf("u[%s]", msg.Name), 0, contrib)
+			e.F.Require(ir.Imply(kv, ir.Eq(u, ir.Const(contrib))))
+			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(u, ir.Const(0))))
+			exprs = append(exprs, u)
+			hi += contrib
+		}
+		e.Cost = e.F.Int("cost", 0, hi)
+		e.F.Require(ir.Eq(e.Cost, ir.Sum(exprs...)))
+
+	case MinimizeMaxECUUtilization:
+		// cost ≥ util(p) for every ECU; minimizing cost minimizes the
+		// maximum — the load-balancing objective sketched at the end of §4.
+		var hi int64 = 0
+		perECU := map[int][]ir.IntExpr{}
+		for _, t := range e.Sys.Tasks {
+			for _, p := range sortedKeysB(e.alloc[t.ID]) {
+				contrib := 1000 * t.WCET[p] / t.Period
+				if contrib == 0 {
+					contrib = 1
+				}
+				u := e.F.Int(fmt.Sprintf("u[%s,%d]", t.Name, p), 0, contrib)
+				av := e.alloc[t.ID][p]
+				e.F.Require(ir.Imply(av, ir.Eq(u, ir.Const(contrib))))
+				e.F.Require(ir.Imply(ir.NotE(av), ir.Eq(u, ir.Const(0))))
+				perECU[p] = append(perECU[p], u)
+			}
+		}
+		var ecus []int
+		for p := range perECU {
+			ecus = append(ecus, p)
+		}
+		sort.Ints(ecus)
+		for _, p := range ecus {
+			var tot int64
+			for _, t := range e.Sys.Tasks {
+				if _, ok := e.alloc[t.ID][p]; ok {
+					c := 1000 * t.WCET[p] / t.Period
+					if c == 0 {
+						c = 1
+					}
+					tot += c
+				}
+			}
+			if tot > hi {
+				hi = tot
+			}
+		}
+		e.Cost = e.F.Int("cost", 0, hi)
+		for _, p := range ecus {
+			e.F.Require(ir.Ge(e.Cost, ir.Sum(perECU[p]...)))
+		}
+
+	case MinimizeUsedECUs:
+		// used_p ⇔ some task is placed on p; cost = Σ used_p.
+		hosts := map[int][]ir.BoolExpr{}
+		for _, t := range e.Sys.Tasks {
+			for _, p := range sortedKeysB(e.alloc[t.ID]) {
+				hosts[p] = append(hosts[p], e.alloc[t.ID][p])
+			}
+		}
+		var ecus []int
+		for p := range hosts {
+			ecus = append(ecus, p)
+		}
+		sort.Ints(ecus)
+		var terms []ir.IntExpr
+		for _, p := range ecus {
+			used := e.F.Bool(fmt.Sprintf("used[%d]", p))
+			e.F.Require(ir.Iff(used, ir.Or(hosts[p]...)))
+			u := e.F.Int(fmt.Sprintf("usedN[%d]", p), 0, 1)
+			e.F.Require(ir.Imply(used, ir.Eq(u, ir.Const(1))))
+			e.F.Require(ir.Imply(ir.NotE(used), ir.Eq(u, ir.Const(0))))
+			terms = append(terms, u)
+		}
+		e.Cost = e.F.Int("cost", 1, int64(len(ecus)))
+		e.F.Require(ir.Eq(e.Cost, ir.Sum(terms...)))
+
+	default:
+		return fmt.Errorf("encode: unknown objective %v", e.Opts.Objective)
+	}
+	return nil
+}
+
+// pickMedium resolves the objective medium: the configured one, or the
+// first medium of the wanted kind.
+func (e *Encoding) pickMedium(kind model.MediumKind) *model.Medium {
+	if e.Opts.ObjectiveMedium >= 0 {
+		if med := e.Sys.MediumByID(e.Opts.ObjectiveMedium); med != nil && med.Kind == kind {
+			return med
+		}
+		return nil
+	}
+	for _, med := range e.Sys.Media {
+		if med.Kind == kind {
+			return med
+		}
+	}
+	return nil
+}

@@ -1,0 +1,550 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	if v := Add(Const(2), Const(3)).(*IntConst).Value; v != 5 {
+		t.Fatalf("2+3=%d", v)
+	}
+	if v := Sub(Const(2), Const(3)).(*IntConst).Value; v != -1 {
+		t.Fatalf("2-3=%d", v)
+	}
+	if v := Mul(Const(4), Const(3)).(*IntConst).Value; v != 12 {
+		t.Fatalf("4*3=%d", v)
+	}
+	f := NewFormula()
+	x := f.Int("x", 0, 10)
+	if Add(x, Const(0)) != IntExpr(x) {
+		t.Fatal("x+0 should fold to x")
+	}
+	if Mul(Const(1), x) != IntExpr(x) {
+		t.Fatal("1*x should fold to x")
+	}
+	if _, ok := Mul(Const(0), x).(*IntConst); !ok {
+		t.Fatal("0*x should fold to 0")
+	}
+}
+
+func TestBoolFolding(t *testing.T) {
+	f := NewFormula()
+	b := f.Bool("b")
+	if And(True(), b) != BoolExpr(b) {
+		t.Fatal("true∧b should fold to b")
+	}
+	if _, ok := And(False(), b).(*BoolConst); !ok {
+		t.Fatal("false∧b should fold to false")
+	}
+	if Or(False(), b) != BoolExpr(b) {
+		t.Fatal("false∨b should fold to b")
+	}
+	if v, ok := Imply(False(), b).(*BoolConst); !ok || !v.Value {
+		t.Fatal("false→b should fold to true")
+	}
+	if NotE(NotE(b)) != BoolExpr(b) {
+		t.Fatal("double negation should fold")
+	}
+	if v, ok := Iff(True(), True()).(*BoolConst); !ok || !v.Value {
+		t.Fatal("true↔true should fold to true")
+	}
+	if Xor(False(), b) != BoolExpr(b) {
+		t.Fatal("false⊕b should fold to b")
+	}
+}
+
+func TestCmpFoldingFromRanges(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 5)
+	y := f.Int("y", 10, 20)
+	if v, ok := Le(x, y).(*BoolConst); !ok || !v.Value {
+		t.Fatal("x≤y decidable from ranges")
+	}
+	if v, ok := Gt(x, y).(*BoolConst); !ok || v.Value {
+		t.Fatal("x>y decidable from ranges")
+	}
+	if v, ok := Eq(x, Const(7)).(*BoolConst); !ok || v.Value {
+		t.Fatal("x=7 impossible for x∈[0,5]")
+	}
+	if _, ok := Eq(x, Const(3)).(*Cmp); !ok {
+		t.Fatal("x=3 must stay symbolic")
+	}
+}
+
+func TestRangeInference(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", -3, 4)
+	y := f.Int("y", 2, 5)
+	cases := []struct {
+		e      IntExpr
+		lo, hi int64
+	}{
+		{Add(x, y), -1, 9},
+		{Sub(x, y), -8, 2},
+		{Mul(x, y), -15, 20},
+		{Mul(x, x), -12, 16}, // interval arithmetic, not exact squares
+		{Sub(Const(10), x), 6, 13},
+	}
+	for _, c := range cases {
+		lo, hi := c.e.Range()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v: range [%d,%d], want [%d,%d]", c.e, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 100)
+	y := f.Int("y", 0, 100)
+	b := f.Bool("b")
+	a := NewAssignment()
+	a.Ints[x] = 7
+	a.Ints[y] = 3
+	a.Bools[b] = true
+	if v := a.EvalInt(Add(Mul(x, y), Const(1))); v != 22 {
+		t.Fatalf("7*3+1=%d", v)
+	}
+	if !a.EvalBool(And(b, Lt(y, x))) {
+		t.Fatal("b ∧ y<x must hold")
+	}
+	if a.EvalBool(Xor(b, Ne(x, y))) {
+		t.Fatal("true ⊕ true must be false")
+	}
+}
+
+func TestSatisfiedChecksRanges(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 5)
+	f.Require(Ge(x, Const(0)))
+	a := NewAssignment()
+	a.Ints[x] = 9
+	if f.Satisfied(a) {
+		t.Fatal("out-of-range value must fail Satisfied")
+	}
+	a.Ints[x] = 5
+	if !f.Satisfied(a) {
+		t.Fatal("in-range value must pass")
+	}
+}
+
+func TestSumAndBigOps(t *testing.T) {
+	f := NewFormula()
+	var xs []IntExpr
+	want := int64(0)
+	a := NewAssignment()
+	for i := 0; i < 10; i++ {
+		v := f.Int("v", 0, 10)
+		xs = append(xs, v)
+		a.Ints[v] = int64(i)
+		want += int64(i)
+	}
+	if got := a.EvalInt(Sum(xs...)); got != want {
+		t.Fatalf("sum=%d want %d", got, want)
+	}
+	if v, ok := Sum().(*IntConst); !ok || v.Value != 0 {
+		t.Fatal("empty sum must be 0")
+	}
+	if v, ok := And().(*BoolConst); !ok || !v.Value {
+		t.Fatal("empty conjunction must be true")
+	}
+	if v, ok := Or().(*BoolConst); !ok || v.Value {
+		t.Fatal("empty disjunction must be false")
+	}
+}
+
+func TestTripletBasicShape(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 10)
+	y := f.Int("y", 0, 10)
+	f.Require(Le(Add(x, y), Const(12)))
+	tr := ToTriplets(f)
+	if tr.Unsat {
+		t.Fatal("unexpected unsat")
+	}
+	if len(tr.IntDefs) != 1 {
+		t.Fatalf("want 1 arithmetic triplet, got %d", len(tr.IntDefs))
+	}
+	if len(tr.CmpDefs) != 1 {
+		t.Fatalf("want 1 relational triplet, got %d", len(tr.CmpDefs))
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("want 1 root, got %d", len(tr.Roots))
+	}
+	// The aux variable must carry the inferred range [0,20].
+	aux := tr.Ints[tr.IntDefs[0].Res]
+	if aux.Lo != 0 || aux.Hi != 20 {
+		t.Fatalf("aux range [%d,%d], want [0,20]", aux.Lo, aux.Hi)
+	}
+}
+
+func TestTripletDeduplication(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 10)
+	y := f.Int("y", 0, 10)
+	// The same subexpression used twice must be encoded once; x+y and y+x
+	// must share a triplet (commutativity canonicalization).
+	f.Require(Le(Add(x, y), Const(12)))
+	f.Require(Ge(Add(y, x), Const(3)))
+	tr := ToTriplets(f)
+	if len(tr.IntDefs) != 1 {
+		t.Fatalf("want shared arithmetic triplet, got %d", len(tr.IntDefs))
+	}
+	if len(tr.CmpDefs) != 2 {
+		t.Fatalf("want 2 relational triplets, got %d", len(tr.CmpDefs))
+	}
+}
+
+func TestTripletUnsatConstant(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 5)
+	f.Require(Lt(x, Const(0))) // folds to false
+	tr := ToTriplets(f)
+	if !tr.Unsat {
+		t.Fatal("assertion folding to false must mark Unsat")
+	}
+}
+
+func TestTripletSourceMaps(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 5)
+	b := f.Bool("b")
+	f.Require(Imply(b, Eq(x, Const(3))))
+	tr := ToTriplets(f)
+	if len(tr.SourceInt) != 1 || tr.Ints[tr.SourceInt[x.ID]].Name != "x" {
+		t.Fatal("SourceInt mapping broken")
+	}
+	if len(tr.SourceBool) != 1 || tr.BoolNames[tr.SourceBool[b.ID]] != "b" {
+		t.Fatal("SourceBool mapping broken")
+	}
+}
+
+func TestTripletNotFoldsToPolarity(t *testing.T) {
+	f := NewFormula()
+	b := f.Bool("b")
+	f.Require(NotE(b))
+	tr := ToTriplets(f)
+	if len(tr.Gates) != 0 {
+		t.Fatal("negation must not produce a gate")
+	}
+	if len(tr.Roots) != 1 || !tr.Roots[0].Neg {
+		t.Fatalf("root should be ¬b, got %v", tr.Roots)
+	}
+}
+
+// tripletEval evaluates a triplet system under a full valuation of its
+// variables, serving as the executable semantics used below.
+func tripletEval(tr *Triplets, ints []int64, bools []bool) bool {
+	atom := func(a Atom) int64 {
+		if a.IsConst {
+			return a.Const
+		}
+		return ints[a.Var]
+	}
+	blit := func(l BLit) bool {
+		v := bools[l.Var]
+		if l.Neg {
+			return !v
+		}
+		return v
+	}
+	for i, info := range tr.Ints {
+		if ints[i] < info.Lo || ints[i] > info.Hi {
+			return false
+		}
+	}
+	for _, d := range tr.IntDefs {
+		a, b := atom(d.A), atom(d.B)
+		var r int64
+		switch d.Op {
+		case OpAdd:
+			r = a + b
+		case OpSub:
+			r = a - b
+		case OpMul:
+			r = a * b
+		}
+		if ints[d.Res] != r {
+			return false
+		}
+	}
+	for _, d := range tr.CmpDefs {
+		a, b := atom(d.A), atom(d.B)
+		var r bool
+		switch d.Op {
+		case OpLE:
+			r = a <= b
+		case OpLT:
+			r = a < b
+		case OpEQ:
+			r = a == b
+		case OpNE:
+			r = a != b
+		}
+		if bools[d.P] != r {
+			return false
+		}
+	}
+	for _, g := range tr.Gates {
+		q, r := blit(g.Q), blit(g.R)
+		var v bool
+		switch g.Op {
+		case OpAnd:
+			v = q && r
+		case OpOr:
+			v = q || r
+		case OpImply:
+			v = !q || r
+		case OpIff:
+			v = q == r
+		case OpXor:
+			v = q != r
+		}
+		if bools[g.P] != v {
+			return false
+		}
+	}
+	for _, l := range tr.Roots {
+		if !blit(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTripletEquisatisfiable checks, on random formulas small enough to
+// enumerate, that the triplet system is satisfiable exactly when the source
+// formula is (the defining property of the transformation).
+func TestTripletEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		f := NewFormula()
+		x := f.Int("x", 0, 3)
+		y := f.Int("y", -2, 2)
+		b := f.Bool("b")
+
+		ints := []*IntVar{x, y}
+		var randInt func(depth int) IntExpr
+		randInt = func(depth int) IntExpr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return ints[rng.Intn(len(ints))]
+				}
+				return Const(int64(rng.Intn(5) - 2))
+			}
+			ops := []func(a, b IntExpr) IntExpr{Add, Sub, Mul}
+			return ops[rng.Intn(3)](randInt(depth-1), randInt(depth-1))
+		}
+		var randBool func(depth int) BoolExpr
+		randBool = func(depth int) BoolExpr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					return BoolExpr(b)
+				default:
+					cmps := []func(a, b IntExpr) BoolExpr{Le, Lt, Eq, Ne}
+					return cmps[rng.Intn(4)](randInt(1), randInt(1))
+				}
+			}
+			conn := []func(a, b BoolExpr) BoolExpr{
+				func(a, b BoolExpr) BoolExpr { return And(a, b) },
+				func(a, b BoolExpr) BoolExpr { return Or(a, b) },
+				Imply, Iff, Xor,
+			}
+			return conn[rng.Intn(5)](randBool(depth-1), randBool(depth-1))
+		}
+		f.Require(randBool(3))
+
+		// Source satisfiability by enumeration.
+		srcSat := false
+		for xv := int64(0); xv <= 3 && !srcSat; xv++ {
+			for yv := int64(-2); yv <= 2 && !srcSat; yv++ {
+				for _, bv := range []bool{false, true} {
+					a := NewAssignment()
+					a.Ints[x], a.Ints[y] = xv, yv
+					a.Bools[b] = bv
+					if f.Satisfied(a) {
+						srcSat = true
+						break
+					}
+				}
+			}
+		}
+
+		tr := ToTriplets(f)
+		trSat := false
+		if !tr.Unsat {
+			// Enumerate only source variables; aux values are determined.
+			for xv := int64(0); xv <= 3 && !trSat; xv++ {
+				for yv := int64(-2); yv <= 2 && !trSat; yv++ {
+					for _, bv := range []bool{false, true} {
+						ints64 := make([]int64, len(tr.Ints))
+						bools := make([]bool, len(tr.BoolNames))
+						ints64[tr.SourceInt[x.ID]] = xv
+						ints64[tr.SourceInt[y.ID]] = yv
+						bools[tr.SourceBool[b.ID]] = bv
+						if propagateTriplets(tr, ints64, bools) && tripletEval(tr, ints64, bools) {
+							trSat = true
+							break
+						}
+					}
+				}
+			}
+		}
+		if srcSat != trSat {
+			t.Fatalf("iter %d: source sat=%v triplets sat=%v (%s)", iter, srcSat, trSat, tr.Stats())
+		}
+	}
+}
+
+// propagateTriplets computes the values of auxiliary variables bottom-up
+// (definitions are emitted in dependency order). It reports false if an aux
+// integer leaves its inferred range, which cannot happen for inferred
+// ranges — treated as a fatal inconsistency by the caller via tripletEval.
+func propagateTriplets(tr *Triplets, ints []int64, bools []bool) bool {
+	atom := func(a Atom) int64 {
+		if a.IsConst {
+			return a.Const
+		}
+		return ints[a.Var]
+	}
+	for _, d := range tr.IntDefs {
+		a, b := atom(d.A), atom(d.B)
+		switch d.Op {
+		case OpAdd:
+			ints[d.Res] = a + b
+		case OpSub:
+			ints[d.Res] = a - b
+		case OpMul:
+			ints[d.Res] = a * b
+		}
+	}
+	for _, d := range tr.CmpDefs {
+		a, b := atom(d.A), atom(d.B)
+		switch d.Op {
+		case OpLE:
+			bools[d.P] = a <= b
+		case OpLT:
+			bools[d.P] = a < b
+		case OpEQ:
+			bools[d.P] = a == b
+		case OpNE:
+			bools[d.P] = a != b
+		}
+	}
+	blit := func(l BLit) bool {
+		v := bools[l.Var]
+		if l.Neg {
+			return !v
+		}
+		return v
+	}
+	for _, g := range tr.Gates {
+		q, r := blit(g.Q), blit(g.R)
+		switch g.Op {
+		case OpAnd:
+			bools[g.P] = q && r
+		case OpOr:
+			bools[g.P] = q || r
+		case OpImply:
+			bools[g.P] = !q || r
+		case OpIff:
+			bools[g.P] = q == r
+		case OpXor:
+			bools[g.P] = q != r
+		}
+	}
+	// "const" variables introduced for residual constants must be true.
+	return true
+}
+
+// Property: range inference always encloses the evaluated value.
+func TestRangeSoundnessQuick(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", -5, 9)
+	y := f.Int("y", 0, 6)
+	cfg := &quick.Config{MaxCount: 500}
+	err := quick.Check(func(xv8, yv8 int8, shape uint8) bool {
+		xv := int64(xv8)%15 - 5
+		if xv < -5 {
+			xv += 15
+		}
+		yv := int64(yv8) % 7
+		if yv < 0 {
+			yv += 7
+		}
+		var e IntExpr
+		switch shape % 5 {
+		case 0:
+			e = Add(x, y)
+		case 1:
+			e = Sub(x, y)
+		case 2:
+			e = Mul(x, y)
+		case 3:
+			e = Mul(Sub(x, y), Add(x, y))
+		default:
+			e = Add(Mul(x, Const(3)), Sub(Const(7), y))
+		}
+		a := NewAssignment()
+		a.Ints[x], a.Ints[y] = xv, yv
+		v := a.EvalInt(e)
+		lo, hi := e.Range()
+		return v >= lo && v <= hi
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripletResidualBoolConst(t *testing.T) {
+	// Hand-built tree with a residual constant (bypassing the folding
+	// constructors): the transformation must pin it via a root variable.
+	f := NewFormula()
+	b := f.Bool("b")
+	f.Asserts = append(f.Asserts, &BinBool{Op: OpOr, A: &BoolConst{Value: false}, B: b})
+	tr := ToTriplets(f)
+	if tr.Unsat {
+		t.Fatal("or(false, b) is satisfiable")
+	}
+	// Evaluate: with b=true the system must be satisfiable.
+	ints := make([]int64, len(tr.Ints))
+	bools := make([]bool, len(tr.BoolNames))
+	bools[tr.SourceBool[b.ID]] = true
+	if !propagateTriplets(tr, ints, bools) {
+		t.Fatal("propagation failed")
+	}
+	// Pin the "const" helper variables true, as their roots demand.
+	for i, name := range tr.BoolNames {
+		if name == "const" {
+			bools[i] = true
+		}
+	}
+	// Recompute gates now that constants are pinned.
+	propagateTriplets(tr, ints, bools)
+	if !tripletEval(tr, ints, bools) {
+		t.Fatal("triplet system rejects b=true")
+	}
+}
+
+func TestTripletStatsString(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 3)
+	f.Require(Le(Add(x, x), Const(4)))
+	tr := ToTriplets(f)
+	s := tr.Stats()
+	if !strings.Contains(s, "intdefs=1") || !strings.Contains(s, "cmps=1") {
+		t.Fatalf("unexpected stats: %s", s)
+	}
+}
+
+func TestSubFolding(t *testing.T) {
+	f := NewFormula()
+	x := f.Int("x", 0, 9)
+	if Sub(x, Const(0)) != IntExpr(x) {
+		t.Fatal("x-0 should fold to x")
+	}
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocation is a complete deployment decision: the mappings Π (tasks to
+// ECUs), Φ (priority order), Γ (messages to media paths), plus the TDMA
+// slot sizing the token-ring analysis needs and the per-medium local
+// message deadlines of §4.
+type Allocation struct {
+	// TaskECU maps task ID → ECU ID (Π).
+	TaskECU map[int]int
+	// TaskPrio maps task ID → priority rank; smaller rank means higher
+	// priority, and ranks are unique system-wide (Φ).
+	TaskPrio map[int]int
+	// MsgPrio maps message ID → priority rank; smaller is higher.
+	MsgPrio map[int]int
+	// Route maps message ID → ordered media path (Γ); the empty path
+	// means sender and receiver share an ECU.
+	Route map[int]Path
+	// SlotLen maps [medium, ECU] → TDMA slot length for token-ring media.
+	SlotLen map[[2]int]int64
+	// MsgLocalDeadline maps [message, medium] → the local deadline d^k_m
+	// assigned to the message on that medium (§4). Zero for unused media.
+	MsgLocalDeadline map[[2]int]int64
+}
+
+// NewAllocation returns an empty allocation.
+func NewAllocation() *Allocation {
+	return &Allocation{
+		TaskECU:          map[int]int{},
+		TaskPrio:         map[int]int{},
+		MsgPrio:          map[int]int{},
+		Route:            map[int]Path{},
+		SlotLen:          map[[2]int]int64{},
+		MsgLocalDeadline: map[[2]int]int64{},
+	}
+}
+
+// Clone deep-copies the allocation.
+func (a *Allocation) Clone() *Allocation {
+	b := NewAllocation()
+	for k, v := range a.TaskECU {
+		b.TaskECU[k] = v
+	}
+	for k, v := range a.TaskPrio {
+		b.TaskPrio[k] = v
+	}
+	for k, v := range a.MsgPrio {
+		b.MsgPrio[k] = v
+	}
+	for k, v := range a.Route {
+		b.Route[k] = append(Path{}, v...)
+	}
+	for k, v := range a.SlotLen {
+		b.SlotLen[k] = v
+	}
+	for k, v := range a.MsgLocalDeadline {
+		b.MsgLocalDeadline[k] = v
+	}
+	return b
+}
+
+// RoundLength returns Λ for a token-ring medium under this allocation: the
+// sum of the slot lengths of all attached ECUs (the Token Rotation Time of
+// Tindell et al.).
+func (a *Allocation) RoundLength(m *Medium) int64 {
+	var sum int64
+	for _, e := range m.ECUs {
+		sum += a.SlotLen[[2]int{m.ID, e}]
+	}
+	return sum
+}
+
+// AssignDeadlineMonotonic fills TaskPrio (and MsgPrio) deadline-
+// monotonically, breaking ties by ID — the unique consistent assignment
+// the paper's constraints (9)–(10) admit.
+func (a *Allocation) AssignDeadlineMonotonic(s *System) {
+	tasks := append([]*Task{}, s.Tasks...)
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Deadline != tasks[j].Deadline {
+			return tasks[i].Deadline < tasks[j].Deadline
+		}
+		return tasks[i].ID < tasks[j].ID
+	})
+	for rank, t := range tasks {
+		a.TaskPrio[t.ID] = rank
+	}
+	msgs := append([]*Message{}, s.Messages...)
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Deadline != msgs[j].Deadline {
+			return msgs[i].Deadline < msgs[j].Deadline
+		}
+		return msgs[i].ID < msgs[j].ID
+	})
+	for rank, m := range msgs {
+		a.MsgPrio[m.ID] = rank
+	}
+}
+
+// CheckStructure verifies the allocation's structural constraints against
+// the system — placement sets π, separation sets δ, gateway-only ECUs,
+// route endpoint validity v(h) — everything except timing.
+func (a *Allocation) CheckStructure(s *System) error {
+	for _, t := range s.Tasks {
+		p, ok := a.TaskECU[t.ID]
+		if !ok {
+			return fmt.Errorf("alloc: task %q unplaced", t.Name)
+		}
+		e := s.ECUByID(p)
+		if e == nil {
+			return fmt.Errorf("alloc: task %q on unknown ECU %d", t.Name, p)
+		}
+		if e.GatewayOnly {
+			return fmt.Errorf("alloc: task %q placed on gateway-only ECU %q", t.Name, e.Name)
+		}
+		if _, ok := t.WCET[p]; !ok {
+			return fmt.Errorf("alloc: task %q has no WCET on ECU %q", t.Name, e.Name)
+		}
+		if len(t.Allowed) > 0 {
+			ok := false
+			for _, cand := range t.Allowed {
+				if cand == p {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("alloc: task %q placed outside its π set", t.Name)
+			}
+		}
+		for _, d := range t.Separation {
+			if a.TaskECU[d] == p {
+				return fmt.Errorf("alloc: separated tasks %q and %q share ECU %d", t.Name, s.TaskByID(d).Name, p)
+			}
+		}
+	}
+	// Priorities must be a strict order.
+	seen := map[int]bool{}
+	for id, r := range a.TaskPrio {
+		if seen[r] {
+			return fmt.Errorf("alloc: duplicate task priority rank %d (task %d)", r, id)
+		}
+		seen[r] = true
+	}
+	for _, m := range s.Messages {
+		route := a.Route[m.ID]
+		src := a.TaskECU[m.From]
+		dst := a.TaskECU[m.To]
+		if !s.ValidEndpoints(route, src, dst) {
+			return fmt.Errorf("alloc: message %q route %v invalid for %d→%d", m.Name, route, src, dst)
+		}
+	}
+	return nil
+}

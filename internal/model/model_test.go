@@ -1,0 +1,277 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1System builds the exact topology of Figure 1 of the paper:
+// k1 = {p1,p2,p3}, k2 = {p2,p4}, k3 = {p3,p5}.
+func figure1System() *System {
+	s := &System{Name: "figure1"}
+	for i := 1; i <= 5; i++ {
+		s.ECUs = append(s.ECUs, &ECU{ID: i, Name: "p" + string(rune('0'+i))})
+	}
+	mk := func(id int, ecus ...int) *Medium {
+		return &Medium{
+			ID: id, Name: "k" + string(rune('0'+id)), Kind: TokenRing,
+			ECUs: ecus, TimePerUnit: 1, SlotQuantum: 1, MaxSlots: 10,
+		}
+	}
+	s.Media = append(s.Media, mk(1, 1, 2, 3), mk(2, 2, 4), mk(3, 3, 5))
+	// A dummy task so Validate passes when needed.
+	s.Tasks = append(s.Tasks, &Task{ID: 0, Name: "t0", Period: 100, Deadline: 100,
+		WCET: map[int]int64{1: 1, 2: 1, 3: 1, 4: 1, 5: 1}})
+	return s
+}
+
+func TestFigure1Gateways(t *testing.T) {
+	s := figure1System()
+	gws := s.Gateways()
+	if len(gws) != 2 {
+		t.Fatalf("want 2 gateways, got %v", gws)
+	}
+	if s.GatewayBetween(1, 2) != 2 {
+		t.Fatalf("gateway k1-k2 should be p2, got %d", s.GatewayBetween(1, 2))
+	}
+	if s.GatewayBetween(1, 3) != 3 {
+		t.Fatalf("gateway k1-k3 should be p3, got %d", s.GatewayBetween(1, 3))
+	}
+	if s.GatewayBetween(2, 3) != -1 {
+		t.Fatal("k2 and k3 share no gateway")
+	}
+}
+
+// TestFigure1PathClosures reproduces Figure 1 of the paper exactly:
+//
+//	ph0 = {""}
+//	ph1 = {"k1", "k1k2"}
+//	ph2 = {"k1", "k1k3"}
+//	ph3 = {"k2", "k2k1", "k2k1k3"}
+//	ph4 = {"k3", "k3k1", "k3k1k2"}
+func TestFigure1PathClosures(t *testing.T) {
+	s := figure1System()
+	got := s.PathClosures()
+	var strs []string
+	for _, pc := range got {
+		strs = append(strs, pc.String())
+	}
+	want := []string{
+		`{""}`,
+		`{"k1", "k1k2"}`,
+		`{"k1", "k1k3"}`,
+		`{"k2", "k2k1", "k2k1k3"}`,
+		`{"k3", "k3k1", "k3k1k2"}`,
+	}
+	if len(strs) != len(want) {
+		t.Fatalf("got %d closures %v, want %d", len(strs), strs, len(want))
+	}
+	for i := range want {
+		if strs[i] != want[i] {
+			t.Errorf("closure %d = %s, want %s", i, strs[i], want[i])
+		}
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	s := figure1System()
+	paths := s.EnumeratePaths()
+	// "", k1, k1k2, k1k3, k2, k2k1, k2k1k3, k3, k3k1, k3k1k2 = 10 paths.
+	if len(paths) != 10 {
+		var ss []string
+		for _, p := range paths {
+			ss = append(ss, p.String())
+		}
+		t.Fatalf("want 10 unique paths, got %d: %s", len(paths), strings.Join(ss, " "))
+	}
+}
+
+func TestValidEndpoints(t *testing.T) {
+	s := figure1System()
+	cases := []struct {
+		h        Path
+		src, dst int
+		ok       bool
+	}{
+		{Path{}, 1, 1, true},        // co-located
+		{Path{}, 1, 2, false},       // different ECUs need a medium
+		{Path{1}, 1, 3, true},       // both on k1
+		{Path{1}, 1, 1, false},      // same ECU must use the empty path
+		{Path{1}, 1, 4, false},      // p4 not on k1
+		{Path{1, 2}, 1, 4, true},    // p1 --k1--> p2 --k2--> p4
+		{Path{1, 2}, 2, 4, false},   // sender is the gateway p2
+		{Path{2, 1}, 4, 1, true},    // reverse direction
+		{Path{2, 1}, 4, 2, false},   // receiver is the gateway p2
+		{Path{2, 1, 3}, 4, 5, true}, // full traversal
+		{Path{2, 3}, 4, 5, false},   // no gateway between k2 and k3
+		{Path{1, 3}, 2, 5, true},    // p2 on k1, p5 on k3 via gateway p3
+		{Path{1, 3}, 3, 5, false},   // sender is gateway p3
+	}
+	for _, c := range cases {
+		if got := s.ValidEndpoints(c.h, c.src, c.dst); got != c.ok {
+			t.Errorf("v(%v, p%d→p%d) = %v, want %v", c.h, c.src, c.dst, got, c.ok)
+		}
+	}
+}
+
+func TestPathServiceCost(t *testing.T) {
+	s := figure1System()
+	s.ECUByID(2).ServiceCost = 5
+	s.ECUByID(3).ServiceCost = 7
+	if c := s.PathServiceCost(Path{2, 1, 3}); c != 12 {
+		t.Fatalf("service cost = %d, want 12", c)
+	}
+	if c := s.PathServiceCost(Path{1}); c != 0 {
+		t.Fatalf("single-medium path has no gateway cost, got %d", c)
+	}
+}
+
+func TestValidateAcceptsFigure1(t *testing.T) {
+	s := figure1System()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := func(mut func(*System)) error {
+		s := figure1System()
+		mut(s)
+		return s.Validate()
+	}
+	if err := bad(func(s *System) { s.ECUs = append(s.ECUs, &ECU{ID: 1}) }); err == nil {
+		t.Error("duplicate ECU accepted")
+	}
+	if err := bad(func(s *System) { s.Media[0].ECUs = []int{1} }); err == nil {
+		t.Error("single-ECU medium accepted")
+	}
+	if err := bad(func(s *System) { s.Media[0].ECUs = []int{1, 99} }); err == nil {
+		t.Error("unknown ECU in medium accepted")
+	}
+	if err := bad(func(s *System) { s.Tasks[0].Period = 0 }); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := bad(func(s *System) { s.Tasks[0].Deadline = s.Tasks[0].Period + 1 }); err == nil {
+		t.Error("deadline beyond period accepted")
+	}
+	if err := bad(func(s *System) { s.Tasks[0].WCET = map[int]int64{} }); err == nil {
+		t.Error("empty WCET accepted")
+	}
+	if err := bad(func(s *System) {
+		// Two gateways between the same pair of media.
+		s.Media[1].ECUs = []int{2, 3, 4}
+	}); err == nil {
+		t.Error("double gateway accepted")
+	}
+	if err := bad(func(s *System) {
+		s.Messages = append(s.Messages, &Message{ID: 0, Name: "m", From: 0, To: 99, Size: 1, Deadline: 5})
+	}); err == nil {
+		t.Error("message to unknown task accepted")
+	}
+	if err := bad(func(s *System) { s.Tasks[0].Separation = []int{0} }); err == nil {
+		t.Error("self-separation accepted")
+	}
+}
+
+func TestCandidateECUs(t *testing.T) {
+	s := figure1System()
+	s.ECUByID(2).GatewayOnly = true
+	task := s.Tasks[0]
+	task.Allowed = []int{1, 2, 3}
+	got := s.CandidateECUs(task)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("candidates = %v, want [1 3]", got)
+	}
+}
+
+func TestAllocationStructureChecks(t *testing.T) {
+	s := figure1System()
+	t2 := &Task{ID: 1, Name: "t1", Period: 50, Deadline: 50,
+		WCET: map[int]int64{1: 2, 4: 2}}
+	s.Tasks = append(s.Tasks, t2)
+	s.Messages = append(s.Messages, &Message{ID: 0, Name: "m0", From: 0, To: 1, Size: 2, Deadline: 30})
+	s.Tasks[0].Messages = []int{0}
+
+	a := NewAllocation()
+	a.TaskECU[0] = 1
+	a.TaskECU[1] = 4
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = Path{1, 2}
+	if err := a.CheckStructure(s); err != nil {
+		t.Fatalf("valid allocation rejected: %v", err)
+	}
+
+	// Route with wrong endpoints.
+	a.Route[0] = Path{1}
+	if err := a.CheckStructure(s); err == nil {
+		t.Fatal("invalid route accepted")
+	}
+	a.Route[0] = Path{1, 2}
+
+	// Separation violation.
+	s.Tasks[0].Separation = []int{1}
+	a2 := a.Clone()
+	a2.TaskECU[1] = 1
+	a2.Route[0] = Path{}
+	if err := a2.CheckStructure(s); err == nil {
+		t.Fatal("separation violation accepted")
+	}
+	s.Tasks[0].Separation = nil
+
+	// Placement restriction.
+	s.Tasks[1].Allowed = []int{1}
+	if err := a.CheckStructure(s); err == nil {
+		t.Fatal("π violation accepted")
+	}
+}
+
+func TestAssignDeadlineMonotonic(t *testing.T) {
+	s := &System{
+		ECUs: []*ECU{{ID: 0}},
+		Tasks: []*Task{
+			{ID: 0, Name: "a", Period: 100, Deadline: 80, WCET: map[int]int64{0: 1}},
+			{ID: 1, Name: "b", Period: 100, Deadline: 20, WCET: map[int]int64{0: 1}},
+			{ID: 2, Name: "c", Period: 100, Deadline: 20, WCET: map[int]int64{0: 1}},
+		},
+	}
+	a := NewAllocation()
+	a.AssignDeadlineMonotonic(s)
+	if a.TaskPrio[1] > a.TaskPrio[0] || a.TaskPrio[2] > a.TaskPrio[0] {
+		t.Fatal("shorter deadline must get higher priority (smaller rank)")
+	}
+	if a.TaskPrio[1] == a.TaskPrio[2] {
+		t.Fatal("ties must be broken uniquely")
+	}
+	if a.TaskPrio[1] > a.TaskPrio[2] {
+		t.Fatal("ties break by ID")
+	}
+}
+
+func TestRoundLength(t *testing.T) {
+	s := figure1System()
+	a := NewAllocation()
+	m := s.Media[0] // k1: p1,p2,p3
+	a.SlotLen[[2]int{1, 1}] = 4
+	a.SlotLen[[2]int{1, 2}] = 6
+	a.SlotLen[[2]int{1, 3}] = 5
+	if got := a.RoundLength(m); got != 15 {
+		t.Fatalf("Λ = %d, want 15", got)
+	}
+}
+
+func TestMediumRho(t *testing.T) {
+	m := &Medium{TimePerUnit: 3, FrameOverhead: 2}
+	if m.Rho(4) != 14 {
+		t.Fatalf("rho = %d, want 14", m.Rho(4))
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := figure1System()
+	out := s.Describe()
+	for _, want := range []string{"k1", "k2", "k3", "gateways:", "ECU2(k1↔k2)", "ECU3(k1↔k3)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the topology machinery of §4: hierarchical
+// architectures as graphs whose nodes are communication media and whose
+// edges are gateway ECUs, and the *path closures* of Figure 1 — for each
+// maximal simple path through the media graph, the set of all its prefixes.
+
+// Gateway describes an ECU linking two media.
+type Gateway struct {
+	ECU        int
+	MediumA    int
+	MediumB    int
+	ServiceFee int64
+}
+
+// Gateways returns every (ECU, medium pair) gateway of the system. The
+// model guarantees at most one shared ECU per medium pair.
+func (s *System) Gateways() []Gateway {
+	var out []Gateway
+	for i, a := range s.Media {
+		for _, b := range s.Media[i+1:] {
+			for _, e := range a.ECUs {
+				if b.Connects(e) {
+					out = append(out, Gateway{
+						ECU:        e,
+						MediumA:    a.ID,
+						MediumB:    b.ID,
+						ServiceFee: s.ECUByID(e).ServiceCost,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GatewayBetween returns the gateway ECU joining media a and b, or -1.
+func (s *System) GatewayBetween(a, b int) int {
+	ma, mb := s.MediumByID(a), s.MediumByID(b)
+	if ma == nil || mb == nil {
+		return -1
+	}
+	for _, e := range ma.ECUs {
+		if mb.Connects(e) {
+			return e
+		}
+	}
+	return -1
+}
+
+// Path is an ordered sequence of medium IDs, e.g. "k2 k1 k3". The empty
+// path denotes intra-ECU communication (sender and receiver co-located).
+type Path []int
+
+// String renders the path in the paper's "k1k2…" notation.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return `""`
+	}
+	parts := make([]string, len(p))
+	for i, k := range p {
+		parts[i] = fmt.Sprintf("k%d", k)
+	}
+	return `"` + strings.Join(parts, "") + `"`
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathClosure is one ph ∈ PH: the set of all prefixes ("sub-paths starting
+// on a certain medium") of a maximal simple path in the media graph. The
+// closure is stored as its longest path; Prefixes() enumerates the members.
+type PathClosure struct {
+	// Longest is h̃, the maximal path of the closure.
+	Longest Path
+}
+
+// Prefixes returns the member paths of the closure in increasing length:
+// h̃[0:1], h̃[0:2], …, h̃ — exactly the sets shown in Figure 1 of the paper.
+func (pc PathClosure) Prefixes() []Path {
+	out := make([]Path, len(pc.Longest))
+	for i := range pc.Longest {
+		out[i] = pc.Longest[:i+1]
+	}
+	return out
+}
+
+func (pc PathClosure) String() string {
+	parts := make([]string, 0, len(pc.Longest))
+	for _, p := range pc.Prefixes() {
+		parts = append(parts, p.String())
+	}
+	if len(parts) == 0 {
+		return `{""}`
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// PathClosures computes PH: one closure per maximal simple path in the
+// media graph (ordered, so "k1k2" and "k2k1" are distinct closures exactly
+// as in Figure 1), plus the empty closure ph0 = {""} standing for
+// intra-ECU delivery.
+//
+// The media graph has an edge between two media iff they share a gateway
+// ECU. Closures are returned in a deterministic order: by start medium,
+// then lexicographically.
+func (s *System) PathClosures() []PathClosure {
+	adj := map[int][]int{}
+	for _, g := range s.Gateways() {
+		adj[g.MediumA] = append(adj[g.MediumA], g.MediumB)
+		adj[g.MediumB] = append(adj[g.MediumB], g.MediumA)
+	}
+	for k := range adj {
+		sort.Ints(adj[k])
+	}
+
+	var closures []PathClosure
+	var dfs func(path Path, visited map[int]bool)
+	dfs = func(path Path, visited map[int]bool) {
+		last := path[len(path)-1]
+		extended := false
+		for _, nxt := range adj[last] {
+			if visited[nxt] {
+				continue
+			}
+			visited[nxt] = true
+			dfs(append(append(Path{}, path...), nxt), visited)
+			visited[nxt] = false
+			extended = true
+		}
+		if !extended {
+			closures = append(closures, PathClosure{Longest: append(Path{}, path...)})
+		}
+	}
+
+	mediaIDs := make([]int, len(s.Media))
+	for i, m := range s.Media {
+		mediaIDs[i] = m.ID
+	}
+	sort.Ints(mediaIDs)
+	// ph0: the empty closure.
+	closures = append(closures, PathClosure{})
+	for _, start := range mediaIDs {
+		visited := map[int]bool{start: true}
+		dfs(Path{start}, visited)
+	}
+	sort.SliceStable(closures, func(i, j int) bool {
+		a, b := closures[i].Longest, closures[j].Longest
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return closures
+}
+
+// EnumeratePaths returns every simple path (including single-medium paths
+// and the empty path) through the media graph — the union of all closure
+// prefixes, deduplicated. Baseline allocators route messages by searching
+// this set directly.
+func (s *System) EnumeratePaths() []Path {
+	seen := map[string]bool{}
+	var out []Path
+	for _, pc := range s.PathClosures() {
+		if len(pc.Longest) == 0 {
+			if !seen[""] {
+				seen[""] = true
+				out = append(out, Path{})
+			}
+			continue
+		}
+		for _, p := range pc.Prefixes() {
+			k := p.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ValidEndpoints implements v(h) of §4: whether a path h is usable for a
+// message sent from ECU src to ECU dst.
+//
+//   - empty path: src = dst;
+//   - single medium kr: both endpoints attached to kr;
+//   - longer paths: the sender is on the first medium but not on its
+//     gateway to the second, and the receiver is on the last medium but
+//     not on its gateway to the second-to-last (messages may not originate
+//     or terminate on intermediate gateway ECUs of the path).
+//
+// Additionally every adjacent pair of the path must actually share a
+// gateway (path existence in the topology).
+func (s *System) ValidEndpoints(h Path, src, dst int) bool {
+	if len(h) == 0 {
+		return src == dst
+	}
+	if src == dst {
+		return false // co-located tasks communicate locally, not via media
+	}
+	first := s.MediumByID(h[0])
+	last := s.MediumByID(h[len(h)-1])
+	if first == nil || last == nil || !first.Connects(src) || !last.Connects(dst) {
+		return false
+	}
+	if len(h) == 1 {
+		return true
+	}
+	for i := 0; i+1 < len(h); i++ {
+		if s.GatewayBetween(h[i], h[i+1]) < 0 {
+			return false
+		}
+	}
+	if src == s.GatewayBetween(h[0], h[1]) {
+		return false
+	}
+	if dst == s.GatewayBetween(h[len(h)-1], h[len(h)-2]) {
+		return false
+	}
+	return true
+}
+
+// PathServiceCost sums the gateway forwarding fees along h (the serv_m
+// term of §4).
+func (s *System) PathServiceCost(h Path) int64 {
+	var sum int64
+	for i := 0; i+1 < len(h); i++ {
+		g := s.GatewayBetween(h[i], h[i+1])
+		if g >= 0 {
+			sum += s.ECUByID(g).ServiceCost
+		}
+	}
+	return sum
+}
+
+// Describe renders an ASCII overview of the architecture: media with
+// their attached ECUs, gateways, and per-ECU capabilities.
+func (s *System) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "architecture %q: %d ECUs, %d media\n", s.Name, len(s.ECUs), len(s.Media))
+	for _, m := range s.Media {
+		fmt.Fprintf(&b, "  %-8s (%s)", m.Name, m.Kind)
+		if m.Kind == TokenRing {
+			fmt.Fprintf(&b, " quantum=%d maxslots=%d", m.SlotQuantum, m.MaxSlots)
+		}
+		fmt.Fprint(&b, " ECUs:")
+		for _, p := range m.ECUs {
+			e := s.ECUByID(p)
+			tag := ""
+			if e != nil && e.GatewayOnly {
+				tag = "*"
+			}
+			fmt.Fprintf(&b, " %d%s", p, tag)
+		}
+		fmt.Fprintln(&b)
+	}
+	if gws := s.Gateways(); len(gws) > 0 {
+		fmt.Fprint(&b, "  gateways:")
+		for _, g := range gws {
+			fmt.Fprintf(&b, " ECU%d(k%d↔k%d)", g.ECU, g.MediumA, g.MediumB)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "  tasks: %d (%d messages)\n", len(s.Tasks), len(s.Messages))
+	return b.String()
+}

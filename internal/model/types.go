@@ -1,0 +1,325 @@
+// Package model defines the architectural and task models of Metzner et
+// al. (IPDPS 2006, §2): a system architecture A = (P, K, κ) of ECUs and
+// communication media, and a task set T of tuples
+// τ_i = (t_i, c_i, γ_i, π_i, δ_i, d_i), together with allocations
+// (Π, Φ, Γ) and the topology machinery (gateways, path closures) of §4.
+//
+// All times are unsigned integers in an abstract unit (e.g. 10 µs ticks);
+// the encoder and analyzers are unit-agnostic.
+package model
+
+import "fmt"
+
+// MediumKind distinguishes the two bus classes the paper analyzes.
+type MediumKind int
+
+// Bus classes.
+const (
+	// TokenRing is a TDMA-arbitrated bus: bandwidth is divided into a
+	// round of per-ECU slots (the token ring of Tindell et al. and the
+	// TTP are the paper's examples).
+	TokenRing MediumKind = iota
+	// CAN is a priority-arbitrated bus: the pending message with the
+	// highest priority wins arbitration.
+	CAN
+)
+
+func (k MediumKind) String() string {
+	switch k {
+	case TokenRing:
+		return "token-ring"
+	case CAN:
+		return "CAN"
+	}
+	return "unknown"
+}
+
+// ECU is an embedded control unit (a processing element of P).
+type ECU struct {
+	ID   int
+	Name string
+	// GatewayOnly marks ECUs that forward messages between media but may
+	// not host application tasks (architectures A and B in §6 use such
+	// nodes).
+	GatewayOnly bool
+	// ServiceCost is the per-message forwarding cost incurred when a
+	// message crosses this ECU as a gateway (the serv term of §4).
+	ServiceCost int64
+	// MemCapacity bounds the summed memory footprint of the tasks placed
+	// on this ECU; 0 means unbounded. (The [5] case study that §6 builds
+	// on includes memory-consumption constraints.)
+	MemCapacity int64
+}
+
+// Medium is a communication medium k ∈ K ⊆ 2^P with its κ parameters.
+type Medium struct {
+	ID   int
+	Name string
+	Kind MediumKind
+	// ECUs lists the IDs of the connected ECUs (k = {p1, …, pj}).
+	ECUs []int
+
+	// TimePerUnit is the transmission time of one message size unit, so a
+	// message of size z occupies the bus for ρ = z·TimePerUnit +
+	// FrameOverhead.
+	TimePerUnit   int64
+	FrameOverhead int64
+
+	// SlotQuantum applies to TokenRing media: slot lengths are multiples
+	// of this quantum. MaxSlots bounds the per-ECU slot length in
+	// quanta during optimization.
+	SlotQuantum int64
+	MaxSlots    int64
+}
+
+// Connects reports whether ECU id is attached to the medium.
+func (m *Medium) Connects(id int) bool {
+	for _, e := range m.ECUs {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Rho returns the raw transmission time of a message of the given size on
+// this medium.
+func (m *Medium) Rho(size int64) int64 {
+	return size*m.TimePerUnit + m.FrameOverhead
+}
+
+// Message is an element of some γ_i: a directed communication with size and
+// deadline.
+type Message struct {
+	ID   int
+	Name string
+	// From and To are task IDs; the message is released when an instance
+	// of From completes and must arrive at To within Deadline.
+	From, To int
+	Size     int64
+	Deadline int64
+}
+
+// Task is one τ_i = (t_i, c_i, γ_i, π_i, δ_i, d_i).
+type Task struct {
+	ID   int
+	Name string
+	// Period is the activation period or minimal inter-arrival time t_i.
+	Period int64
+	// Deadline d_i, relative to release; the analysis assumes d_i ≤ t_i.
+	Deadline int64
+	// WCET maps ECU ID → worst-case execution time c_i(p). An ECU absent
+	// from the map cannot run the task (equivalent to exclusion from π_i).
+	WCET map[int]int64
+	// Allowed is π_i: the ECUs the task may be placed on. Empty means
+	// "every ECU with a WCET entry".
+	Allowed []int
+	// Separation is δ_i: tasks that must not share an ECU with τ_i
+	// (replicas in fault-tolerant designs).
+	Separation []int
+	// Messages is γ_i: the messages this task sends on completion.
+	Messages []int
+	// Jitter is the release jitter J_i: the activation may lag the
+	// nominal period boundary by up to this much. Interference on other
+	// tasks and the task's own response bound both account for it.
+	Jitter int64
+	// Blocking is the blocking factor B_i: the longest time a lower-
+	// priority task can hold a resource the task needs (priority-ceiling
+	// style), added once to the response time ("blocking factors" of §2).
+	Blocking int64
+	// MemSize is the memory footprint counted against ECU MemCapacity.
+	MemSize int64
+}
+
+// System is a complete problem instance: architecture plus task set.
+type System struct {
+	Name     string
+	ECUs     []*ECU
+	Media    []*Medium
+	Tasks    []*Task
+	Messages []*Message
+}
+
+// ECUByID returns the ECU with the given ID.
+func (s *System) ECUByID(id int) *ECU {
+	for _, e := range s.ECUs {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// MediumByID returns the medium with the given ID.
+func (s *System) MediumByID(id int) *Medium {
+	for _, m := range s.Media {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// TaskByID returns the task with the given ID.
+func (s *System) TaskByID(id int) *Task {
+	for _, t := range s.Tasks {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// MessageByID returns the message with the given ID.
+func (s *System) MessageByID(id int) *Message {
+	for _, m := range s.Messages {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// CandidateECUs returns the ECUs task t may legally be placed on: the
+// intersection of π_i with the WCET domain, excluding gateway-only nodes.
+func (s *System) CandidateECUs(t *Task) []int {
+	var out []int
+	for _, e := range s.ECUs {
+		if e.GatewayOnly {
+			continue
+		}
+		if _, ok := t.WCET[e.ID]; !ok {
+			continue
+		}
+		if len(t.Allowed) > 0 {
+			ok := false
+			for _, a := range t.Allowed {
+				if a == e.ID {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Validate checks referential integrity and the model assumptions the
+// analyses rely on.
+func (s *System) Validate() error {
+	ecuSeen := map[int]bool{}
+	for _, e := range s.ECUs {
+		if ecuSeen[e.ID] {
+			return fmt.Errorf("model: duplicate ECU id %d", e.ID)
+		}
+		ecuSeen[e.ID] = true
+	}
+	medSeen := map[int]bool{}
+	for _, m := range s.Media {
+		if medSeen[m.ID] {
+			return fmt.Errorf("model: duplicate medium id %d", m.ID)
+		}
+		medSeen[m.ID] = true
+		if len(m.ECUs) < 2 {
+			return fmt.Errorf("model: medium %q connects fewer than 2 ECUs", m.Name)
+		}
+		for _, id := range m.ECUs {
+			if !ecuSeen[id] {
+				return fmt.Errorf("model: medium %q references unknown ECU %d", m.Name, id)
+			}
+		}
+		if m.TimePerUnit <= 0 {
+			return fmt.Errorf("model: medium %q needs positive TimePerUnit", m.Name)
+		}
+		if m.Kind == TokenRing && (m.SlotQuantum <= 0 || m.MaxSlots <= 0) {
+			return fmt.Errorf("model: token-ring medium %q needs SlotQuantum and MaxSlots", m.Name)
+		}
+	}
+	// The paper restricts topologies to at most one gateway between two
+	// media.
+	for i, a := range s.Media {
+		for _, b := range s.Media[i+1:] {
+			shared := 0
+			for _, e := range a.ECUs {
+				if b.Connects(e) {
+					shared++
+				}
+			}
+			if shared > 1 {
+				return fmt.Errorf("model: media %q and %q share %d ECUs; at most one gateway is allowed", a.Name, b.Name, shared)
+			}
+		}
+	}
+	taskSeen := map[int]bool{}
+	for _, t := range s.Tasks {
+		if taskSeen[t.ID] {
+			return fmt.Errorf("model: duplicate task id %d", t.ID)
+		}
+		taskSeen[t.ID] = true
+		if t.Period <= 0 {
+			return fmt.Errorf("model: task %q needs positive period", t.Name)
+		}
+		if t.Deadline <= 0 || t.Deadline > t.Period {
+			return fmt.Errorf("model: task %q needs 0 < deadline ≤ period", t.Name)
+		}
+		if t.Jitter < 0 || t.Blocking < 0 || t.MemSize < 0 {
+			return fmt.Errorf("model: task %q has negative jitter/blocking/memory", t.Name)
+		}
+		if len(t.WCET) == 0 {
+			return fmt.Errorf("model: task %q has no WCET entries", t.Name)
+		}
+		for p, c := range t.WCET {
+			if !ecuSeen[p] {
+				return fmt.Errorf("model: task %q has WCET for unknown ECU %d", t.Name, p)
+			}
+			if c <= 0 {
+				return fmt.Errorf("model: task %q has non-positive WCET on ECU %d", t.Name, p)
+			}
+			if c > t.Deadline {
+				// Not an error: such an ECU simply can never host the task
+				// feasibly; the encoder prunes it. Accepted.
+				_ = c
+			}
+		}
+		if len(s.CandidateECUs(t)) == 0 {
+			return fmt.Errorf("model: task %q has no candidate ECU", t.Name)
+		}
+	}
+	msgSeen := map[int]bool{}
+	for _, m := range s.Messages {
+		if msgSeen[m.ID] {
+			return fmt.Errorf("model: duplicate message id %d", m.ID)
+		}
+		msgSeen[m.ID] = true
+		if !taskSeen[m.From] || !taskSeen[m.To] {
+			return fmt.Errorf("model: message %q references unknown task", m.Name)
+		}
+		if m.Size <= 0 || m.Deadline <= 0 {
+			return fmt.Errorf("model: message %q needs positive size and deadline", m.Name)
+		}
+	}
+	for _, t := range s.Tasks {
+		for _, mid := range t.Messages {
+			m := s.MessageByID(mid)
+			if m == nil {
+				return fmt.Errorf("model: task %q lists unknown message %d", t.Name, mid)
+			}
+			if m.From != t.ID {
+				return fmt.Errorf("model: task %q lists message %q it does not send", t.Name, m.Name)
+			}
+		}
+		for _, d := range t.Separation {
+			if !taskSeen[d] {
+				return fmt.Errorf("model: task %q separation references unknown task %d", t.Name, d)
+			}
+			if d == t.ID {
+				return fmt.Errorf("model: task %q cannot be separated from itself", t.Name)
+			}
+		}
+	}
+	return nil
+}

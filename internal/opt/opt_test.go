@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"testing"
+
+	"satalloc/internal/encode"
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+// tinyRing builds a 2-ECU token ring with three tasks and one message — a
+// system small enough to reason about by hand.
+func tinyRing() *model.System {
+	s := &model.System{Name: "tiny"}
+	s.ECUs = []*model.ECU{{ID: 0, Name: "p0"}, {ID: 1, Name: "p1"}}
+	s.Media = []*model.Medium{{
+		ID: 0, Name: "ring", Kind: model.TokenRing, ECUs: []int{0, 1},
+		TimePerUnit: 1, SlotQuantum: 2, MaxSlots: 8,
+	}}
+	s.Tasks = []*model.Task{
+		{ID: 0, Name: "sense", Period: 40, Deadline: 30, WCET: map[int]int64{0: 6, 1: 6}, Messages: []int{0}},
+		{ID: 1, Name: "act", Period: 40, Deadline: 40, WCET: map[int]int64{0: 8, 1: 8}},
+		{ID: 2, Name: "load", Period: 20, Deadline: 20, WCET: map[int]int64{0: 9, 1: 9}},
+	}
+	s.Messages = []*model.Message{
+		{ID: 0, Name: "m0", From: 0, To: 1, Size: 3, Deadline: 25},
+	}
+	return s
+}
+
+func TestMinimizeTRTTiny(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	t.Logf("optimal TRT = %d, %d solve calls, %d vars, %d literals",
+		res.Cost, res.SolveCalls, res.Vars, res.Literals)
+	// Verification already happened inside Minimize; double-check the
+	// reported cost matches the allocation's round length.
+	if got := res.Allocation.RoundLength(sys.Media[0]); got != res.Cost {
+		t.Fatalf("cost %d != decoded round length %d", res.Cost, got)
+	}
+	// Lower bound: each ECU owns ≥1 quantum, so TRT ≥ 4.
+	if res.Cost < 4 {
+		t.Fatalf("TRT %d below structural minimum", res.Cost)
+	}
+	r := rta.Analyze(sys, res.Allocation)
+	if !r.Schedulable {
+		t.Fatalf("analyzer rejects: %v", r.Violations)
+	}
+}
+
+func TestIncrementalAndFreshAgree(t *testing.T) {
+	sys := tinyRing()
+	run := func(inc bool) int64 {
+		enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Minimize(enc, Options{Incremental: inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("status %v", res.Status)
+		}
+		return res.Cost
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("incremental %d != fresh %d", a, b)
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	sys := tinyRing()
+	// Overload both ECUs: three tasks of utilization ~0.95 each can never
+	// fit on two ECUs together with the existing load.
+	for _, task := range sys.Tasks {
+		task.WCET[0] = task.Period - 1
+		task.WCET[1] = task.Period - 1
+		task.Deadline = task.Period
+	}
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestSeparationForcesSplit(t *testing.T) {
+	sys := tinyRing()
+	sys.Tasks[0].Separation = []int{1}
+	sys.Tasks[1].Separation = []int{0}
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Allocation.TaskECU[0] == res.Allocation.TaskECU[1] {
+		t.Fatal("separated tasks share an ECU")
+	}
+}
+
+func TestAbortedRunReturnsBestSoFar(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-conflict budget may abort at any point of the search; the
+	// result must be coherent either way.
+	res, err := Minimize(enc, Options{Incremental: true, MaxConflictsPerCall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Status {
+	case Optimal:
+		if res.Allocation == nil {
+			t.Fatal("optimal without allocation")
+		}
+	case Aborted:
+		// Best-so-far may or may not exist; if it does, it must verify.
+		if res.Allocation != nil {
+			if err := res.Allocation.CheckStructure(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case Infeasible:
+		t.Fatal("tiny ring is feasible")
+	}
+}
+
+func TestMinimizeLogsProgress(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines int
+	_, err = Minimize(enc, Options{Incremental: true, Logf: func(string, ...any) { lines++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("expected progress lines")
+	}
+}
+
+func TestEnumerateOptimalPlacements(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	// Enumerate distinct optimal placements; every one must analyze
+	// schedulable at exactly the optimal cost.
+	enc2, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	n, err := EnumerateOptimalPlacements(enc2, res.Cost, 16, func(a *model.Allocation) bool {
+		key := ""
+		for _, task := range sys.Tasks {
+			key += string(rune('0' + a.TaskECU[task.ID]))
+		}
+		if seen[key] {
+			t.Errorf("duplicate placement %s", key)
+		}
+		seen[key] = true
+		r := rta.Analyze(sys, a)
+		if !r.Schedulable {
+			t.Errorf("enumerated placement not schedulable: %v", r.Violations)
+		}
+		if got := a.RoundLength(sys.Media[0]); got != res.Cost {
+			t.Errorf("enumerated placement at cost %d, want %d", got, res.Cost)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatal("at least the proven optimum must be enumerable")
+	}
+	t.Logf("%d distinct optimal placements", n)
+}

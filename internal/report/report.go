@@ -1,0 +1,134 @@
+// Package report renders human-readable deployment reports: ASCII
+// Gantt-style execution timelines from simulated schedules, per-ECU load
+// summaries, and a deployment table — the artifacts an engineer inspects
+// after the optimizer has placed a system.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+	"satalloc/internal/sim"
+)
+
+// Gantt renders the spans of one ECU's schedule as an ASCII timeline of
+// the given width covering [0, until). Each task gets one row; execution
+// is marked with '#', idle time with '.'.
+func Gantt(sys *model.System, spans []sim.Span, until int64, width int) string {
+	if until <= 0 || width <= 0 {
+		return ""
+	}
+	rows := map[int][]rune{}
+	var order []int
+	blank := func() []rune {
+		r := make([]rune, width)
+		for i := range r {
+			r[i] = '.'
+		}
+		return r
+	}
+	for _, sp := range spans {
+		if sp.Start >= until {
+			continue
+		}
+		if _, ok := rows[sp.TaskID]; !ok {
+			rows[sp.TaskID] = blank()
+			order = append(order, sp.TaskID)
+		}
+		lo := int(sp.Start * int64(width) / until)
+		hi := int((sp.End - 1) * int64(width) / until)
+		if end := sp.End; end > until {
+			hi = width - 1
+		}
+		for i := lo; i <= hi && i < width; i++ {
+			rows[sp.TaskID][i] = '#'
+		}
+	}
+	sort.Ints(order)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0%s%d\n", strings.Repeat(" ", width-len(fmt.Sprint(until))), until)
+	for _, id := range order {
+		name := fmt.Sprintf("task %d", id)
+		if t := sys.TaskByID(id); t != nil && t.Name != "" {
+			name = t.Name
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", name, string(rows[id]))
+	}
+	return b.String()
+}
+
+// Deployment renders the placement, priorities, response-time margins and
+// per-ECU utilization of an analyzed allocation.
+func Deployment(sys *model.System, a *model.Allocation, res *rta.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deployment (%d tasks on %d ECUs, %d messages over %d media)\n",
+		len(sys.Tasks), len(sys.ECUs), len(sys.Messages), len(sys.Media))
+
+	byECU := map[int][]*model.Task{}
+	for _, t := range sys.Tasks {
+		p := a.TaskECU[t.ID]
+		byECU[p] = append(byECU[p], t)
+	}
+	for _, e := range sys.ECUs {
+		tasks := byECU[e.ID]
+		if len(tasks) == 0 {
+			if !e.GatewayOnly {
+				fmt.Fprintf(&b, "  %-6s (idle)\n", e.Name)
+			}
+			continue
+		}
+		sort.Slice(tasks, func(i, j int) bool { return a.TaskPrio[tasks[i].ID] < a.TaskPrio[tasks[j].ID] })
+		fmt.Fprintf(&b, "  %-6s util %3d‰\n", e.Name, rta.ECUUtilizationMilli(sys, a, e.ID))
+		for _, t := range tasks {
+			r := res.TaskResponse[t.ID]
+			margin := "MISS"
+			if r != rta.Infeasible {
+				margin = fmt.Sprintf("%3d%% slack", 100-(100*(r+t.Jitter))/t.Deadline)
+			}
+			fmt.Fprintf(&b, "    prio %2d  %-8s T=%-4d D=%-4d w=%-4d %s\n",
+				a.TaskPrio[t.ID], t.Name, t.Period, t.Deadline, r, margin)
+		}
+	}
+	for _, med := range sys.Media {
+		loads := rta.MediumLoads(sys, a, med)
+		if len(loads) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  bus %-5s (%s) util %3d‰", med.Name, med.Kind, rta.BusUtilizationMilli(sys, a, med.ID))
+		if med.Kind == model.TokenRing {
+			fmt.Fprintf(&b, " Λ=%d", a.RoundLength(med))
+		}
+		fmt.Fprintln(&b)
+		for _, l := range loads {
+			fmt.Fprintf(&b, "    prio %2d  %-8s ρ=%-3d d^k=%-4d from ECU %d\n",
+				l.Prio, l.Msg.Name, l.Rho, l.LocalDeadline, l.SenderECU)
+		}
+	}
+	return b.String()
+}
+
+// Full renders the deployment summary followed by a Gantt timeline per
+// busy ECU (simulated over the hyper-window `until`).
+func Full(sys *model.System, a *model.Allocation, until int64, width int) string {
+	res := rta.Analyze(sys, a)
+	var b strings.Builder
+	b.WriteString(Deployment(sys, a, res))
+	for _, e := range sys.ECUs {
+		hasTask := false
+		for _, t := range sys.Tasks {
+			if a.TaskECU[t.ID] == e.ID {
+				hasTask = true
+				break
+			}
+		}
+		if !hasTask {
+			continue
+		}
+		_, spans := sim.TraceECU(sys, a, e.ID, until)
+		fmt.Fprintf(&b, "\nschedule on %s:\n%s", e.Name, Gantt(sys, spans, until, width))
+	}
+	return b.String()
+}

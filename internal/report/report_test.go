@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+	"satalloc/internal/sim"
+)
+
+func fixture() (*model.System, *model.Allocation) {
+	s := &model.System{
+		ECUs: []*model.ECU{{ID: 0, Name: "p0"}, {ID: 1, Name: "p1"}},
+		Media: []*model.Medium{{
+			ID: 0, Name: "ring", Kind: model.TokenRing, ECUs: []int{0, 1},
+			TimePerUnit: 1, SlotQuantum: 2, MaxSlots: 4,
+		}},
+	}
+	s.Tasks = []*model.Task{
+		{ID: 0, Name: "alpha", Period: 10, Deadline: 10, WCET: map[int]int64{0: 3}, Messages: []int{0}},
+		{ID: 1, Name: "beta", Period: 20, Deadline: 20, WCET: map[int]int64{0: 4}},
+		{ID: 2, Name: "gamma", Period: 20, Deadline: 20, WCET: map[int]int64{1: 5}},
+	}
+	s.Messages = []*model.Message{{ID: 0, Name: "m", From: 0, To: 2, Size: 1, Deadline: 10}}
+	a := model.NewAllocation()
+	a.TaskECU[0], a.TaskECU[1], a.TaskECU[2] = 0, 0, 1
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = model.Path{0}
+	a.MsgLocalDeadline[[2]int{0, 0}] = 10
+	a.SlotLen[[2]int{0, 0}] = 2
+	a.SlotLen[[2]int{0, 1}] = 2
+	return s, a
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	s, a := fixture()
+	_, spans := sim.TraceECU(s, a, 0, 20)
+	out := Gantt(s, spans, 20, 40)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("missing task rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no execution marks")
+	}
+	// alpha (higher priority) runs first: its row must start with '#'.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "alpha") {
+			bar := line[strings.Index(line, "|")+1:]
+			if bar[0] != '#' {
+				t.Fatalf("alpha must execute at t=0: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "beta") {
+			bar := line[strings.Index(line, "|")+1:]
+			if bar[0] != '.' {
+				t.Fatalf("beta is preempted at t=0: %q", line)
+			}
+		}
+	}
+}
+
+func TestGanttSpanMerging(t *testing.T) {
+	s, a := fixture()
+	_, spans := sim.TraceECU(s, a, 0, 40)
+	// Spans must be non-overlapping and time-ordered.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("overlapping spans %v %v", spans[i-1], spans[i])
+		}
+	}
+	// Total executed time in [0,20): alpha 2×3, beta 4 = 10.
+	var tot int64
+	for _, sp := range spans {
+		if sp.End <= 20 {
+			tot += sp.End - sp.Start
+		}
+	}
+	if tot != 10 {
+		t.Fatalf("executed %d ticks in [0,20), want 10", tot)
+	}
+}
+
+func TestDeploymentReport(t *testing.T) {
+	s, a := fixture()
+	res := rta.Analyze(s, a)
+	out := Deployment(s, a, res)
+	for _, want := range []string{"p0", "p1", "alpha", "beta", "gamma", "util", "ring", "Λ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISS") {
+		t.Fatalf("schedulable fixture reported a miss:\n%s", out)
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	s, a := fixture()
+	out := Full(s, a, 40, 60)
+	if !strings.Contains(out, "schedule on p0") || !strings.Contains(out, "schedule on p1") {
+		t.Fatalf("missing schedules:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	s, _ := fixture()
+	if Gantt(s, nil, 0, 10) != "" || Gantt(s, nil, 10, 0) != "" {
+		t.Fatal("degenerate dimensions must render empty")
+	}
+}

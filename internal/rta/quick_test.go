@@ -1,0 +1,147 @@
+package rta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"satalloc/internal/model"
+)
+
+// buildFromSeed deterministically builds a small single-ECU system from
+// quick-generated raw bytes.
+func buildFromSeed(wcets [4]uint8, periods [4]uint8) (*model.System, *model.Allocation) {
+	s := &model.System{ECUs: []*model.ECU{{ID: 0}}}
+	a := model.NewAllocation()
+	for i := 0; i < 4; i++ {
+		period := int64(periods[i]%40) + 10
+		c := int64(wcets[i]%5) + 1
+		s.Tasks = append(s.Tasks, &model.Task{
+			ID: i, Period: period, Deadline: period,
+			WCET: map[int]int64{0: c},
+		})
+		a.TaskECU[i] = 0
+		a.TaskPrio[i] = i
+	}
+	return s, a
+}
+
+// Property: increasing any task's WCET never decreases any response time
+// (monotonicity of the fixed point).
+func TestResponseMonotoneInWCETQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	err := quick.Check(func(wcets, periods [4]uint8, bump uint8) bool {
+		s, a := buildFromSeed(wcets, periods)
+		before := make([]int64, 4)
+		for i := range s.Tasks {
+			before[i] = TaskResponseTime(s, a, i)
+		}
+		victim := int(bump) % 4
+		s.Tasks[victim].WCET[0]++
+		for i := range s.Tasks {
+			after := TaskResponseTime(s, a, i)
+			if before[i] == Infeasible {
+				continue // was already infeasible; stays so or undefined
+			}
+			if after != Infeasible && after < before[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the highest-priority task's response is exactly its WCET plus
+// blocking, regardless of the rest of the system.
+func TestTopPriorityExactQuick(t *testing.T) {
+	err := quick.Check(func(wcets, periods [4]uint8, blocking uint8) bool {
+		s, a := buildFromSeed(wcets, periods)
+		b := int64(blocking % 4)
+		s.Tasks[0].Blocking = b
+		r := TaskResponseTime(s, a, 0)
+		want := s.Tasks[0].WCET[0] + b
+		if want > s.Tasks[0].Deadline {
+			return r == Infeasible
+		}
+		return r == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a higher-priority task never increases anyone's
+// response time.
+func TestResponseMonotoneInTaskSetQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(wcets, periods [4]uint8, drop uint8) bool {
+		s, a := buildFromSeed(wcets, periods)
+		before := make(map[int]int64)
+		for _, task := range s.Tasks {
+			before[task.ID] = TaskResponseTime(s, a, task.ID)
+		}
+		victim := int(drop) % 3 // drop one of the three highest
+		var kept []*model.Task
+		for i, task := range s.Tasks {
+			if i != victim {
+				kept = append(kept, task)
+			}
+		}
+		s.Tasks = kept
+		for _, task := range s.Tasks {
+			after := TaskResponseTime(s, a, task.ID)
+			b := before[task.ID]
+			if b == Infeasible {
+				continue
+			}
+			if after == Infeasible || after > b {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bus utilization is additive over messages and unaffected by
+// priorities.
+func TestBusUtilizationAdditiveQuick(t *testing.T) {
+	err := quick.Check(func(sizes [3]uint8, periods [3]uint8) bool {
+		s := &model.System{
+			ECUs: []*model.ECU{{ID: 0}, {ID: 1}},
+			Media: []*model.Medium{{
+				ID: 0, Kind: model.CAN, ECUs: []int{0, 1}, TimePerUnit: 2, FrameOverhead: 1,
+			}},
+		}
+		a := model.NewAllocation()
+		var want int64
+		for i := 0; i < 3; i++ {
+			period := int64(periods[i]%50) + 20
+			size := int64(sizes[i]%6) + 1
+			s.Tasks = append(s.Tasks, &model.Task{
+				ID: i, Period: period, Deadline: period,
+				WCET: map[int]int64{0: 1}, Messages: []int{i},
+			})
+			s.Tasks = append(s.Tasks, &model.Task{
+				ID: 100 + i, Period: period, Deadline: period, WCET: map[int]int64{1: 1},
+			})
+			s.Messages = append(s.Messages, &model.Message{
+				ID: i, From: i, To: 100 + i, Size: size, Deadline: period,
+			})
+			a.TaskECU[i] = 0
+			a.TaskECU[100+i] = 1
+			a.Route[i] = model.Path{0}
+			a.MsgLocalDeadline[[2]int{i, 0}] = period
+			want += 1000 * s.Media[0].Rho(size) / period
+		}
+		a.AssignDeadlineMonotonic(s)
+		return BusUtilizationMilli(s, a, 0) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package rta implements the schedulability analyses of §2 of Metzner et
+// al. (IPDPS 2006): worst-case response times of tasks under preemptive
+// fixed-priority scheduling (the classic recurrence, eq. 1), of messages on
+// priority-arbitrated buses such as CAN (eq. 2), and of messages on
+// TDMA-arbitrated buses such as the token ring, with the extra
+// blocking term for waiting out foreign slots (eq. 3). For hierarchical
+// routes it applies the per-medium local deadlines and the inherited jitter
+// of §4.
+//
+// The analyzer is deliberately the mirror image of the SAT encoding in
+// package encode: any allocation the optimizer emits must pass Analyze,
+// which the integration tests enforce.
+package rta
+
+import (
+	"fmt"
+	"sort"
+
+	"satalloc/internal/model"
+)
+
+// Infeasible is returned as a response time when the fixed-point iteration
+// exceeds the deadline (the iteration is then cut off, per the paper).
+const Infeasible = int64(-1)
+
+// Result collects the outcome of a full-system analysis.
+type Result struct {
+	// TaskResponse maps task ID → worst-case response time, or Infeasible.
+	TaskResponse map[int]int64
+	// MsgResponse maps [message ID, medium ID] → worst-case response time
+	// of the message on that medium (for used media only).
+	MsgResponse map[[2]int]int64
+	// MsgEndToEnd maps message ID → the guaranteed end-to-end bound
+	// (Σ local deadlines + gateway service costs), or Infeasible.
+	MsgEndToEnd map[int]int64
+	// Violations lists human-readable reasons for unschedulability.
+	Violations []string
+	// Schedulable is true when every task and message meets its deadline.
+	Schedulable bool
+}
+
+func (r *Result) addViolation(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	r.Schedulable = false
+}
+
+// TaskResponseTime solves eq. (1), extended with the release jitter and
+// blocking factors the paper's §2 mentions: the smallest fixed point of
+//
+//	w = B_i + c_i(p) + Σ_{j ∈ hp(i)} ⌈(w + J_j)/t_j⌉ · c_j(p)
+//
+// over the tasks co-located with task i that have higher priority. The
+// returned value is w, the worst-case delay from the (possibly jittered)
+// activation; the deadline test is w + J_i ≤ d_i, which Analyze applies.
+// It returns Infeasible if the iteration exceeds d_i − J_i.
+func TaskResponseTime(s *model.System, a *model.Allocation, taskID int) int64 {
+	task := s.TaskByID(taskID)
+	p := a.TaskECU[taskID]
+	c := task.WCET[p] + task.Blocking
+	cap := task.Deadline - task.Jitter
+	type hpEntry struct{ period, wcet, jitter int64 }
+	var hp []hpEntry
+	for _, other := range s.Tasks {
+		if other.ID == taskID || a.TaskECU[other.ID] != p {
+			continue
+		}
+		if a.TaskPrio[other.ID] < a.TaskPrio[taskID] {
+			hp = append(hp, hpEntry{other.Period, other.WCET[p], other.Jitter})
+		}
+	}
+	r := c
+	for {
+		next := c
+		for _, h := range hp {
+			next += ceilDiv(r+h.jitter, h.period) * h.wcet
+		}
+		if next > cap {
+			return Infeasible
+		}
+		if next == r {
+			return r
+		}
+		r = next
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// MediumLoad describes one message crossing a medium, with its per-medium
+// parameters resolved under an allocation. It is shared by the analyzer and
+// the discrete-event simulator.
+type MediumLoad struct {
+	Msg           *model.Message
+	SenderECU     int   // ECU the message is sent from on this medium
+	Period        int64 // inherited from the sending task
+	Rho           int64 // transmission time on this medium
+	Jitter        int64 // inherited per §4 along the route
+	Prio          int
+	LocalDeadline int64 // local deadline d^k_m on this medium
+}
+
+// MediumLoads gathers every message whose route crosses medium m, sorted by
+// descending priority (ascending rank).
+func MediumLoads(s *model.System, a *model.Allocation, m *model.Medium) []MediumLoad {
+	var out []MediumLoad
+	for _, msg := range s.Messages {
+		route := a.Route[msg.ID]
+		pos := -1
+		for i, k := range route {
+			if k == m.ID {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		sender := s.TaskByID(msg.From)
+		// The "sending ECU" on medium k_i of the route is the original
+		// sender for i = 0, else the gateway between k_{i-1} and k_i.
+		sp := a.TaskECU[msg.From]
+		if pos > 0 {
+			sp = s.GatewayBetween(route[pos-1], route[pos])
+		}
+		out = append(out, MediumLoad{
+			Msg:           msg,
+			SenderECU:     sp,
+			Period:        sender.Period,
+			Rho:           m.Rho(msg.Size),
+			Jitter:        HopJitter(s, a, msg.ID, pos),
+			Prio:          a.MsgPrio[msg.ID],
+			LocalDeadline: a.MsgLocalDeadline[[2]int{msg.ID, m.ID}],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prio < out[j].Prio })
+	return out
+}
+
+// HopJitter implements the jitter formula of §4 for hop number pos
+// (0-based) of the message's route:
+//
+//	J^k_m = J_m + Σ_{j<pos} ( d^{k_j}_m − β^{k_j}(m) )
+//
+// where J_m is the release jitter inherited from the sending task, d are
+// the local deadlines, and β is the best-case transmission time on the
+// earlier medium (the raw ρ, with no queueing).
+func HopJitter(s *model.System, a *model.Allocation, msgID, pos int) int64 {
+	msg := s.MessageByID(msgID)
+	j := s.TaskByID(msg.From).Jitter
+	route := a.Route[msgID]
+	for i := 0; i < pos; i++ {
+		med := s.MediumByID(route[i])
+		d := a.MsgLocalDeadline[[2]int{msgID, route[i]}]
+		j += d - med.Rho(msg.Size)
+	}
+	return j
+}
+
+// MessageResponseTime computes the worst-case response time of message
+// msgID on medium medID under the allocation, following eq. (2) for
+// priority buses and eq. (3) for TDMA buses. deadlineCap bounds the
+// iteration. Interference is jitter-aware per §4/[2]:
+//
+//	I = Σ_{m_j ∈ hp(m)} ⌈(r + J_j)/t_j⌉ · ρ_j
+//
+// On a priority bus hp(m) is every higher-priority message on the medium;
+// on a TDMA bus only messages queued at the same sending ECU compete (other
+// stations own different slots), and the blocking term
+// ⌈r/Λ⌉·(Λ − λ(S(Π(τ_i)))) accounts for waiting out foreign slots.
+func MessageResponseTime(s *model.System, a *model.Allocation, msgID, medID int, deadlineCap int64) int64 {
+	m := s.MediumByID(medID)
+	loads := MediumLoads(s, a, m)
+	var self *MediumLoad
+	var hp []MediumLoad
+	for i := range loads {
+		if loads[i].Msg.ID == msgID {
+			self = &loads[i]
+			break
+		}
+	}
+	if self == nil {
+		return Infeasible
+	}
+	for i := range loads {
+		if loads[i].Msg.ID == msgID {
+			continue
+		}
+		if loads[i].Prio >= self.Prio {
+			continue
+		}
+		if m.Kind == model.TokenRing && loads[i].SenderECU != self.SenderECU {
+			continue // foreign stations interfere via the blocking term
+		}
+		hp = append(hp, loads[i])
+	}
+
+	var lambda, roundLen int64
+	if m.Kind == model.TokenRing {
+		roundLen = a.RoundLength(m)
+		lambda = a.SlotLen[[2]int{m.ID, self.SenderECU}]
+		if lambda <= 0 || roundLen <= 0 {
+			return Infeasible
+		}
+		if self.Rho > lambda {
+			return Infeasible // the frame does not fit the sender's slot
+		}
+	}
+
+	r := self.Rho
+	for {
+		next := self.Rho
+		for _, h := range hp {
+			next += ceilDiv(r+h.Jitter, h.Period) * h.Rho
+		}
+		if m.Kind == model.TokenRing {
+			next += ceilDiv(r, roundLen) * (roundLen - lambda)
+		}
+		if next > deadlineCap {
+			return Infeasible
+		}
+		if next == r {
+			return r
+		}
+		r = next
+	}
+}
+
+// Analyze checks the whole system under the allocation: every task and,
+// per used medium, every message hop, plus the end-to-end deadline
+// decomposition Σ_k d^k_m + serv_m ≤ Δ_m of §4.
+func Analyze(s *model.System, a *model.Allocation) *Result {
+	res := &Result{
+		TaskResponse: map[int]int64{},
+		MsgResponse:  map[[2]int]int64{},
+		MsgEndToEnd:  map[int]int64{},
+		Schedulable:  true,
+	}
+	if err := a.CheckStructure(s); err != nil {
+		res.addViolation("structure: %v", err)
+		return res
+	}
+	for _, t := range s.Tasks {
+		r := TaskResponseTime(s, a, t.ID)
+		res.TaskResponse[t.ID] = r
+		if r == Infeasible {
+			res.addViolation("task %s misses its deadline on ECU %d", t.Name, a.TaskECU[t.ID])
+		}
+	}
+	// Memory capacities.
+	for _, e := range s.ECUs {
+		if e.MemCapacity <= 0 {
+			continue
+		}
+		var used int64
+		for _, t := range s.Tasks {
+			if a.TaskECU[t.ID] == e.ID {
+				used += t.MemSize
+			}
+		}
+		if used > e.MemCapacity {
+			res.addViolation("ECU %s memory overcommitted: %d > %d", e.Name, used, e.MemCapacity)
+		}
+	}
+	for _, msg := range s.Messages {
+		route := a.Route[msg.ID]
+		if len(route) == 0 {
+			res.MsgEndToEnd[msg.ID] = 0 // delivered locally
+			continue
+		}
+		var sumLocal int64
+		ok := true
+		for _, k := range route {
+			d := a.MsgLocalDeadline[[2]int{msg.ID, k}]
+			if d <= 0 {
+				res.addViolation("message %s has no local deadline on medium %d", msg.Name, k)
+				ok = false
+				continue
+			}
+			r := MessageResponseTime(s, a, msg.ID, k, d)
+			res.MsgResponse[[2]int{msg.ID, k}] = r
+			if r == Infeasible {
+				res.addViolation("message %s misses local deadline %d on medium %d", msg.Name, d, k)
+				ok = false
+			}
+			sumLocal += d
+		}
+		serv := s.PathServiceCost(route)
+		e2e := sumLocal + serv
+		res.MsgEndToEnd[msg.ID] = e2e
+		if ok && e2e > msg.Deadline {
+			res.addViolation("message %s end-to-end bound %d exceeds Δ=%d", msg.Name, e2e, msg.Deadline)
+		}
+	}
+	// A token-ring slot must fit every frame its station transmits; this is
+	// re-checked here so infeasible slot sizings surface even for messages
+	// whose response-time iteration was never reached.
+	for _, m := range s.Media {
+		if m.Kind != model.TokenRing {
+			continue
+		}
+		for _, l := range MediumLoads(s, a, m) {
+			if lam := a.SlotLen[[2]int{m.ID, l.SenderECU}]; l.Rho > lam {
+				res.addViolation("slot of ECU %d on medium %s (%d) cannot fit frame of %s (ρ=%d)",
+					l.SenderECU, m.Name, lam, l.Msg.Name, l.Rho)
+			}
+		}
+	}
+	return res
+}
+
+// ECUUtilizationMilli returns the CPU utilization of ECU p under the
+// allocation, in thousandths (‰).
+func ECUUtilizationMilli(s *model.System, a *model.Allocation, p int) int64 {
+	var u int64
+	for _, t := range s.Tasks {
+		if a.TaskECU[t.ID] == p {
+			u += 1000 * t.WCET[p] / t.Period
+		}
+	}
+	return u
+}
+
+// BusUtilizationMilli returns the utilization of a medium in thousandths:
+// Σ ρ_m / t_m over the messages routed across it — the U_CAN objective of
+// Table 1.
+func BusUtilizationMilli(s *model.System, a *model.Allocation, medID int) int64 {
+	m := s.MediumByID(medID)
+	var u int64
+	for _, l := range MediumLoads(s, a, m) {
+		u += 1000 * l.Rho / l.Period
+	}
+	return u
+}
+
+// SumTokenRotation returns Σ_media TRT over all token-ring media — the
+// objective of Table 4.
+func SumTokenRotation(s *model.System, a *model.Allocation) int64 {
+	var sum int64
+	for _, m := range s.Media {
+		if m.Kind == model.TokenRing {
+			sum += a.RoundLength(m)
+		}
+	}
+	return sum
+}

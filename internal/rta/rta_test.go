@@ -1,0 +1,265 @@
+package rta
+
+import (
+	"testing"
+
+	"satalloc/internal/model"
+)
+
+// singleECU builds a one-ECU system with the given (wcet, period) pairs,
+// deadlines equal to periods, priorities rate-monotonic by order.
+func singleECU(params ...[2]int64) (*model.System, *model.Allocation) {
+	s := &model.System{ECUs: []*model.ECU{{ID: 0, Name: "p0"}}}
+	a := model.NewAllocation()
+	for i, pr := range params {
+		s.Tasks = append(s.Tasks, &model.Task{
+			ID: i, Name: "t" + string(rune('0'+i)),
+			Period: pr[1], Deadline: pr[1],
+			WCET: map[int]int64{0: pr[0]},
+		})
+		a.TaskECU[i] = 0
+		a.TaskPrio[i] = i
+	}
+	return s, a
+}
+
+func TestClassicResponseTimes(t *testing.T) {
+	// The textbook example: C=(3,3,5), T=(7,12,20) → R=(3,6,20).
+	s, a := singleECU([2]int64{3, 7}, [2]int64{3, 12}, [2]int64{5, 20})
+	want := []int64{3, 6, 20}
+	for i, w := range want {
+		if got := TaskResponseTime(s, a, i); got != w {
+			t.Errorf("R%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestOverloadInfeasible(t *testing.T) {
+	// Utilization > 1 on one ECU: the lowest-priority task must fail.
+	s, a := singleECU([2]int64{5, 10}, [2]int64{5, 10}, [2]int64{2, 10})
+	if got := TaskResponseTime(s, a, 2); got != Infeasible {
+		t.Fatalf("R2 = %d, want Infeasible", got)
+	}
+}
+
+func TestHighestPriorityIsWCET(t *testing.T) {
+	s, a := singleECU([2]int64{4, 50}, [2]int64{9, 60})
+	if got := TaskResponseTime(s, a, 0); got != 4 {
+		t.Fatalf("R0 = %d, want its WCET", got)
+	}
+	if got := TaskResponseTime(s, a, 1); got != 13 {
+		t.Fatalf("R1 = %d, want 13", got)
+	}
+}
+
+func TestTasksOnDifferentECUsDoNotInterfere(t *testing.T) {
+	s, a := singleECU([2]int64{5, 10}, [2]int64{5, 10})
+	s.ECUs = append(s.ECUs, &model.ECU{ID: 1, Name: "p1"})
+	s.Tasks[1].WCET[1] = 5
+	a.TaskECU[1] = 1
+	if got := TaskResponseTime(s, a, 1); got != 5 {
+		t.Fatalf("R1 = %d, want 5 (alone on its ECU)", got)
+	}
+}
+
+// busSystem builds two ECUs joined by one medium, two tasks exchanging
+// messages, used by the message-analysis tests.
+func busSystem(kind model.MediumKind) (*model.System, *model.Allocation) {
+	s := &model.System{
+		ECUs: []*model.ECU{{ID: 0, Name: "p0"}, {ID: 1, Name: "p1"}},
+		Media: []*model.Medium{{
+			ID: 0, Name: "bus", Kind: kind, ECUs: []int{0, 1},
+			TimePerUnit: 1, SlotQuantum: 1, MaxSlots: 50,
+		}},
+	}
+	s.Tasks = []*model.Task{
+		{ID: 0, Name: "snd0", Period: 100, Deadline: 100, WCET: map[int]int64{0: 1, 1: 1}, Messages: []int{0}},
+		{ID: 1, Name: "snd1", Period: 50, Deadline: 50, WCET: map[int]int64{0: 1, 1: 1}, Messages: []int{1}},
+		{ID: 2, Name: "rcv", Period: 100, Deadline: 100, WCET: map[int]int64{0: 1, 1: 1}},
+	}
+	s.Messages = []*model.Message{
+		{ID: 0, Name: "m0", From: 0, To: 2, Size: 4, Deadline: 60},
+		{ID: 1, Name: "m1", From: 1, To: 2, Size: 2, Deadline: 30},
+	}
+	a := model.NewAllocation()
+	a.TaskECU[0] = 0
+	a.TaskECU[1] = 0
+	a.TaskECU[2] = 1
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = model.Path{0}
+	a.Route[1] = model.Path{0}
+	a.MsgLocalDeadline[[2]int{0, 0}] = 60
+	a.MsgLocalDeadline[[2]int{1, 0}] = 30
+	return s, a
+}
+
+func TestPriorityBusMessageRTA(t *testing.T) {
+	s, a := busSystem(model.CAN)
+	// m1 (deadline 30) outranks m0. ρ0=4, ρ1=2.
+	// r(m1) = 2 (highest priority). r(m0) = 4 + ⌈r/50⌉·2 → 6.
+	if r := MessageResponseTime(s, a, 1, 0, 30); r != 2 {
+		t.Errorf("r(m1) = %d, want 2", r)
+	}
+	if r := MessageResponseTime(s, a, 0, 0, 60); r != 6 {
+		t.Errorf("r(m0) = %d, want 6", r)
+	}
+}
+
+func TestTokenRingMessageRTA(t *testing.T) {
+	s, a := busSystem(model.TokenRing)
+	// Slots: ECU0 gets 5, ECU1 gets 3 → Λ = 8.
+	a.SlotLen[[2]int{0, 0}] = 5
+	a.SlotLen[[2]int{0, 1}] = 3
+	// m1: ρ=2, blocking ⌈r/8⌉·(8-5): r0=2 → 2+3=5 → 2+3=5. r=5.
+	if r := MessageResponseTime(s, a, 1, 0, 30); r != 5 {
+		t.Errorf("r(m1) = %d, want 5", r)
+	}
+	// m0: ρ=4, interference from m1 (same station, higher prio):
+	// r = 4 + ⌈r/50⌉·2 + ⌈r/8⌉·3 → r0=4: 4+2+3=9 → 4+2+6=12 → 12 → r=12.
+	if r := MessageResponseTime(s, a, 0, 0, 60); r != 12 {
+		t.Errorf("r(m0) = %d, want 12", r)
+	}
+}
+
+func TestTokenRingFrameMustFitSlot(t *testing.T) {
+	s, a := busSystem(model.TokenRing)
+	a.SlotLen[[2]int{0, 0}] = 3 // ρ(m0)=4 > 3
+	a.SlotLen[[2]int{0, 1}] = 3
+	if r := MessageResponseTime(s, a, 0, 0, 60); r != Infeasible {
+		t.Fatalf("r = %d, want Infeasible for oversized frame", r)
+	}
+}
+
+func TestTokenRingNeedsSlot(t *testing.T) {
+	s, a := busSystem(model.TokenRing)
+	a.SlotLen[[2]int{0, 1}] = 3 // sender ECU 0 has no slot
+	if r := MessageResponseTime(s, a, 0, 0, 60); r != Infeasible {
+		t.Fatalf("r = %d, want Infeasible without sender slot", r)
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	s, a := busSystem(model.CAN)
+	res := Analyze(s, a)
+	if !res.Schedulable {
+		t.Fatalf("expected schedulable, violations: %v", res.Violations)
+	}
+	if res.MsgEndToEnd[0] != 60 || res.MsgEndToEnd[1] != 30 {
+		t.Fatalf("end-to-end bounds %v", res.MsgEndToEnd)
+	}
+}
+
+func TestAnalyzeFlagsMissingLocalDeadline(t *testing.T) {
+	s, a := busSystem(model.CAN)
+	delete(a.MsgLocalDeadline, [2]int{0, 0})
+	res := Analyze(s, a)
+	if res.Schedulable {
+		t.Fatal("missing local deadline must be flagged")
+	}
+}
+
+func TestAnalyzeFlagsE2EOverrun(t *testing.T) {
+	s, a := busSystem(model.CAN)
+	a.MsgLocalDeadline[[2]int{0, 0}] = 70 // > Δ=60
+	res := Analyze(s, a)
+	if res.Schedulable {
+		t.Fatal("local deadline sum beyond Δ must be flagged")
+	}
+}
+
+func TestGatewayServiceCostCounted(t *testing.T) {
+	// Three ECUs, two media joined at a gateway with service cost.
+	s := &model.System{
+		ECUs: []*model.ECU{
+			{ID: 0, Name: "p0"}, {ID: 1, Name: "gw", ServiceCost: 7}, {ID: 2, Name: "p2"},
+		},
+		Media: []*model.Medium{
+			{ID: 0, Name: "k0", Kind: model.CAN, ECUs: []int{0, 1}, TimePerUnit: 1},
+			{ID: 1, Name: "k1", Kind: model.CAN, ECUs: []int{1, 2}, TimePerUnit: 1},
+		},
+	}
+	s.Tasks = []*model.Task{
+		{ID: 0, Name: "snd", Period: 100, Deadline: 100, WCET: map[int]int64{0: 1}, Messages: []int{0}},
+		{ID: 1, Name: "rcv", Period: 100, Deadline: 100, WCET: map[int]int64{2: 1}},
+	}
+	s.Messages = []*model.Message{{ID: 0, Name: "m", From: 0, To: 1, Size: 3, Deadline: 40}}
+	a := model.NewAllocation()
+	a.TaskECU[0] = 0
+	a.TaskECU[1] = 2
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = model.Path{0, 1}
+	a.MsgLocalDeadline[[2]int{0, 0}] = 15
+	a.MsgLocalDeadline[[2]int{0, 1}] = 15
+	res := Analyze(s, a)
+	if !res.Schedulable {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.MsgEndToEnd[0] != 37 { // 15 + 15 + 7
+		t.Fatalf("end-to-end = %d, want 37", res.MsgEndToEnd[0])
+	}
+	// Shrinking Δ below 37 must fail.
+	s.Messages[0].Deadline = 36
+	if Analyze(s, a).Schedulable {
+		t.Fatal("Δ=36 must be infeasible")
+	}
+}
+
+func TestHopJitterPropagation(t *testing.T) {
+	s := &model.System{
+		ECUs: []*model.ECU{{ID: 0}, {ID: 1}, {ID: 2}},
+		Media: []*model.Medium{
+			{ID: 0, Name: "k0", Kind: model.CAN, ECUs: []int{0, 1}, TimePerUnit: 2},
+			{ID: 1, Name: "k1", Kind: model.CAN, ECUs: []int{1, 2}, TimePerUnit: 2},
+		},
+	}
+	s.Tasks = []*model.Task{
+		{ID: 0, Period: 100, Deadline: 100, WCET: map[int]int64{0: 1}, Messages: []int{0}, Jitter: 3},
+		{ID: 1, Period: 100, Deadline: 100, WCET: map[int]int64{2: 1}},
+	}
+	s.Messages = []*model.Message{{ID: 0, From: 0, To: 1, Size: 5, Deadline: 80}}
+	a := model.NewAllocation()
+	a.TaskECU[0] = 0
+	a.TaskECU[1] = 2
+	a.Route[0] = model.Path{0, 1}
+	a.MsgLocalDeadline[[2]int{0, 0}] = 25
+	a.MsgLocalDeadline[[2]int{0, 1}] = 25
+	// ρ = 5·2 = 10 on both media; β = ρ.
+	if j := HopJitter(s, a, 0, 0); j != 3 {
+		t.Fatalf("hop-0 jitter = %d, want release jitter 3", j)
+	}
+	if j := HopJitter(s, a, 0, 1); j != 3+(25-10) {
+		t.Fatalf("hop-1 jitter = %d, want 18", j)
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	s, a := busSystem(model.CAN)
+	// ECU0 hosts tasks 0 and 1: 1/100 + 1/50 = 30‰.
+	if u := ECUUtilizationMilli(s, a, 0); u != 30 {
+		t.Fatalf("ECU util = %d‰, want 30", u)
+	}
+	// Bus: ρ0/t0 + ρ1/t1 = 4/100 + 2/50 = 80‰.
+	if u := BusUtilizationMilli(s, a, 0); u != 80 {
+		t.Fatalf("bus util = %d‰, want 80", u)
+	}
+}
+
+func TestSumTokenRotation(t *testing.T) {
+	s, a := busSystem(model.TokenRing)
+	a.SlotLen[[2]int{0, 0}] = 5
+	a.SlotLen[[2]int{0, 1}] = 3
+	if got := SumTokenRotation(s, a); got != 8 {
+		t.Fatalf("ΣTRT = %d, want 8", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0}, {-3, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {10, 3, 4},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

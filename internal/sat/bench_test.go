@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// addPigeonhole loads PHP(n+1, n) — UNSAT, learning-heavy.
+func addPigeonhole(s *Solver, n int) {
+	x := make([][]Var, n+1)
+	for p := range x {
+		x[p] = make([]Var, n)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(x[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(x[p1][h]), NegLit(x[p2][h]))
+			}
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		addPigeonhole(s, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP must be unsat")
+		}
+		b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
+	}
+}
+
+// BenchmarkRandom3SAT solves satisfiable-ish random 3-SAT at ratio 4.0
+// (below the phase transition).
+func BenchmarkRandom3SAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := New()
+		const n = 150
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = s.NewVar()
+		}
+		for c := 0; c < 4*n; c++ {
+			var lits [3]Lit
+			for k := range lits {
+				lits[k] = MkLit(vars[rng.Intn(n)], rng.Intn(2) == 0)
+			}
+			s.AddClause(lits[:]...)
+		}
+		s.Solve()
+		b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
+	}
+}
+
+// BenchmarkPBKnapsack solves a PB feasibility version of a knapsack: pick
+// items with Σw ≤ cap and Σv ≥ target.
+func BenchmarkPBKnapsack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(7))
+		s := New()
+		const n = 60
+		var wTerms, vTerms []PBTerm
+		var wSum, vSum int64
+		for j := 0; j < n; j++ {
+			v := s.NewVar()
+			w := int64(1 + rng.Intn(20))
+			val := int64(1 + rng.Intn(20))
+			wTerms = append(wTerms, PBTerm{Coef: -w, Lit: PosLit(v)})
+			vTerms = append(vTerms, PBTerm{Coef: val, Lit: PosLit(v)})
+			wSum += w
+			vSum += val
+		}
+		s.AddPB(wTerms, -wSum/2) // Σw ≤ wSum/2
+		s.AddPB(vTerms, vSum*2/3)
+		s.Solve()
+		b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures assumption-based re-solving
+// (the workhorse of the binary search).
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := New()
+	const n = 120
+	vars := make([]Var, n)
+	for j := range vars {
+		vars[j] = s.NewVar()
+	}
+	for c := 0; c < 4*n; c++ {
+		var lits [3]Lit
+		for k := range lits {
+			lits[k] = MkLit(vars[rng.Intn(n)], rng.Intn(2) == 0)
+		}
+		s.AddClause(lits[:]...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := MkLit(vars[i%n], i%2 == 0)
+		s.Solve(a)
+	}
+}

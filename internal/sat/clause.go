@@ -1,0 +1,43 @@
+package sat
+
+// clause is a disjunction of literals. The first two literals are the
+// watched ones; the solver maintains the invariant that a watched literal is
+// either unassigned, true, or — if false — every other literal is false too
+// (conflict) or the other watch is true/propagated.
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int  // literal block distance at learning time
+	learnt   bool // learnt clauses may be garbage-collected
+}
+
+// reason is anything that can justify a propagated literal or a conflict
+// during conflict analysis. Clauses and PB constraints both implement it.
+type reason interface {
+	// explain appends to out an implied clause that contains lit (the
+	// propagated literal) and whose remaining literals were all false when
+	// lit was assigned at trail position pos. For a conflict explanation,
+	// lit is LitUndef and the returned clause is falsified by the current
+	// assignment.
+	explain(s *Solver, lit Lit, pos int, out []Lit) []Lit
+}
+
+func (c *clause) explain(s *Solver, lit Lit, pos int, out []Lit) []Lit {
+	for _, l := range c.lits {
+		if l != lit {
+			out = append(out, l)
+		}
+	}
+	if lit != LitUndef {
+		out = append(out, lit)
+	}
+	return out
+}
+
+// watcher is an entry in a literal's watch list. blocker is a cached literal
+// of the clause: if the blocker is already true the clause is satisfied and
+// the watch needs no work.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}

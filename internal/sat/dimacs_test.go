@@ -1,0 +1,187 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSimple(t *testing.T) {
+	in := `c simple instance
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s, n, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("declared %d vars", n)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n2 0\n"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Stats.NumClauses != 1 {
+		t.Fatalf("clauses = %d", s.Stats.NumClauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, in := range []string{
+		"p cnf x 3\n",
+		"p dnf 2 2\n",
+		"p cnf 2 1\n1 foo 0\n",
+	} {
+		if _, _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		s1 := New()
+		n := 3 + rng.Intn(6)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s1.NewVar()
+		}
+		for i, m := 0, 2+rng.Intn(10); i < m; i++ {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, k)
+			for j := range c {
+				c[j] = MkLit(vars[rng.Intn(n)], rng.Intn(2) == 0)
+			}
+			s1.AddClause(c...)
+		}
+		var buf bytes.Buffer
+		if err := s1.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (s1.Solve() == Sat) != (s2.Solve() == Sat) {
+			t.Fatalf("iter %d: satisfiability changed through round trip\n%s", iter, buf.String())
+		}
+	}
+}
+
+func TestParseOPB(t *testing.T) {
+	in := `* a small PB instance
++2 x1 +3 x2 +1 x3 >= 4 ;
++1 x1 +1 x2 <= 1 ;
+`
+	s, obj, err := ParseOPB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != nil {
+		t.Fatal("no objective expected")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	// 2a+3b+c ≥ 4 with a+b ≤ 1: b=1,c=1 works; a=1,b=1 forbidden.
+	a, b := s.Model(Var(1)), s.Model(Var(2))
+	if a && b {
+		t.Fatal("model violates ≤ constraint")
+	}
+}
+
+func TestParseOPBEquality(t *testing.T) {
+	in := "+1 x1 +1 x2 = 1 ;\n"
+	s, _, err := ParseOPB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Model(Var(1)) == s.Model(Var(2)) {
+		t.Fatal("exactly-one violated")
+	}
+}
+
+func TestParseOPBObjectiveAndNegatedLiterals(t *testing.T) {
+	in := `min: +1 x1 +1 x2 ;
++1 x1 +1 ~x2 >= 1 ;
+`
+	s, obj, err := ParseOPB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj) != 2 {
+		t.Fatalf("objective has %d terms", len(obj))
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestParseOPBErrors(t *testing.T) {
+	for _, in := range []string{
+		"+1 y1 >= 1 ;\n",
+		"+1 x1 1 ;\n",
+		"+x x1 >= 1 ;\n",
+	} {
+		if _, _, err := ParseOPB(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestOPBRoundTrip(t *testing.T) {
+	s1 := New()
+	a, b, c := s1.NewVar(), s1.NewVar(), s1.NewVar()
+	s1.AddClause(PosLit(a), NegLit(b))
+	s1.AddPB([]PBTerm{{2, PosLit(a)}, {3, PosLit(b)}, {1, NegLit(c)}}, 3)
+	var buf bytes.Buffer
+	if err := s1.WriteOPB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := ParseOPB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if (s1.Solve() == Sat) != (s2.Solve() == Sat) {
+		t.Fatal("satisfiability changed through OPB round trip")
+	}
+}
+
+func TestWriteDIMACSRejectsPB(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddPB([]PBTerm{{2, PosLit(a)}, {1, PosLit(b)}}, 2)
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err == nil {
+		t.Fatal("PB formula must not serialize as CNF")
+	}
+}

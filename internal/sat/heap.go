@@ -1,0 +1,98 @@
+package sat
+
+// varHeap is an indexed binary max-heap over variable activities, used for
+// VSIDS-style decision ordering. indices[v] is the heap position of v, or -1
+// when v is not in the heap.
+type varHeap struct {
+	heap     []Var
+	indices  []int32 // indexed by Var
+	activity *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{activity: act}
+}
+
+func (h *varHeap) grow(v Var) {
+	for int(v) >= len(h.indices) {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) percolateUp(i int32) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 1
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int32) {
+	v := h.heap[i]
+	n := int32(len(h.heap))
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) push(v Var) {
+	h.grow(v)
+	if h.contains(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap) - 1)
+	h.percolateUp(h.indices[v])
+}
+
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0)
+	}
+	return v
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+// decreased restores heap order after v's activity increased (it can only
+// move toward the root in a max-heap).
+func (h *varHeap) decreased(v Var) {
+	if h.contains(v) {
+		h.percolateUp(h.indices[v])
+	}
+}

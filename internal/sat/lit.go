@@ -1,0 +1,93 @@
+// Package sat implements a conflict-driven clause-learning (CDCL)
+// satisfiability solver with native pseudo-Boolean (PB) constraint support.
+//
+// It is the propositional engine of the allocator, standing in for the
+// GOBLIN pseudo-Boolean solver used by Metzner et al. (IPDPS 2006): it
+// decides Boolean combinations of clauses and linear PB constraints over
+// Boolean literals and, on success, exposes a satisfying assignment. The
+// solver supports solving under assumptions, which the binary-search
+// optimizer uses to retain learned clauses across cost-window refinements.
+package sat
+
+import "fmt"
+
+// Var identifies a Boolean variable. Valid variables are ≥ 1; variable 0 is
+// reserved as "undefined".
+type Var int32
+
+// Lit is a literal: a variable or its negation. The encoding is
+// lit = 2*var for the positive literal and 2*var+1 for the negation, which
+// makes negation a single XOR and array indexing by literal cheap.
+type Lit int32
+
+// LitUndef is the zero value for Lit and never denotes a real literal.
+const LitUndef Lit = 0
+
+// VarUndef is the zero value for Var.
+const VarUndef Var = 0
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// MkLit returns the literal of v with the given sign; sign true means
+// negated.
+func MkLit(v Var, sign bool) Lit {
+	if sign {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Sign reports whether l is a negated literal.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS-like form, e.g. "3" or "-3".
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+// LBool is a three-valued Boolean: true, false, or undefined.
+type LBool int8
+
+// The three truth values.
+const (
+	LUndef LBool = iota
+	LTrue
+	LFalse
+)
+
+// Not returns the complement truth value; LUndef is its own complement.
+func (b LBool) Not() LBool {
+	switch b {
+	case LTrue:
+		return LFalse
+	case LFalse:
+		return LTrue
+	}
+	return LUndef
+}
+
+func (b LBool) String() string {
+	switch b {
+	case LTrue:
+		return "true"
+	case LFalse:
+		return "false"
+	}
+	return "undef"
+}

@@ -1,0 +1,125 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PBTerm is one weighted literal of a pseudo-Boolean constraint.
+type PBTerm struct {
+	Coef int64
+	Lit  Lit
+}
+
+// pbConstraint is a normalized pseudo-Boolean constraint
+//
+//	Σ coef_i · lit_i ≥ bound
+//
+// with every coef_i > 0. The solver uses counter-based propagation: slack is
+// the sum of coefficients of non-false literals minus the bound. slack < 0
+// means the constraint is violated; any unassigned literal whose coefficient
+// exceeds slack must be set true.
+//
+// Literals are kept sorted by descending coefficient so propagation can stop
+// scanning as soon as coefficients drop to ≤ slack.
+type pbConstraint struct {
+	terms []PBTerm
+	bound int64
+	slack int64 // maintained incrementally under assignment
+}
+
+func (c *pbConstraint) explain(s *Solver, lit Lit, pos int, out []Lit) []Lit {
+	// The implied clause is (lit ∨ ⋁ l_i) over the literals l_i of the
+	// constraint that were false when lit was propagated: if all of them
+	// stay false and lit is false too, the constraint cannot reach its
+	// bound. For conflicts (lit == LitUndef) every currently false literal
+	// participates.
+	for _, t := range c.terms {
+		if t.Lit == lit {
+			continue
+		}
+		if s.litValue(t.Lit) == LFalse && (lit == LitUndef || int(s.pos[t.Lit.Var()]) < pos) {
+			out = append(out, t.Lit)
+		}
+	}
+	if lit != LitUndef {
+		out = append(out, lit)
+	}
+	return out
+}
+
+// normalizePB converts an arbitrary constraint Σ coef·lit ≥ bound (with
+// possibly negative or duplicate coefficients) into the internal normal
+// form: strictly positive coefficients over distinct variables, sorted by
+// descending coefficient, with coefficients saturated at the bound. It also
+// detects constraints that are trivially true or trivially false.
+func normalizePB(terms []PBTerm, bound int64) (norm []PBTerm, nbound int64, alwaysTrue, alwaysFalse bool) {
+	// Merge duplicate variables first: coef·l and coef'·¬l combine to
+	// (coef-coef')·l + coef' (using ¬l = 1 - l).
+	byVar := map[Var]int64{} // net coefficient of the positive literal
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		v := t.Lit.Var()
+		if t.Lit.Sign() {
+			// coef·¬v = coef - coef·v
+			bound -= t.Coef
+			byVar[v] -= t.Coef
+		} else {
+			byVar[v] += t.Coef
+		}
+	}
+	var maxSum int64
+	vars := make([]Var, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		c := byVar[v]
+		switch {
+		case c > 0:
+			norm = append(norm, PBTerm{Coef: c, Lit: PosLit(v)})
+			maxSum += c
+		case c < 0:
+			// c·v = -c·¬v + c
+			bound -= c
+			norm = append(norm, PBTerm{Coef: -c, Lit: NegLit(v)})
+			maxSum += -c
+		}
+	}
+	if bound <= 0 {
+		return nil, 0, true, false
+	}
+	if maxSum < bound {
+		return nil, 0, false, true
+	}
+	// Coefficient saturation: a coefficient above the bound acts like the
+	// bound itself.
+	for i := range norm {
+		if norm[i].Coef > bound {
+			norm[i].Coef = bound
+		}
+	}
+	sort.SliceStable(norm, func(i, j int) bool { return norm[i].Coef > norm[j].Coef })
+	return norm, bound, false, false
+}
+
+func (c *pbConstraint) String() string {
+	s := ""
+	for i, t := range c.terms {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%d·%s", t.Coef, t.Lit)
+	}
+	return fmt.Sprintf("%s ≥ %d", s, c.bound)
+}
+
+// pbWatch is an entry in a literal's PB watch list: assigning the literal
+// falsifies terms[idx].Lit of constraint c.
+type pbWatch struct {
+	c   *pbConstraint
+	idx int
+}

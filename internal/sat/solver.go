@@ -1,0 +1,743 @@
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the solver gave up (conflict budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; see Model.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (st Status) String() string {
+	switch st {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Stats aggregates solver counters across all Solve calls on one Solver.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	LearntAdded  int64
+	LearntPruned int64
+	NumClauses   int
+	NumPB        int
+	NumVars      int
+	// NumLiterals counts the literal occurrences of all stored problem
+	// clauses and PB constraints (the "Lit." column of the paper's
+	// tables).
+	NumLiterals int64
+}
+
+// Solver is a CDCL SAT solver over clauses and pseudo-Boolean constraints.
+// The zero value is not usable; call New.
+//
+// A Solver is single-goroutine; wrap it if concurrent access is needed.
+// After a Solve call the solver can accept further clauses and be solved
+// again; learnt clauses are retained, which is what gives the binary-search
+// optimizer its incremental speedup.
+type Solver struct {
+	// Assignment state, indexed by Var (slot 0 unused).
+	assign   []LBool
+	level    []int32
+	pos      []int32 // trail position of the variable's assignment
+	reasonOf []reason
+	phase    []bool // saved phase: last assigned sign
+	activity []float64
+	seen     []byte
+
+	heap   *varHeap
+	varInc float64
+
+	watches   [][]watcher // indexed by Lit: clauses watching this literal's falsification
+	pbOccs    [][]pbWatch // indexed by Lit: assigning Lit falsifies a term of the constraint
+	clauses   []*clause
+	learnts   []*clause
+	pbs       []*pbConstraint
+	claInc    float64
+	maxLearnt float64
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	ok    bool // false once the formula is known unsatisfiable at level 0
+	model []LBool
+
+	// MaxConflicts, when > 0, bounds the number of conflicts per Solve
+	// call; exceeding it yields Unknown.
+	MaxConflicts int64
+
+	Stats
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		ok:        true,
+		varInc:    1.0,
+		claInc:    1.0,
+		maxLearnt: 4000,
+	}
+	s.heap = newVarHeap(&s.activity)
+	// Slot 0 is a sentinel so Var and Lit index directly.
+	s.assign = append(s.assign, LUndef)
+	s.level = append(s.level, 0)
+	s.pos = append(s.pos, 0)
+	s.reasonOf = append(s.reasonOf, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOccs = append(s.pbOccs, nil, nil)
+	return s
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assign))
+	s.assign = append(s.assign, LUndef)
+	s.level = append(s.level, 0)
+	s.pos = append(s.pos, 0)
+	s.reasonOf = append(s.reasonOf, nil)
+	s.phase = append(s.phase, true) // default polarity: try false first
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOccs = append(s.pbOccs, nil, nil)
+	s.heap.push(v)
+	s.Stats.NumVars++
+	return v
+}
+
+// NumVariables returns the number of allocated variables.
+func (s *Solver) NumVariables() int { return len(s.assign) - 1 }
+
+func (s *Solver) litValue(l Lit) LBool {
+	v := s.assign[l.Var()]
+	if v == LUndef {
+		return LUndef
+	}
+	if l.Sign() {
+		return v.Not()
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// Okay reports whether the formula is still possibly satisfiable (no
+// top-level contradiction has been derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// ErrNotAtRoot is returned when constraints are added while the solver is
+// not at decision level 0.
+var ErrNotAtRoot = errors.New("sat: constraints must be added at decision level 0")
+
+// AddClause adds a disjunction of literals. Adding an empty (or trivially
+// falsified) clause makes the formula unsatisfiable. The literal slice is
+// not retained.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if s.decisionLevel() != 0 {
+		return ErrNotAtRoot
+	}
+	if !s.ok {
+		return nil
+	}
+	// Normalize: sort, drop duplicates and false literals, detect
+	// tautologies and satisfied clauses.
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() <= 0 || int(l.Var()) >= len(s.assign) {
+			return errors.New("sat: literal references unallocated variable")
+		}
+		switch {
+		case s.litValue(l) == LTrue || l == prev.Not():
+			return nil // satisfied or tautological
+		case s.litValue(l) == LFalse || l == prev:
+			continue // falsified at root, or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	s.Stats.NumClauses++
+	s.Stats.NumLiterals += int64(len(out))
+	return nil
+}
+
+// AddPB adds the pseudo-Boolean constraint Σ terms ≥ bound. Terms may have
+// arbitrary-sign coefficients and repeated variables; the constraint is
+// normalized internally. The terms slice is not retained.
+func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
+	if s.decisionLevel() != 0 {
+		return ErrNotAtRoot
+	}
+	if !s.ok {
+		return nil
+	}
+	for _, t := range terms {
+		if t.Lit.Var() <= 0 || int(t.Lit.Var()) >= len(s.assign) {
+			return errors.New("sat: PB term references unallocated variable")
+		}
+	}
+	norm, bnd, alwaysTrue, alwaysFalse := normalizePB(terms, bound)
+	if alwaysTrue {
+		return nil
+	}
+	if alwaysFalse {
+		s.ok = false
+		return nil
+	}
+	// A PB constraint whose coefficients are all ≥ bound is just a clause.
+	if norm[len(norm)-1].Coef >= bnd {
+		ls := make([]Lit, len(norm))
+		for i, t := range norm {
+			ls[i] = t.Lit
+		}
+		return s.AddClause(ls...)
+	}
+	c := &pbConstraint{terms: norm, bound: bnd}
+	// Compute initial slack under the current (root-level) assignment and
+	// register occurrence watches.
+	c.slack = -bnd
+	for i, t := range c.terms {
+		if s.litValue(t.Lit) != LFalse {
+			c.slack += t.Coef
+		}
+		// t.Lit is falsified when its negation is assigned true.
+		nl := t.Lit.Not()
+		s.pbOccs[nl] = append(s.pbOccs[nl], pbWatch{c: c, idx: i})
+	}
+	s.pbs = append(s.pbs, c)
+	s.Stats.NumPB++
+	s.Stats.NumLiterals += int64(len(norm))
+	if c.slack < 0 {
+		s.ok = false
+		return nil
+	}
+	// Propagate any literal already forced at root level.
+	for _, t := range c.terms {
+		if t.Coef > c.slack && s.litValue(t.Lit) == LUndef {
+			s.uncheckedEnqueue(t.Lit, nil)
+		}
+	}
+	if s.propagate() != nil {
+		s.ok = false
+	}
+	return nil
+}
+
+// AddAtMostOne adds the cardinality constraint "at most one of lits is
+// true", a common building block of the one-hot allocation variables.
+func (s *Solver) AddAtMostOne(lits ...Lit) error {
+	terms := make([]PBTerm, len(lits))
+	for i, l := range lits {
+		terms[i] = PBTerm{Coef: 1, Lit: l.Not()}
+	}
+	return s.AddPB(terms, int64(len(lits)-1))
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from reason) {
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = LFalse
+	} else {
+		s.assign[v] = LTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.pos[v] = int32(len(s.trail))
+	s.reasonOf[v] = from
+	s.phase[v] = l.Sign()
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over clauses and PB constraints.
+// It returns a conflicting reason, or nil.
+func (s *Solver) propagate() reason {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+
+		// PB constraints: assigning p falsifies registered terms.
+		for _, w := range s.pbOccs[p] {
+			c := w.c
+			c.slack -= c.terms[w.idx].Coef
+			if c.slack < 0 {
+				// Finish updating the remaining occurrences of p so
+				// backtracking stays balanced: cancelUntil adds back the
+				// coefficient for every watch of p.
+				s.finishPBUpdates(p, w)
+				return c
+			}
+			for _, t := range c.terms {
+				if t.Coef <= c.slack {
+					break // sorted descending: nothing further can propagate
+				}
+				if s.litValue(t.Lit) == LUndef {
+					s.uncheckedEnqueue(t.Lit, c)
+				}
+			}
+		}
+
+		// Clause propagation with two watched literals.
+		ws := s.watches[p]
+		i, j := 0, 0
+		var conflict reason
+	clauseLoop:
+		for i < len(ws) {
+			w := ws[i]
+			i++
+			if s.litValue(w.blocker) == LTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the falsified literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if first := c.lits[0]; s.litValue(first) == LTrue {
+				ws[j] = watcher{c: c, blocker: first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != LFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+					continue clauseLoop
+				}
+			}
+			// No new watch: clause is unit or conflicting.
+			ws[j] = watcher{c: c, blocker: c.lits[0]}
+			j++
+			if s.litValue(c.lits[0]) == LFalse {
+				conflict = c
+				// Copy remaining watchers back.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					j++
+					i++
+				}
+				break
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = ws[:j]
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// finishPBUpdates applies the slack updates for the remaining watches of p
+// after a PB conflict at watch w, so that cancelUntil's uniform undo keeps
+// every counter consistent.
+func (s *Solver) finishPBUpdates(p Lit, at pbWatch) {
+	occ := s.pbOccs[p]
+	found := false
+	for _, w := range occ {
+		if found {
+			w.c.slack -= w.c.terms[w.idx].Coef
+		}
+		if w.c == at.c && w.idx == at.idx {
+			found = true
+		}
+	}
+}
+
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := int32(len(s.trail)) - 1; i >= bound; i-- {
+		p := s.trail[i]
+		v := p.Var()
+		s.assign[v] = LUndef
+		s.reasonOf[v] = nil
+		// PB slack counters are only decremented when propagate dequeues a
+		// literal, so only dequeued literals (position < qhead) are undone.
+		if int(i) < s.qhead {
+			for _, w := range s.pbOccs[p] {
+				w.c.slack += w.c.terms[w.idx].Coef
+			}
+		}
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.decreased(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, l := range s.learnts {
+			l.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt clause
+// (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl reason) ([]Lit, int32) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+	expl := confl.explain(s, LitUndef, 0, nil)
+	cur := s.decisionLevel()
+
+	for {
+		if c, isCl := confl.(*clause); isCl && c.learnt {
+			s.bumpClause(c)
+		}
+		for _, q := range expl {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.bumpVar(v)
+				if s.level[v] >= cur {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = 0
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reasonOf[v]
+		expl = confl.explain(s, p, int(s.pos[v]), expl[:0])
+	}
+	learnt[0] = p.Not()
+
+	// One-step clause minimization: drop a literal whose reason is fully
+	// subsumed by the rest of the learnt clause.
+	toClear := append([]Lit(nil), learnt...)
+	for _, q := range learnt[1:] {
+		s.seen[q.Var()] = 1
+	}
+	kept := learnt[:1]
+	for _, q := range learnt[1:] {
+		r := s.reasonOf[q.Var()]
+		if r == nil || !s.redundant(q, r) {
+			kept = append(kept, q)
+		}
+	}
+	learnt = kept
+
+	// Backjump to the second-highest level in the clause.
+	bt := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	for _, q := range toClear {
+		s.seen[q.Var()] = 0
+	}
+	return learnt, bt
+}
+
+// redundant reports whether literal q of a learnt clause is implied by the
+// remaining marked literals through its reason (one resolution step).
+func (s *Solver) redundant(q Lit, r reason) bool {
+	expl := r.explain(s, q.Not(), int(s.pos[q.Var()]), nil)
+	for _, l := range expl {
+		if l == q.Not() {
+			continue
+		}
+		v := l.Var()
+		if s.seen[v] == 0 && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []Lit) int {
+	seen := map[int32]bool{}
+	for _, l := range lits {
+		seen[s.level[l.Var()]] = true
+	}
+	return len(seen)
+}
+
+func (s *Solver) recordLearnt(lits []Lit) {
+	s.Stats.LearntAdded++
+	if len(lits) == 1 {
+		s.uncheckedEnqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, lbd: s.computeLBD(lits)}
+	s.attach(c)
+	s.learnts = append(s.learnts, c)
+	s.bumpClause(c)
+	s.uncheckedEnqueue(lits[0], c)
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping those that
+// are reasons, binary, or recently active.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.activity < b.activity
+	})
+	isReason := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assign[v] != LUndef && s.reasonOf[v] == reason(c)
+	}
+	kept := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit && len(c.lits) > 2 && !isReason(c) {
+			s.detach(c)
+			s.Stats.LearntPruned++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assign[v] == LUndef {
+			return MkLit(v, s.phase[v])
+		}
+	}
+	return LitUndef
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment under the given assumption
+// literals. On Sat, Model reports variable values. On Unsat under non-empty
+// assumptions, the formula itself may still be satisfiable.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+
+	var conflictsThisCall int64
+	restartNum := int64(1)
+	conflictBudget := luby(restartNum) * 100
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflictsThisCall++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			s.recordLearnt(learnt)
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if float64(len(s.learnts)) >= s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.3
+			}
+			if conflictsThisCall >= conflictBudget {
+				// Restart.
+				s.Stats.Restarts++
+				restartNum++
+				conflictBudget = conflictsThisCall + luby(restartNum)*100
+				s.cancelUntil(0)
+			}
+			if s.MaxConflicts > 0 && conflictsThisCall > s.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		// Assumption decisions first.
+		if int(s.decisionLevel()) < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.litValue(p) {
+			case LTrue:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case LFalse:
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.uncheckedEnqueue(p, nil)
+			continue
+		}
+
+		p := s.pickBranchLit()
+		if p == LitUndef {
+			// Full assignment: SAT.
+			s.model = append(s.model[:0], s.assign...)
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(p, nil)
+	}
+}
+
+// Model returns the value of v in the last satisfying assignment. It is
+// only meaningful after Solve returned Sat.
+func (s *Solver) Model(v Var) bool {
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] == LTrue
+}
+
+// ModelLit reports whether literal l is true in the last model.
+func (s *Solver) ModelLit(l Lit) bool {
+	b := s.Model(l.Var())
+	if l.Sign() {
+		return !b
+	}
+	return b
+}
+
+// EnumerateModels invokes fn for each satisfying assignment, projected to
+// the given variables: after each model a blocking clause over the
+// projection is added, so at most one model per distinct projection is
+// produced. Enumeration stops when fn returns false, when limit models
+// have been produced (0 = no limit), or when the formula becomes
+// unsatisfiable. The blocking clauses remain in the solver afterwards.
+// It returns the number of models enumerated.
+func (s *Solver) EnumerateModels(vars []Var, limit int, fn func(model map[Var]bool) bool) int {
+	count := 0
+	for limit == 0 || count < limit {
+		if s.Solve() != Sat {
+			return count
+		}
+		m := make(map[Var]bool, len(vars))
+		blocking := make([]Lit, 0, len(vars))
+		for _, v := range vars {
+			val := s.Model(v)
+			m[v] = val
+			blocking = append(blocking, MkLit(v, val)) // negation of the model
+		}
+		count++
+		if fn != nil && !fn(m) {
+			return count
+		}
+		if len(blocking) == 0 {
+			return count // empty projection: a single class
+		}
+		if err := s.AddClause(blocking...); err != nil {
+			return count
+		}
+	}
+	return count
+}

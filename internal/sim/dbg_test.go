@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+func TestDbgIter2(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter <= 2; iter++ {
+		kind := model.CAN
+		if iter%2 == 0 {
+			kind = model.TokenRing
+		}
+		nm := 2 + rng.Intn(4)
+		s := &model.System{
+			ECUs: []*model.ECU{{ID: 0}, {ID: 1}, {ID: 2}},
+			Media: []*model.Medium{{
+				ID: 0, Name: "bus", Kind: kind, ECUs: []int{0, 1, 2},
+				TimePerUnit: 1, SlotQuantum: 1, MaxSlots: 60,
+			}},
+		}
+		a := model.NewAllocation()
+		rcv := &model.Task{ID: 100, Period: 500, Deadline: 500, WCET: map[int]int64{2: 1}}
+		s.Tasks = append(s.Tasks, rcv)
+		a.TaskECU[100] = 2
+		for i := 0; i < nm; i++ {
+			src := rng.Intn(2)
+			period := int64(40 + rng.Intn(200))
+			s.Tasks = append(s.Tasks, &model.Task{
+				ID: i, Period: period, Deadline: period,
+				WCET: map[int]int64{src: 1}, Messages: []int{i},
+			})
+			a.TaskECU[i] = src
+			s.Messages = append(s.Messages, &model.Message{
+				ID: i, Name: "m", From: i, To: 100,
+				Size: int64(1 + rng.Intn(5)), Deadline: period,
+			})
+			a.Route[i] = model.Path{0}
+			a.MsgLocalDeadline[[2]int{i, 0}] = period
+		}
+		a.AssignDeadlineMonotonic(s)
+		if kind == model.TokenRing {
+			a.SlotLen[[2]int{0, 0}] = 6
+			a.SlotLen[[2]int{0, 1}] = 6
+			a.SlotLen[[2]int{0, 2}] = 1
+		}
+		if iter != 2 {
+			continue
+		}
+		for _, m := range s.Messages {
+			fmt.Printf("msg %d: src=%d size=%d period=%d prio=%d bound=%d\n", m.ID, a.TaskECU[m.ID], m.Size, s.TaskByID(m.From).Period, a.MsgPrio[m.ID], rta.MessageResponseTime(s, a, m.ID, 0, 100000))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"sort"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+// E2EObservation summarizes the end-to-end journeys of one message through
+// a full-system co-simulation.
+type E2EObservation struct {
+	MsgID      int
+	MaxLatency int64 // release at the first hop → delivery after the last
+	Deliveries int
+}
+
+// SimulateSystem co-simulates every communication medium of the system
+// tick by tick, with gateway forwarding between hops: a message instance
+// is released periodically at its sender's rate, queues at its route's
+// first medium, transmits under that medium's arbitration (TDMA slot
+// ownership for token rings, idealized priority arbitration for CAN),
+// pays the gateway's service cost, queues at the next medium, and so on.
+// It returns per-message end-to-end observations.
+//
+// This is the whole-journey companion to the per-medium simulators: the
+// integration tests check that no observed end-to-end latency exceeds the
+// analytical bound Σ_k d^k_m + serv_m of §4.
+func SimulateSystem(s *model.System, a *model.Allocation, horizon int64) map[int]*E2EObservation {
+	obs := map[int]*E2EObservation{}
+
+	// A frame instance traveling its route.
+	type frame struct {
+		msg     *model.Message
+		release int64 // release time at the first hop
+		hop     int   // index into the route
+		remain  int64 // transmission ticks left on the current hop
+		ready   int64 // earliest tick it may transmit on the current hop
+		prio    int
+	}
+
+	// Per-medium pending queues.
+	queues := map[int][]*frame{}
+	// Routed messages with their periods.
+	type stream struct {
+		msg    *model.Message
+		period int64
+		next   int64
+	}
+	var streams []stream
+	for _, msg := range s.Messages {
+		obs[msg.ID] = &E2EObservation{MsgID: msg.ID}
+		if len(a.Route[msg.ID]) == 0 {
+			continue
+		}
+		streams = append(streams, stream{
+			msg: msg, period: s.TaskByID(msg.From).Period,
+		})
+	}
+	if len(streams) == 0 {
+		return obs
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].msg.ID < streams[j].msg.ID })
+
+	// Token-ring slot schedules: for each ring, the owner station of each
+	// position within the round.
+	type ringSched struct {
+		owner []int // position in round → ECU
+	}
+	rings := map[int]*ringSched{}
+	for _, med := range s.Media {
+		if med.Kind != model.TokenRing {
+			continue
+		}
+		var sched ringSched
+		for _, p := range med.ECUs {
+			l := a.SlotLen[[2]int{med.ID, p}]
+			for i := int64(0); i < l; i++ {
+				sched.owner = append(sched.owner, p)
+			}
+		}
+		rings[med.ID] = &sched
+	}
+
+	// senderOn returns the ECU a frame transmits from on its current hop.
+	senderOn := func(f *frame) int {
+		route := a.Route[f.msg.ID]
+		if f.hop == 0 {
+			return a.TaskECU[f.msg.From]
+		}
+		return s.GatewayBetween(route[f.hop-1], route[f.hop])
+	}
+
+	advance := func(f *frame, now int64) {
+		route := a.Route[f.msg.ID]
+		f.hop++
+		if f.hop >= len(route) {
+			o := obs[f.msg.ID]
+			if lat := now + 1 - f.release; lat > o.MaxLatency {
+				o.MaxLatency = lat
+			}
+			o.Deliveries++
+			return
+		}
+		// Forward through the gateway: service cost delays availability.
+		g := s.GatewayBetween(route[f.hop-1], route[f.hop])
+		var fee int64
+		if e := s.ECUByID(g); e != nil {
+			fee = e.ServiceCost
+		}
+		med := s.MediumByID(route[f.hop])
+		f.remain = med.Rho(f.msg.Size)
+		f.ready = now + 1 + fee
+		queues[route[f.hop]] = append(queues[route[f.hop]], f)
+	}
+
+	for now := int64(0); now < horizon; now++ {
+		// Releases.
+		for i := range streams {
+			st := &streams[i]
+			for st.next <= now {
+				route := a.Route[st.msg.ID]
+				med := s.MediumByID(route[0])
+				queues[route[0]] = append(queues[route[0]], &frame{
+					msg: st.msg, release: st.next, hop: 0,
+					remain: med.Rho(st.msg.Size), ready: st.next,
+					prio: a.MsgPrio[st.msg.ID],
+				})
+				st.next += st.period
+			}
+		}
+		// One transmission tick per medium.
+		for _, med := range s.Media {
+			q := queues[med.ID]
+			if len(q) == 0 {
+				continue
+			}
+			var eligible func(f *frame) bool
+			switch med.Kind {
+			case model.TokenRing:
+				sched := rings[med.ID]
+				if len(sched.owner) == 0 {
+					continue
+				}
+				owner := sched.owner[now%int64(len(sched.owner))]
+				eligible = func(f *frame) bool {
+					return f.ready <= now && senderOn(f) == owner
+				}
+			default: // CAN: any pending frame may win arbitration
+				eligible = func(f *frame) bool { return f.ready <= now }
+			}
+			best := -1
+			for i, f := range q {
+				if !eligible(f) {
+					continue
+				}
+				if best < 0 || f.prio < q[best].prio {
+					best = i
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			f := q[best]
+			f.remain--
+			if f.remain == 0 {
+				queues[med.ID] = append(q[:best], q[best+1:]...)
+				advance(f, now)
+			}
+		}
+	}
+	return obs
+}
+
+// EndToEndBound returns the analytical end-to-end guarantee for a routed
+// message: Σ_k d^k_m + serv_m (§4), or rta.Infeasible when a local
+// deadline is missing.
+func EndToEndBound(s *model.System, a *model.Allocation, msgID int) int64 {
+	route := a.Route[msgID]
+	var sum int64
+	for _, k := range route {
+		d := a.MsgLocalDeadline[[2]int{msgID, k}]
+		if d <= 0 {
+			return rta.Infeasible
+		}
+		sum += d
+	}
+	return sum + s.PathServiceCost(route)
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"satalloc/internal/core"
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+	"satalloc/internal/workload"
+)
+
+// twoRingFixture: two rings joined by a gateway-only node, one cross-bus
+// message and one local message, with a hand-picked schedulable
+// allocation.
+func twoRingFixture() (*model.System, *model.Allocation) {
+	s := &model.System{Name: "e2e"}
+	s.ECUs = []*model.ECU{
+		{ID: 0, Name: "p0"}, {ID: 1, Name: "p1"},
+		{ID: 2, Name: "gw", GatewayOnly: true, ServiceCost: 3},
+		{ID: 3, Name: "p3"},
+	}
+	mk := func(id int, ecus []int) *model.Medium {
+		return &model.Medium{ID: id, Name: "k", Kind: model.TokenRing, ECUs: ecus,
+			TimePerUnit: 1, SlotQuantum: 2, MaxSlots: 6}
+	}
+	s.Media = []*model.Medium{mk(0, []int{0, 1, 2}), mk(1, []int{2, 3})}
+	s.Tasks = []*model.Task{
+		{ID: 0, Name: "src", Period: 80, Deadline: 80, WCET: map[int]int64{0: 5}, Messages: []int{0}},
+		{ID: 1, Name: "dst", Period: 80, Deadline: 80, WCET: map[int]int64{3: 5}},
+		{ID: 2, Name: "loc", Period: 40, Deadline: 40, WCET: map[int]int64{1: 5}, Messages: []int{1}},
+		{ID: 3, Name: "locdst", Period: 40, Deadline: 40, WCET: map[int]int64{0: 5}},
+	}
+	s.Messages = []*model.Message{
+		{ID: 0, Name: "cross", From: 0, To: 1, Size: 2, Deadline: 70},
+		{ID: 1, Name: "local", From: 2, To: 3, Size: 1, Deadline: 30},
+	}
+	a := model.NewAllocation()
+	a.TaskECU[0], a.TaskECU[1], a.TaskECU[2], a.TaskECU[3] = 0, 3, 1, 0
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = model.Path{0, 1}
+	a.Route[1] = model.Path{0}
+	a.SlotLen[[2]int{0, 0}] = 4
+	a.SlotLen[[2]int{0, 1}] = 4
+	a.SlotLen[[2]int{0, 2}] = 2
+	a.SlotLen[[2]int{1, 2}] = 4
+	a.SlotLen[[2]int{1, 3}] = 2
+	a.MsgLocalDeadline[[2]int{0, 0}] = 30
+	a.MsgLocalDeadline[[2]int{0, 1}] = 30
+	a.MsgLocalDeadline[[2]int{1, 0}] = 30
+	return s, a
+}
+
+func TestSimulateSystemDeliversAcrossGateway(t *testing.T) {
+	s, a := twoRingFixture()
+	res := rta.Analyze(s, a)
+	if !res.Schedulable {
+		t.Fatalf("fixture must be schedulable: %v", res.Violations)
+	}
+	obs := SimulateSystem(s, a, 4000)
+	cross := obs[0]
+	if cross.Deliveries == 0 {
+		t.Fatal("cross-bus message never delivered")
+	}
+	bound := EndToEndBound(s, a, 0)
+	if bound == rta.Infeasible {
+		t.Fatal("missing bound")
+	}
+	if cross.MaxLatency > bound {
+		t.Fatalf("end-to-end latency %d exceeds bound %d", cross.MaxLatency, bound)
+	}
+	// The gateway fee must be visible: latency is at least ρ+fee+ρ.
+	minLat := s.Media[0].Rho(2) + 3 + s.Media[1].Rho(2)
+	if cross.MaxLatency < minLat {
+		t.Fatalf("latency %d below physical minimum %d", cross.MaxLatency, minLat)
+	}
+	if obs[1].Deliveries == 0 {
+		t.Fatal("single-hop message never delivered")
+	}
+	if obs[1].MaxLatency > EndToEndBound(s, a, 1) {
+		t.Fatalf("local message latency %d exceeds bound", obs[1].MaxLatency)
+	}
+}
+
+// TestSimulateSystemWithinBoundOnSolvedHierarchy runs the co-simulation on
+// a SAT-optimized hierarchical deployment: every delivered message must
+// stay within the §4 end-to-end guarantee the optimizer certified.
+func TestSimulateSystemWithinBoundOnSolvedHierarchy(t *testing.T) {
+	sys := workload.Partition(workload.HierarchicalT43(workload.ArchitectureC()), 10)
+	sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeSumTRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("arch C partition must be feasible")
+	}
+	obs := SimulateSystem(sys, sol.Allocation, 20000)
+	checked := 0
+	for _, msg := range sys.Messages {
+		if len(sol.Allocation.Route[msg.ID]) == 0 {
+			continue
+		}
+		o := obs[msg.ID]
+		if o.Deliveries == 0 {
+			t.Fatalf("message %s never delivered", msg.Name)
+		}
+		bound := EndToEndBound(sys, sol.Allocation, msg.ID)
+		if o.MaxLatency > bound {
+			t.Fatalf("message %s end-to-end %d exceeds certified bound %d",
+				msg.Name, o.MaxLatency, bound)
+		}
+		if bound > msg.Deadline {
+			t.Fatalf("certified bound %d beyond Δ=%d", bound, msg.Deadline)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no routed messages in this deployment")
+	}
+	t.Logf("%d routed messages delivered within their certified bounds", checked)
+}

@@ -1,0 +1,334 @@
+// Package sim is a discrete-event simulator for the execution model of the
+// paper: preemptive fixed-priority scheduling of periodic tasks on each
+// ECU, TDMA (token-ring) bus rounds with per-station slots, and an
+// idealized priority bus (the arbitration model underlying eq. 2).
+//
+// Its role is validation: for synchronous ("critical instant") releases the
+// observed worst-case response times must never exceed — and for the
+// highest-priority busy period must match — the fixed-point bounds computed
+// by package rta. The integration tests enforce both directions.
+package sim
+
+import (
+	"sort"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+// TaskObservation is the simulated response-time summary of one task.
+type TaskObservation struct {
+	TaskID      int
+	MaxResponse int64
+	Jobs        int
+	Missed      bool // some job exceeded the deadline
+}
+
+// Span records one contiguous stretch of execution in a simulated
+// schedule, for trace rendering.
+type Span struct {
+	TaskID     int
+	Start, End int64
+}
+
+// SimulateECU runs the preemptive fixed-priority scheduler for the tasks
+// placed on ECU p, releasing every task synchronously at time 0 and then
+// periodically, until the horizon. It returns per-task observations.
+func SimulateECU(s *model.System, a *model.Allocation, p int, horizon int64) map[int]*TaskObservation {
+	obs, _ := TraceECU(s, a, p, horizon)
+	return obs
+}
+
+// TraceECU is SimulateECU plus the executed spans (merged per preemption
+// boundary) for rendering Gantt-style timelines.
+func TraceECU(s *model.System, a *model.Allocation, p int, horizon int64) (map[int]*TaskObservation, []Span) {
+	type job struct {
+		task     *model.Task
+		release  int64
+		remain   int64
+		prio     int
+		deadline int64
+	}
+	var tasks []*model.Task
+	for _, t := range s.Tasks {
+		if a.TaskECU[t.ID] == p {
+			tasks = append(tasks, t)
+		}
+	}
+	obs := map[int]*TaskObservation{}
+	for _, t := range tasks {
+		obs[t.ID] = &TaskObservation{TaskID: t.ID}
+	}
+	var spans []Span
+	if len(tasks) == 0 {
+		return obs, nil
+	}
+
+	var pending []*job
+	now := int64(0)
+	nextRelease := map[int]int64{}
+	for _, t := range tasks {
+		// Worst-case jitter phasing: the stream starts J early so an
+		// activation lands at time 0 with maximal backlog after it.
+		nextRelease[t.ID] = -t.Jitter
+	}
+
+	releaseDue := func() int64 {
+		min := int64(-1)
+		for _, t := range tasks {
+			if r := nextRelease[t.ID]; min < 0 || r < min {
+				min = r
+			}
+		}
+		return min
+	}
+
+	for now < horizon {
+		// Admit all releases at or before now.
+		for _, t := range tasks {
+			for nextRelease[t.ID] <= now {
+				pending = append(pending, &job{
+					task: t, release: nextRelease[t.ID],
+					remain: t.WCET[p], prio: a.TaskPrio[t.ID],
+					deadline: nextRelease[t.ID] + t.Deadline,
+				})
+				nextRelease[t.ID] += t.Period
+			}
+		}
+		if len(pending) == 0 {
+			now = releaseDue()
+			continue
+		}
+		// Highest priority pending job runs until it finishes or the next
+		// release, whichever is first.
+		sort.Slice(pending, func(i, j int) bool { return pending[i].prio < pending[j].prio })
+		j := pending[0]
+		until := releaseDue()
+		run := j.remain
+		if until > now && until-now < run {
+			run = until - now
+		}
+		if n := len(spans); n > 0 && spans[n-1].TaskID == j.task.ID && spans[n-1].End == now {
+			spans[n-1].End = now + run
+		} else {
+			spans = append(spans, Span{TaskID: j.task.ID, Start: now, End: now + run})
+		}
+		now += run
+		j.remain -= run
+		if j.remain == 0 {
+			o := obs[j.task.ID]
+			resp := now - j.release
+			if resp > o.MaxResponse {
+				o.MaxResponse = resp
+			}
+			o.Jobs++
+			if now > j.deadline {
+				o.Missed = true
+			}
+			pending = pending[1:]
+		}
+	}
+	return obs, spans
+}
+
+// MsgObservation is the simulated response-time summary of one message on
+// one medium.
+type MsgObservation struct {
+	MsgID       int
+	MaxResponse int64
+	Frames      int
+}
+
+// SimulateTokenRing simulates the TDMA round of a token-ring medium: time
+// advances slot by slot in a fixed station order; during its slot a station
+// transmits its queued messages highest-priority-first. Messages are
+// segmented into packets, so a message may span several of its station's
+// slots — this is Tindell et al.'s token-ring model (messages are sequences
+// of packets) and the service model underlying eq. (3). Interfering streams
+// are released with their worst-case jitter offsets. Returns per-message
+// observations.
+func SimulateTokenRing(s *model.System, a *model.Allocation, medID int, horizon int64) map[int]*MsgObservation {
+	m := s.MediumByID(medID)
+	loads := rta.MediumLoads(s, a, m)
+	obs := map[int]*MsgObservation{}
+	for _, l := range loads {
+		obs[l.Msg.ID] = &MsgObservation{MsgID: l.Msg.ID}
+	}
+	if len(loads) == 0 {
+		return obs
+	}
+
+	type frame struct {
+		load    *rta.MediumLoad
+		release int64
+		remain  int64
+	}
+	var queue []*frame // pending frames, all stations
+	nextRel := make([]int64, len(loads))
+	for i := range loads {
+		// Worst case: each interferer arrives as early as its jitter
+		// allows, i.e. the stream starts at -Jitter so an arrival lands
+		// exactly at time 0 with maximal backlog afterwards.
+		nextRel[i] = -loads[i].Jitter
+	}
+
+	// Build the slot schedule: stations in ECU order, each with its slot
+	// length; the round repeats forever.
+	type slot struct {
+		ecu int
+		len int64
+	}
+	var round []slot
+	for _, e := range m.ECUs {
+		if l := a.SlotLen[[2]int{m.ID, e}]; l > 0 {
+			round = append(round, slot{ecu: e, len: l})
+		}
+	}
+	if len(round) == 0 {
+		return obs
+	}
+
+	now := int64(0)
+	si := 0
+	for now < horizon {
+		sl := round[si]
+		slotEnd := now + sl.len
+		// Transmit from this station's queue, highest priority first,
+		// admitting newly released frames as time advances.
+		for now < slotEnd {
+			for i := range loads {
+				for nextRel[i] <= now {
+					queue = append(queue, &frame{load: &loads[i], release: nextRel[i], remain: loads[i].Rho})
+					nextRel[i] += loads[i].Period
+				}
+			}
+			var best *frame
+			bi := -1
+			for i, f := range queue {
+				if f.load.SenderECU != sl.ecu || f.release > now {
+					continue
+				}
+				if best == nil || f.load.Prio < best.load.Prio {
+					best = f
+					bi = i
+				}
+			}
+			if best == nil {
+				// Idle until the next release that could still use this
+				// slot; the station must not forfeit the rest of its slot.
+				next := int64(-1)
+				for i := range loads {
+					if loads[i].SenderECU != sl.ecu {
+						continue
+					}
+					if next < 0 || nextRel[i] < next {
+						next = nextRel[i]
+					}
+				}
+				if next < 0 || next >= slotEnd {
+					break
+				}
+				now = next
+				continue
+			}
+			run := best.remain
+			if slotEnd-now < run {
+				run = slotEnd - now
+			}
+			// A higher-priority frame released mid-run preempts at packet
+			// granularity (eq. (3) models no blocking), so cap the run at
+			// the next release.
+			for i := range loads {
+				if loads[i].SenderECU == sl.ecu && nextRel[i] > now && nextRel[i]-now < run {
+					run = nextRel[i] - now
+				}
+			}
+			now += run
+			best.remain -= run
+			if best.remain == 0 {
+				o := obs[best.load.Msg.ID]
+				if resp := now - best.release; resp > o.MaxResponse {
+					o.MaxResponse = resp
+				}
+				o.Frames++
+				queue = append(queue[:bi], queue[bi+1:]...)
+			}
+		}
+		now = slotEnd
+		si = (si + 1) % len(round)
+	}
+	return obs
+}
+
+// SimulatePriorityBus simulates an idealized priority-arbitrated bus (the
+// model behind eq. 2): at any instant the pending frame with the highest
+// priority transmits; a newly arriving higher-priority frame preempts
+// (matching the paper's interference equation, which models no blocking).
+func SimulatePriorityBus(s *model.System, a *model.Allocation, medID int, horizon int64) map[int]*MsgObservation {
+	m := s.MediumByID(medID)
+	loads := rta.MediumLoads(s, a, m)
+	obs := map[int]*MsgObservation{}
+	for _, l := range loads {
+		obs[l.Msg.ID] = &MsgObservation{MsgID: l.Msg.ID}
+	}
+	if len(loads) == 0 {
+		return obs
+	}
+
+	type frame struct {
+		load    *rta.MediumLoad
+		release int64
+		remain  int64
+	}
+	var queue []*frame
+	nextRel := make([]int64, len(loads))
+	for i := range loads {
+		nextRel[i] = -loads[i].Jitter
+	}
+	releaseDue := func() int64 {
+		min := nextRel[0]
+		for _, r := range nextRel[1:] {
+			if r < min {
+				min = r
+			}
+		}
+		return min
+	}
+
+	now := int64(0)
+	for now < horizon {
+		for i := range loads {
+			for nextRel[i] <= now {
+				queue = append(queue, &frame{load: &loads[i], release: nextRel[i], remain: loads[i].Rho})
+				nextRel[i] += loads[i].Period
+			}
+		}
+		if len(queue) == 0 {
+			now = releaseDue()
+			continue
+		}
+		best := 0
+		for i, f := range queue {
+			if f.load.Prio < queue[best].load.Prio {
+				best = i
+			}
+		}
+		f := queue[best]
+		until := releaseDue()
+		run := f.remain
+		if until > now && until-now < run {
+			run = until - now
+		}
+		now += run
+		f.remain -= run
+		if f.remain == 0 {
+			o := obs[f.load.Msg.ID]
+			if resp := now - f.release; resp > o.MaxResponse {
+				o.MaxResponse = resp
+			}
+			o.Frames++
+			queue = append(queue[:best], queue[best+1:]...)
+		}
+	}
+	return obs
+}

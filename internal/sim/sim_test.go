@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"satalloc/internal/model"
+	"satalloc/internal/rta"
+)
+
+func mkSingleECU(params ...[2]int64) (*model.System, *model.Allocation) {
+	s := &model.System{ECUs: []*model.ECU{{ID: 0, Name: "p0"}}}
+	a := model.NewAllocation()
+	for i, pr := range params {
+		s.Tasks = append(s.Tasks, &model.Task{
+			ID: i, Name: "t", Period: pr[1], Deadline: pr[1],
+			WCET: map[int]int64{0: pr[0]},
+		})
+		a.TaskECU[i] = 0
+		a.TaskPrio[i] = i
+	}
+	return s, a
+}
+
+func TestSimMatchesRTAClassic(t *testing.T) {
+	s, a := mkSingleECU([2]int64{3, 7}, [2]int64{3, 12}, [2]int64{5, 20})
+	obs := SimulateECU(s, a, 0, 2000)
+	want := []int64{3, 6, 20}
+	for i, w := range want {
+		o := obs[i]
+		if o.MaxResponse != w {
+			t.Errorf("task %d: simulated max response %d, analysis %d", i, o.MaxResponse, w)
+		}
+		if o.Missed {
+			t.Errorf("task %d: missed deadline in simulation", i)
+		}
+	}
+}
+
+// TestSimNeverExceedsRTA is the core soundness property: on random
+// schedulable systems, the simulated worst case must never exceed the
+// analytical bound, and under synchronous release it must match it exactly
+// (the critical instant is tight for constrained-deadline tasks).
+func TestSimNeverExceedsRTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		nt := 2 + rng.Intn(4)
+		var params [][2]int64
+		for i := 0; i < nt; i++ {
+			c := int64(1 + rng.Intn(4))
+			period := int64(10 + rng.Intn(40))
+			params = append(params, [2]int64{c, period})
+		}
+		s, a := mkSingleECU(params...)
+		// Order priorities rate-monotonically for a sensible system.
+		a.AssignDeadlineMonotonic(s)
+		horizon := int64(4000)
+		bounds := map[int]int64{}
+		allFeasible := true
+		for _, task := range s.Tasks {
+			r := rta.TaskResponseTime(s, a, task.ID)
+			bounds[task.ID] = r
+			if r == rta.Infeasible {
+				allFeasible = false
+			}
+		}
+		if !allFeasible {
+			continue
+		}
+		obs := SimulateECU(s, a, 0, horizon)
+		for id, o := range obs {
+			if o.MaxResponse > bounds[id] {
+				t.Fatalf("iter %d: task %d simulated %d > analyzed %d (params %v)",
+					iter, id, o.MaxResponse, bounds[id], params)
+			}
+			if o.MaxResponse != bounds[id] {
+				t.Fatalf("iter %d: task %d synchronous release should be tight: sim %d, rta %d (params %v)",
+					iter, id, o.MaxResponse, bounds[id], params)
+			}
+		}
+	}
+}
+
+func busFixture(kind model.MediumKind) (*model.System, *model.Allocation) {
+	s := &model.System{
+		ECUs: []*model.ECU{{ID: 0}, {ID: 1}},
+		Media: []*model.Medium{{
+			ID: 0, Name: "bus", Kind: kind, ECUs: []int{0, 1},
+			TimePerUnit: 1, SlotQuantum: 1, MaxSlots: 50,
+		}},
+	}
+	s.Tasks = []*model.Task{
+		{ID: 0, Period: 100, Deadline: 100, WCET: map[int]int64{0: 1, 1: 1}, Messages: []int{0}},
+		{ID: 1, Period: 50, Deadline: 50, WCET: map[int]int64{0: 1, 1: 1}, Messages: []int{1}},
+		{ID: 2, Period: 100, Deadline: 100, WCET: map[int]int64{0: 1, 1: 1}},
+	}
+	s.Messages = []*model.Message{
+		{ID: 0, Name: "m0", From: 0, To: 2, Size: 4, Deadline: 60},
+		{ID: 1, Name: "m1", From: 1, To: 2, Size: 2, Deadline: 30},
+	}
+	a := model.NewAllocation()
+	a.TaskECU[0], a.TaskECU[1], a.TaskECU[2] = 0, 0, 1
+	a.AssignDeadlineMonotonic(s)
+	a.Route[0] = model.Path{0}
+	a.Route[1] = model.Path{0}
+	a.MsgLocalDeadline[[2]int{0, 0}] = 60
+	a.MsgLocalDeadline[[2]int{1, 0}] = 30
+	return s, a
+}
+
+func TestPriorityBusSimWithinBound(t *testing.T) {
+	s, a := busFixture(model.CAN)
+	obs := SimulatePriorityBus(s, a, 0, 5000)
+	for _, msg := range s.Messages {
+		bound := rta.MessageResponseTime(s, a, msg.ID, 0, 1000)
+		o := obs[msg.ID]
+		if o.Frames == 0 {
+			t.Fatalf("message %d never transmitted", msg.ID)
+		}
+		if o.MaxResponse > bound {
+			t.Fatalf("message %d: sim %d > bound %d", msg.ID, o.MaxResponse, bound)
+		}
+	}
+}
+
+func TestTokenRingSimWithinBound(t *testing.T) {
+	s, a := busFixture(model.TokenRing)
+	a.SlotLen[[2]int{0, 0}] = 5
+	a.SlotLen[[2]int{0, 1}] = 3
+	obs := SimulateTokenRing(s, a, 0, 5000)
+	for _, msg := range s.Messages {
+		bound := rta.MessageResponseTime(s, a, msg.ID, 0, 1000)
+		o := obs[msg.ID]
+		if o.Frames == 0 {
+			t.Fatalf("message %d never transmitted", msg.ID)
+		}
+		if o.MaxResponse > bound {
+			t.Fatalf("message %d: sim %d > bound %d", msg.ID, o.MaxResponse, bound)
+		}
+	}
+}
+
+// TestRandomBusSimVsRTA fuzzes bus configurations for the soundness
+// property observed ≤ analyzed (+ own jitter allowance).
+func TestRandomBusSimVsRTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 40; iter++ {
+		kind := model.CAN
+		if iter%2 == 0 {
+			kind = model.TokenRing
+		}
+		nm := 2 + rng.Intn(4)
+		s := &model.System{
+			ECUs: []*model.ECU{{ID: 0}, {ID: 1}, {ID: 2}},
+			Media: []*model.Medium{{
+				ID: 0, Name: "bus", Kind: kind, ECUs: []int{0, 1, 2},
+				TimePerUnit: 1, SlotQuantum: 1, MaxSlots: 60,
+			}},
+		}
+		a := model.NewAllocation()
+		rcv := &model.Task{ID: 100, Period: 500, Deadline: 500, WCET: map[int]int64{2: 1}}
+		s.Tasks = append(s.Tasks, rcv)
+		a.TaskECU[100] = 2
+		for i := 0; i < nm; i++ {
+			src := rng.Intn(2)
+			period := int64(40 + rng.Intn(200))
+			s.Tasks = append(s.Tasks, &model.Task{
+				ID: i, Period: period, Deadline: period,
+				WCET: map[int]int64{src: 1}, Messages: []int{i},
+			})
+			a.TaskECU[i] = src
+			s.Messages = append(s.Messages, &model.Message{
+				ID: i, Name: "m", From: i, To: 100,
+				Size: int64(1 + rng.Intn(5)), Deadline: period,
+			})
+			a.Route[i] = model.Path{0}
+			a.MsgLocalDeadline[[2]int{i, 0}] = period
+		}
+		a.AssignDeadlineMonotonic(s)
+		if kind == model.TokenRing {
+			a.SlotLen[[2]int{0, 0}] = 6
+			a.SlotLen[[2]int{0, 1}] = 6
+			a.SlotLen[[2]int{0, 2}] = 1
+		}
+		var obs map[int]*MsgObservation
+		if kind == model.TokenRing {
+			obs = SimulateTokenRing(s, a, 0, 20000)
+		} else {
+			obs = SimulatePriorityBus(s, a, 0, 20000)
+		}
+		for _, msg := range s.Messages {
+			bound := rta.MessageResponseTime(s, a, msg.ID, 0, 100000)
+			if bound == rta.Infeasible {
+				continue
+			}
+			if o := obs[msg.ID]; o.MaxResponse > bound {
+				t.Fatalf("iter %d (%v): message %d sim %d > bound %d",
+					iter, kind, msg.ID, o.MaxResponse, bound)
+			}
+		}
+	}
+}
+
+func TestEmptyECUSimulation(t *testing.T) {
+	s := &model.System{ECUs: []*model.ECU{{ID: 0}}}
+	a := model.NewAllocation()
+	obs := SimulateECU(s, a, 0, 100)
+	if len(obs) != 0 {
+		t.Fatal("no tasks, no observations")
+	}
+}
+
+func TestDeadlineMissObserved(t *testing.T) {
+	// Overload: utilization 1.2 — some job must miss.
+	s, a := mkSingleECU([2]int64{6, 10}, [2]int64{6, 10})
+	obs := SimulateECU(s, a, 0, 1000)
+	if !obs[1].Missed {
+		t.Fatal("overloaded low-priority task must miss in simulation")
+	}
+}
+
+// TestJitteredTasksWithinJitterInclusiveBound: with release jitter the
+// simulator measures from the jitter-shifted release, so the sound bound
+// is w + J (and the analysis is exact on the feasible region where
+// w + J ≤ d ≤ T for every task).
+func TestJitteredTasksWithinJitterInclusiveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 40; iter++ {
+		nt := 2 + rng.Intn(3)
+		s := &model.System{ECUs: []*model.ECU{{ID: 0}}}
+		a := model.NewAllocation()
+		for i := 0; i < nt; i++ {
+			period := int64(20 + rng.Intn(60))
+			s.Tasks = append(s.Tasks, &model.Task{
+				ID: i, Period: period, Deadline: period,
+				WCET:   map[int]int64{0: int64(1 + rng.Intn(5))},
+				Jitter: int64(rng.Intn(int(period / 4))),
+			})
+			a.TaskECU[i] = 0
+		}
+		a.AssignDeadlineMonotonic(s)
+		feasible := true
+		bounds := map[int]int64{}
+		for _, task := range s.Tasks {
+			w := rta.TaskResponseTime(s, a, task.ID)
+			if w == rta.Infeasible {
+				feasible = false
+				break
+			}
+			bounds[task.ID] = w
+		}
+		if !feasible {
+			continue
+		}
+		obs := SimulateECU(s, a, 0, 6000)
+		for id, o := range obs {
+			bound := bounds[id] + s.TaskByID(id).Jitter
+			if o.MaxResponse > bound {
+				t.Fatalf("iter %d: task %d observed %d > w+J = %d", iter, id, o.MaxResponse, bound)
+			}
+		}
+	}
+}
+
+// TestBlockingNotSimulatedButSound: blocking factors inflate the analysis
+// only; the simulator (which has no shared resources) must stay within the
+// inflated bound trivially.
+func TestBlockingNotSimulatedButSound(t *testing.T) {
+	s, a := mkSingleECU([2]int64{3, 10}, [2]int64{4, 20})
+	s.Tasks[1].Blocking = 3
+	w := rta.TaskResponseTime(s, a, 1)
+	obs := SimulateECU(s, a, 0, 1000)
+	if obs[1].MaxResponse > w {
+		t.Fatalf("observed %d > analyzed %d", obs[1].MaxResponse, w)
+	}
+	if w != 3+4+3 {
+		t.Fatalf("w = %d, want C+B+interference = 10", w)
+	}
+}
