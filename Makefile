@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: the full CI gate — vet, build, and the race-enabled test suite.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the solver micro-benchmarks (hooks disabled), for regression spotting.
+bench:
+	$(GO) test -bench . -benchtime 2x -run '^$$' ./internal/sat

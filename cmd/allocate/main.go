@@ -4,12 +4,19 @@
 // Usage:
 //
 //	allocate [-objective trt|sumtrt|busutil|maxutil] [-medium id]
-//	         [-fresh] [-v] [spec.json]
+//	         [-fresh] [-v] [-progress 1s] [-iters] [-trace spans.jsonl]
+//	         [-cpuprofile f] [-memprofile f] [-exectrace f] [spec.json]
 //
 // With no file argument the spec is read from stdin. The result — the
 // placement Π, priority order Φ, routes Γ, TDMA slot table, and the
 // response-time analysis of the optimum — is printed in human-readable
 // form; -json emits the raw allocation as JSON instead.
+//
+// Observability: -progress prints a solver ticker line to stderr at the
+// given interval; -trace writes a JSONL span trace of the whole pipeline
+// (and prints the phase-breakdown table to stderr); -iters prints the
+// per-SOLVE-call search history; -cpuprofile/-memprofile/-exectrace write
+// runtime/pprof profiles and a go-tool-trace execution trace.
 package main
 
 import (
@@ -19,17 +26,36 @@ import (
 	"os"
 
 	"satalloc/internal/core"
+	"satalloc/internal/obs"
 	"satalloc/internal/report"
 )
 
+// main delegates to run so deferred cleanups (profile flush, trace close)
+// still execute on non-zero exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	objective := flag.String("objective", "trt", "cost function: trt, sumtrt, busutil, maxutil, usedecus")
 	medium := flag.Int("medium", -1, "medium ID the objective refers to (-1: first suitable)")
 	fresh := flag.Bool("fresh", false, "rebuild the solver for every SOLVE call (disable §7 clause reuse)")
 	verbose := flag.Bool("v", false, "log binary-search progress")
 	asJSON := flag.Bool("json", false, "emit the allocation as JSON")
 	asReport := flag.Bool("report", false, "emit a full deployment report with ASCII schedules")
+	progress := flag.Duration("progress", 0, "emit a solver progress line to stderr at this interval (0: off)")
+	iters := flag.Bool("iters", false, "print the per-SOLVE-call search history")
+	traceFile := flag.String("trace", "", "write a JSONL span trace of the pipeline to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -65,20 +91,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 		}
 	}
+	if *progress > 0 {
+		cfg.Progress = obs.NewProgressPrinter(os.Stderr, *progress)
+	}
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		root := tracer.Start("allocate")
+		cfg.Trace = root
+		defer func() {
+			root.End()
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "allocate: trace: %v\n", err)
+			}
+			fmt.Fprint(os.Stderr, tracer.Summary())
+		}()
+	}
 
 	sol, err := core.Solve(sys, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if *iters {
+		fmt.Fprint(os.Stderr, report.IterTable(sol.Iters))
+	}
 	if !sol.Feasible {
 		fmt.Println("INFEASIBLE: no allocation meets all deadlines")
-		os.Exit(3)
+		return 3
 	}
 	if *asJSON {
 		if err := core.WriteAllocation(os.Stdout, sys, sol.Allocation, sol.Cost); err != nil {
 			fatal(err)
 		}
-		return
+		return 0
 	}
 	if *asReport {
 		horizon := int64(0)
@@ -89,9 +140,10 @@ func main() {
 		}
 		fmt.Printf("optimal cost: %d\n\n", sol.Cost)
 		fmt.Print(report.Full(sys, sol.Allocation, 2*horizon, 72))
-		return
+		return 0
 	}
 	fmt.Print(core.Explain(sys, sol))
+	return 0
 }
 
 func fatal(err error) {

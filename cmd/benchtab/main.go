@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|all]
+//	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|iters|all]
+//	         [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
 // Scaled mode (default) shrinks the instances so the whole suite finishes
 // in minutes; full mode uses paper-shaped sizes (expect long runtimes on
-// the largest instances, as the authors did).
+// the largest instances, as the authors did). The "iters" table prints
+// the per-SOLVE-call search history of one representative run — the
+// per-call measurement behind the §7 incremental-speedup claim. The
+// profile flags write runtime/pprof output for the whole suite.
 package main
 
 import (
@@ -16,11 +20,21 @@ import (
 	"os"
 
 	"satalloc/internal/experiments"
+	"satalloc/internal/obs"
 )
 
+// main delegates to run so deferred cleanups (profile flush) still execute
+// on non-zero exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	modeFlag := flag.String("mode", "scaled", "instance sizes: scaled or full")
-	tableFlag := flag.String("table", "all", "which table to run: 1, 2, 3, 4, reuse, or all")
+	tableFlag := flag.String("table", "all", "which table to run: 1, 2, 3, 4, reuse, iters, or all")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	flag.Parse()
 
 	mode := experiments.Scaled
@@ -30,51 +44,73 @@ func main() {
 		mode = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown mode %q\n", *modeFlag)
-		os.Exit(2)
+		return 2
 	}
 
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 1
+	}
+	defer stopProf()
+
+	code := 0
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-		os.Exit(1)
+		code = 1
 	}
-	want := func(name string) bool { return *tableFlag == "all" || *tableFlag == name }
+	want := func(name string) bool { return code == 0 && (*tableFlag == "all" || *tableFlag == name) }
 
 	fmt.Printf("== satalloc experiment suite (%s mode) ==\n\n", mode)
 	if want("1") {
 		rows, err := experiments.Table1(mode)
 		if err != nil {
 			fail(err)
+		} else {
+			fmt.Println(experiments.FormatTable1(rows))
 		}
-		fmt.Println(experiments.FormatTable1(rows))
 	}
 	if want("2") {
 		rows, err := experiments.Table2(mode)
 		if err != nil {
 			fail(err)
+		} else {
+			fmt.Println(experiments.FormatScaleTable(
+				"Table 2. Complexity vs. architecture size (token ring, min TRT)", "ECUs", rows))
 		}
-		fmt.Println(experiments.FormatScaleTable(
-			"Table 2. Complexity vs. architecture size (token ring, min TRT)", "ECUs", rows))
 	}
 	if want("3") {
 		rows, err := experiments.Table3(mode)
 		if err != nil {
 			fail(err)
+		} else {
+			fmt.Println(experiments.FormatScaleTable(
+				"Table 3. Complexity vs. task-set size (8-ECU ring, min TRT)", "Tasks", rows))
 		}
-		fmt.Println(experiments.FormatScaleTable(
-			"Table 3. Complexity vs. task-set size (8-ECU ring, min TRT)", "Tasks", rows))
 	}
 	if want("4") {
 		rows, err := experiments.Table4(mode)
 		if err != nil {
 			fail(err)
+		} else {
+			fmt.Println(experiments.FormatTable4(rows))
 		}
-		fmt.Println(experiments.FormatTable4(rows))
 	}
 	if want("reuse") {
 		row, err := experiments.LearnedClauseReuse(mode)
 		if err != nil {
 			fail(err)
+		} else {
+			fmt.Println(experiments.FormatReuse(row))
 		}
-		fmt.Println(experiments.FormatReuse(row))
 	}
+	if want("iters") {
+		row, err := experiments.SearchHistory(mode)
+		if err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatHistory(row))
+		}
+	}
+	return code
 }

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	solvesat [-format cnf|opb] [file]
+//	solvesat [-format cnf|opb] [-progress 1s] [-cpuprofile f]
+//	         [-memprofile f] [-exectrace f] [file]
 //
 // Without -format the format is inferred from the file extension (.cnf /
 // .opb), defaulting to cnf on stdin. For OPB files with a "min:" objective
 // line the solver minimizes it by iterative strengthening (the
 // Davis-Putnam-based enumeration of Barth [15]: after each model, demand a
 // strictly better one until UNSAT). Output follows SAT-competition
-// conventions (s/v/o lines).
+// conventions (s/v/o lines). -progress prints "c progress ..." comment
+// lines to stderr at the given interval; the profile flags write
+// runtime/pprof output.
 package main
 
 import (
@@ -21,12 +24,33 @@ import (
 	"os"
 	"strings"
 
+	"satalloc/internal/obs"
 	"satalloc/internal/sat"
 )
 
+// main delegates to run so deferred cleanups (profile flush) still execute
+// on non-zero exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	format := flag.String("format", "", "input format: cnf or opb (default: by extension)")
+	progress := flag.Duration("progress", 0, "emit a solver progress line to stderr at this interval (0: off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+	var hook func(sat.Progress)
+	if *progress > 0 {
+		hook = obs.NewProgressPrinter(os.Stderr, *progress)
+	}
 
 	var in io.Reader = os.Stdin
 	name := ""
@@ -55,13 +79,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		s.OnProgress = hook
 		switch s.Solve() {
 		case sat.Sat:
 			fmt.Println("s SATISFIABLE")
 			printModel(s, n)
 		case sat.Unsat:
 			fmt.Println("s UNSATISFIABLE")
-			os.Exit(20)
+			return 20
 		default:
 			fmt.Println("s UNKNOWN")
 		}
@@ -70,6 +95,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		s.OnProgress = hook
 		n := s.NumVariables()
 		if len(obj) == 0 {
 			switch s.Solve() {
@@ -78,11 +104,11 @@ func main() {
 				printModel(s, n)
 			case sat.Unsat:
 				fmt.Println("s UNSATISFIABLE")
-				os.Exit(20)
+				return 20
 			default:
 				fmt.Println("s UNKNOWN")
 			}
-			return
+			return 0
 		}
 		// Minimize: iterative strengthening. Each round adds the permanent
 		// (and entailed-by-optimality-search) constraint obj ≤ best−1.
@@ -114,7 +140,7 @@ func main() {
 		}
 		if !haveModel {
 			fmt.Println("s UNSATISFIABLE")
-			os.Exit(20)
+			return 20
 		}
 		fmt.Println("s OPTIMUM FOUND")
 		fmt.Printf("c objective = %d\n", best)
@@ -122,6 +148,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown format %q", fm))
 	}
+	return 0
 }
 
 func printModel(s *sat.Solver, n int) {

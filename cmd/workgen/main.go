@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	workgen [-kind t43|t43can|ring|archA|archB|archC] [-ecus n] [-tasks n]
-//	        [-seed n]
+//	workgen [-kind t43|t43can|ring|archA|archB|archC|automotive]
+//	        [-ecus n] [-tasks n] [-seed n]
 //
 // Kinds:
 //
@@ -12,6 +12,8 @@
 //	t43can — the same set on an 8-ECU CAN bus
 //	ring   — a synthetic set (-tasks) on an n-ECU token ring (-ecus)
 //	archA/B/C — the Figure 2 hierarchical architectures with the T43 set
+//	automotive — the examples/automotive instance (arch C, upper bus CAN,
+//	        14-task partition)
 package main
 
 import (
@@ -53,6 +55,11 @@ func main() {
 		sys = workload.HierarchicalT43(workload.ArchitectureB())
 	case "archC":
 		sys = workload.HierarchicalT43(workload.ArchitectureC())
+	case "automotive":
+		// The examples/automotive instance: architecture C with the upper
+		// bus swapped to CAN (§6), 14-task partition of the [5] set.
+		arch := workload.SwapMediumToCAN(workload.ArchitectureC(), 1)
+		sys = workload.Partition(workload.HierarchicalT43(arch), 14)
 	default:
 		fmt.Fprintf(os.Stderr, "workgen: unknown kind %q\n", *kind)
 		os.Exit(2)

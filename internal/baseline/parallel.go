@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -27,10 +28,21 @@ func ParallelSA(sys *model.System, opts SAOptions) *SAResult {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			sp := opts.Trace.Child(fmt.Sprintf("SA[%d]", i))
 			o := opts
 			o.Restarts = 1
 			o.Seed = opts.Seed + int64(i)*7919 // distinct deterministic seeds
-			results[i] = SimulatedAnnealing(sys, o)
+			r := SimulatedAnnealing(sys, o)
+			results[i] = r
+			sp.Attr("feasible", r.Feasible).Attr("cost", r.Cost).
+				Attr("evaluated", r.Evaluated).End()
+			if opts.Logf != nil {
+				if r.Feasible {
+					opts.Logf("SA restart %d: cost=%d (%d evaluations)", i, r.Cost, r.Evaluated)
+				} else {
+					opts.Logf("SA restart %d: infeasible (%d evaluations)", i, r.Evaluated)
+				}
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 )
 
 // SAOptions tunes the simulated-annealing allocator.
@@ -16,6 +17,13 @@ type SAOptions struct {
 	Steps    int     // total annealing steps
 	Restarts int     // independent restarts; the best result wins
 	Encode   encode.Options
+	// Trace, when set, is the parent span under which ParallelSA records
+	// one SA[i] span per restart. Nil disables tracing.
+	Trace *obs.Span
+	// Logf, when set, receives per-restart outcome lines from ParallelSA.
+	// It is invoked from the restart goroutines and must be safe for
+	// concurrent use.
+	Logf func(format string, args ...any)
 }
 
 // DefaultSAOptions mirrors a typical Tindell-style parameterization.

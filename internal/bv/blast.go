@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"satalloc/internal/ir"
+	"satalloc/internal/obs"
 	"satalloc/internal/sat"
 )
 
@@ -22,6 +23,9 @@ type Options struct {
 	// as an ablation of §5.1's compactness claim (see
 	// BenchmarkCarryEncodingAblation).
 	CarryAsCNF bool
+	// Trace, when set, is the parent span under which Compile records its
+	// Triplet and BitBlast phases. Nil disables tracing.
+	Trace *obs.Span
 }
 
 // Blaster holds the correspondence between triplet-level variables and

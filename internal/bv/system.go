@@ -37,11 +37,18 @@ func CompileWith(f *ir.Formula, opts Options) (*System, error) {
 
 // CompileIntoWith is CompileInto with explicit encoding options.
 func CompileIntoWith(s *sat.Solver, f *ir.Formula, opts Options) (*System, error) {
+	tsp := opts.Trace.Child("Triplet")
 	tr := ir.ToTriplets(f)
+	tsp.Attr("int_defs", len(tr.IntDefs)).Attr("cmp_defs", len(tr.CmpDefs)).
+		Attr("gates", len(tr.Gates)).End()
+	bsp := opts.Trace.Child("BitBlast")
 	b, err := BlastWith(s, tr, opts)
 	if err != nil {
+		bsp.Attr("error", err.Error()).End()
 		return nil, err
 	}
+	bsp.Attr("vars", s.NumVariables()).Attr("clauses", s.Stats.NumClauses).
+		Attr("pb", s.Stats.NumPB).Attr("literals", s.Stats.NumLiterals).End()
 	return &System{F: f, Tr: tr, B: b, S: s}, nil
 }
 

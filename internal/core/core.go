@@ -18,8 +18,10 @@ import (
 
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 	"satalloc/internal/opt"
 	"satalloc/internal/rta"
+	"satalloc/internal/sat"
 )
 
 // Objective re-exports the encoder's objectives.
@@ -47,8 +49,17 @@ type Config struct {
 	FreshSolverPerCall bool
 	// MaxConflictsPerCall aborts runaway solves; 0 = unlimited.
 	MaxConflictsPerCall int64
-	// Logf receives progress lines when set.
+	// Logf receives progress lines when set. SolvePortfolio invokes it
+	// from both arms concurrently, so it must be safe for concurrent use
+	// there.
 	Logf func(format string, args ...any)
+	// Trace, when set, is the parent span under which the whole pipeline
+	// (Encode → Triplet → BitBlast → Solve[i] → Decode → Verify) records
+	// its spans. Nil disables tracing.
+	Trace *obs.Span
+	// Progress, when set, becomes the SAT solver's OnProgress hook (see
+	// sat.Solver.OnProgress and obs.NewProgressPrinter).
+	Progress func(sat.Progress)
 }
 
 // Solution is the outcome of a Solve run.
@@ -73,6 +84,10 @@ type Solution struct {
 	SolveCalls int
 	Conflicts  int64
 	Duration   time.Duration
+	// Iters is the per-SOLVE-call search history of the binary search.
+	Iters []opt.IterStats
+	// SolverStats is the SAT solver's final cumulative counter snapshot.
+	SolverStats sat.Stats
 }
 
 // Solve finds a provably cost-minimal schedulable allocation of the
@@ -88,6 +103,7 @@ func Solve(sys *model.System, cfg Config) (*Solution, error) {
 	enc, err := encode.Encode(sys, encode.Options{
 		Objective:       cfg.Objective,
 		ObjectiveMedium: objMedium,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding failed: %w", err)
@@ -96,16 +112,20 @@ func Solve(sys *model.System, cfg Config) (*Solution, error) {
 		Incremental:         !cfg.FreshSolverPerCall,
 		MaxConflictsPerCall: cfg.MaxConflictsPerCall,
 		Logf:                cfg.Logf,
+		Trace:               cfg.Trace,
+		Progress:            cfg.Progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization failed: %w", err)
 	}
 	sol := &Solution{
-		BoolVars:   res.Vars,
-		Literals:   res.Literals,
-		SolveCalls: res.SolveCalls,
-		Conflicts:  res.Conflicts,
-		Duration:   res.Duration,
+		BoolVars:    res.Vars,
+		Literals:    res.Literals,
+		SolveCalls:  res.SolveCalls,
+		Conflicts:   res.Conflicts,
+		Duration:    res.Duration,
+		Iters:       res.Iters,
+		SolverStats: res.SolverStats,
 	}
 	switch res.Status {
 	case opt.Infeasible:

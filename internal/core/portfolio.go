@@ -22,6 +22,9 @@ type PortfolioResult struct {
 	IncumbentAt   time.Duration
 	// Exact is the SAT result — the proven optimum (or infeasibility).
 	Exact *Solution
+	// ExactAt is when the exact arm finished; IncumbentAt < ExactAt means
+	// the heuristic won the race to a first answer.
+	ExactAt time.Duration
 }
 
 // SolvePortfolio races the heuristic (parallel simulated annealing) against
@@ -30,34 +33,54 @@ type PortfolioResult struct {
 // available within seconds while the optimality proof may take much
 // longer. Both arms run concurrently; the call returns when the exact arm
 // finishes.
+//
+// cfg.Logf, when set, receives the incumbent-arrival event while the exact
+// arm is still running, and a line when the heuristic arm loses the race;
+// it is invoked from both arms concurrently and must be safe for
+// concurrent use. cfg.Trace records the heuristic arm under an "SA-arm"
+// span next to the exact pipeline's spans.
 func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*PortfolioResult, error) {
 	res := &PortfolioResult{IncumbentCost: -1}
 	start := time.Now()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 
 	objMedium := cfg.ObjectiveMedium
 	if objMedium == 0 {
 		objMedium = -1
 	}
 	saOpts.Encode = encode.Options{Objective: cfg.Objective, ObjectiveMedium: objMedium}
+	saOpts.Trace = cfg.Trace.Child("SA-arm")
+	saOpts.Logf = cfg.Logf
 
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		sa := baseline.ParallelSA(sys, saOpts)
+		saOpts.Trace.Attr("feasible", sa.Feasible).Attr("cost", sa.Cost).
+			Attr("evaluated", sa.Evaluated).End()
 		if sa.Feasible {
 			res.Incumbent = sa.Allocation
 			res.IncumbentCost = sa.Cost
 			res.IncumbentAt = time.Since(start)
+			logf("portfolio: incumbent cost=%d after %v (exact arm still running)",
+				sa.Cost, res.IncumbentAt.Round(time.Millisecond))
+		} else {
+			logf("portfolio: heuristic arm found no feasible allocation")
 		}
 	}()
 
 	sol, err := Solve(sys, cfg)
+	exactAt := time.Since(start)
 	wg.Wait()
 	if err != nil {
 		return nil, err
 	}
 	res.Exact = sol
+	res.ExactAt = exactAt
 
 	// Sanity: a feasible incumbent must pass the analyzer and can never
 	// undercut the proven optimum.
@@ -71,6 +94,13 @@ func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*
 			res.Incumbent = nil
 			res.IncumbentCost = -1
 		}
+	}
+	if res.Incumbent == nil {
+		logf("portfolio: heuristic arm lost the race (no usable incumbent before the exact arm finished in %v)",
+			exactAt.Round(time.Millisecond))
+	} else if res.IncumbentAt >= exactAt {
+		logf("portfolio: heuristic arm lost the race (incumbent at %v, exact arm done at %v)",
+			res.IncumbentAt.Round(time.Millisecond), exactAt.Round(time.Millisecond))
 	}
 	return res, nil
 }

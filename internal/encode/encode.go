@@ -14,6 +14,7 @@ import (
 
 	"satalloc/internal/ir"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 )
 
 // Objective selects the cost function to minimize.
@@ -62,6 +63,9 @@ type Options struct {
 	// ObjectiveMedium designates the medium for MinimizeTRT and
 	// MinimizeBusUtilization; -1 picks the first medium of matching kind.
 	ObjectiveMedium int
+	// Trace, when set, is the parent span under which Encode records its
+	// work. Nil disables tracing.
+	Trace *obs.Span
 }
 
 // Encoding is the result of the transformation: the formula, the cost
@@ -131,6 +135,8 @@ func (e *Encoding) higherPrio(hi, lo int) ir.BoolExpr {
 
 // Encode builds the complete constraint system.
 func Encode(sys *model.System, opts Options) (*Encoding, error) {
+	sp := opts.Trace.Child("Encode")
+	defer sp.End()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,6 +181,8 @@ func Encode(sys *model.System, opts Options) (*Encoding, error) {
 	if err := e.encodeObjective(); err != nil {
 		return nil, err
 	}
+	sp.Attr("int_vars", len(e.F.IntVars)).Attr("bool_vars", len(e.F.BoolVars)).
+		Attr("objective", opts.Objective.String())
 	return e, nil
 }
 

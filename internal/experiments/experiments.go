@@ -23,6 +23,7 @@ import (
 	"satalloc/internal/core"
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
+	"satalloc/internal/report"
 	"satalloc/internal/workload"
 )
 
@@ -319,6 +320,43 @@ func LearnedClauseReuse(m Mode) (*ReuseRow, error) {
 		Speedup:     float64(freshTime) / float64(incTime),
 		CostsAgree:  inc.Cost == fresh.Cost && inc.Feasible == fresh.Feasible,
 	}, nil
+}
+
+// HistoryRow is the outcome of the SearchHistory experiment.
+type HistoryRow struct {
+	Instance string
+	Sol      *core.Solution
+}
+
+// SearchHistory solves one representative instance and returns its
+// per-SOLVE-call iteration history — the per-call view of the §7
+// incremental speedup (each call's conflict/decision delta shows how much
+// cheaper later calls get as learned clauses accumulate).
+func SearchHistory(m Mode) (*HistoryRow, error) {
+	n := 12
+	if m == Full {
+		n = 20
+	}
+	sys := workload.Partition(workload.T43(), n)
+	sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+	if err != nil {
+		return nil, err
+	}
+	return &HistoryRow{
+		Instance: fmt.Sprintf("[5] ring %d tasks, min TRT (incremental)", n),
+		Sol:      sol,
+	}, nil
+}
+
+// FormatHistory renders the SearchHistory experiment.
+func FormatHistory(r *HistoryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Search history: %s\n", r.Instance)
+	b.WriteString(report.IterTable(r.Sol.Iters))
+	fmt.Fprintf(&b, "cumulative solver counters: %d conflicts, %d decisions, %d restarts, %d learnt (%d pruned)\n",
+		r.Sol.SolverStats.Conflicts, r.Sol.SolverStats.Decisions,
+		r.Sol.SolverStats.Restarts, r.Sol.SolverStats.LearntAdded, r.Sol.SolverStats.LearntPruned)
+	return b.String()
 }
 
 // FormatReuse renders the §7 experiment.

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"satalloc/internal/sat"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	// None of these may panic.
+	sp.Attr("k", 1).Child("child").Attr("x", "y").End()
+	sp.End()
+	if tr.Summary() != "" || tr.Err() != nil {
+		t.Fatal("nil tracer must summarize to empty")
+	}
+}
+
+func TestTracerEmitsValidNestedJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("Solve[run]")
+	enc := root.Child("Encode").Attr("vars", 42)
+	time.Sleep(time.Millisecond)
+	enc.End()
+	inner := root.Child("Solve[1]")
+	time.Sleep(time.Millisecond)
+	inner.Attr("status", "SAT").End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		Span    string         `json:"span"`
+		ID      int64          `json:"id"`
+		Parent  int64          `json:"parent"`
+		StartUS int64          `json:"start_us"`
+		DurUS   int64          `json:"dur_us"`
+		Attrs   map[string]any `json:"attrs"`
+	}
+	byID := map[int64]rec{}
+	var recs []rec
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+		byID[r.ID] = r
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Spans must nest: children reference their parent, start within its
+	// window, and their durations sum to at most the parent's.
+	var rootRec rec
+	for _, r := range recs {
+		if r.Parent == 0 {
+			rootRec = r
+		}
+	}
+	if rootRec.Span != "Solve[run]" {
+		t.Fatalf("root span %q", rootRec.Span)
+	}
+	var childSum int64
+	for _, r := range recs {
+		if r.Parent == 0 {
+			continue
+		}
+		p, ok := byID[r.Parent]
+		if !ok {
+			t.Fatalf("span %q has unknown parent %d", r.Span, r.Parent)
+		}
+		if r.StartUS < p.StartUS || r.StartUS+r.DurUS > p.StartUS+p.DurUS {
+			t.Fatalf("span %q [%d,%d] escapes parent %q [%d,%d]",
+				r.Span, r.StartUS, r.StartUS+r.DurUS, p.Span, p.StartUS, p.StartUS+p.DurUS)
+		}
+		childSum += r.DurUS
+	}
+	if childSum > rootRec.DurUS {
+		t.Fatalf("children (%dus) exceed root (%dus)", childSum, rootRec.DurUS)
+	}
+	if got := byID[2].Attrs["vars"]; got != float64(42) {
+		t.Fatalf("Encode attrs = %v", byID[2].Attrs)
+	}
+}
+
+func TestTracerSummaryAggregatesPhases(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("run")
+	for i := 0; i < 3; i++ {
+		sp := root.Child("Solve[" + string(rune('0'+i)) + "]")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	root.End()
+	sum := tr.Summary()
+	if !strings.Contains(sum, "Solve") || !strings.Contains(sum, "run") {
+		t.Fatalf("summary missing phases:\n%s", sum)
+	}
+	// Indexed Solve[i] spans fold into one "Solve" phase with 3 calls.
+	for _, line := range strings.Split(sum, "\n") {
+		if strings.HasPrefix(line, "Solve") {
+			if !strings.Contains(line, " 3 ") {
+				t.Fatalf("Solve phase should have 3 calls: %q", line)
+			}
+		}
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(&bytes.Buffer{})
+	root := tr.Start("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Child("arm")
+			sp.Attr("n", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressPrinterFirstCallAndRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	hook := NewProgressPrinter(&buf, time.Hour)
+	hook(sat.Progress{Event: "solve", Conflicts: 10})
+	hook(sat.Progress{Event: "restart", Conflicts: 20}) // rate-limited away
+	out := buf.String()
+	if !strings.Contains(out, "progress[solve]") || !strings.Contains(out, "conflicts=10") {
+		t.Fatalf("first callback must print: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("second callback within interval must be suppressed: %q", out)
+	}
+
+	buf.Reset()
+	hook = NewProgressPrinter(&buf, 0)
+	hook(sat.Progress{Event: "solve", Conflicts: 1})
+	hook(sat.Progress{Event: "restart", Conflicts: 2, Restarts: 1})
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Fatalf("zero interval must print every callback: %q", buf.String())
+	}
+}
+
+func TestProgressPrinterOnRealSolver(t *testing.T) {
+	var buf bytes.Buffer
+	s := sat.New()
+	// PHP(7,6): small but restart-heavy enough to tick.
+	x := make([][]sat.Var, 7)
+	for p := range x {
+		x[p] = make([]sat.Var, 6)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < 7; p++ {
+		lits := make([]sat.Lit, 6)
+		for h := 0; h < 6; h++ {
+			lits[h] = sat.PosLit(x[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < 6; h++ {
+		for p1 := 0; p1 < 7; p1++ {
+			for p2 := p1 + 1; p2 < 7; p2++ {
+				s.AddClause(sat.NegLit(x[p1][h]), sat.NegLit(x[p2][h]))
+			}
+		}
+	}
+	s.OnProgress = NewProgressPrinter(&buf, 0)
+	if s.Solve() != sat.Unsat {
+		t.Fatal("PHP must be unsat")
+	}
+	if !strings.Contains(buf.String(), "progress[solve]") {
+		t.Fatalf("no progress line: %q", buf.String())
+	}
+}
+
+func TestStartProfilingWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tracef := filepath.Join(dir, "exec.trace")
+	stop, err := StartProfiling(cpu, mem, tracef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	stop()
+	for _, p := range []string{cpu, mem, tracef} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilingDisabledIsNoOp(t *testing.T) {
+	stop, err := StartProfiling("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must not panic
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiling enables the requested runtime profiles; empty paths are
+// skipped. cpuPath and tracePath start a CPU profile and an execution
+// trace immediately; memPath writes a heap profile when the returned stop
+// function runs. stop flushes and closes everything and must be called
+// (once) before the process exits — it is always non-nil on success, even
+// when no profile was requested.
+func StartProfiling(cpuPath, memPath, tracePath string) (stop func(), err error) {
+	var stops []func()
+	runStops := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			runStops()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			runStops()
+			return nil, fmt.Errorf("execution trace: %w", err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+				return
+			}
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+			}
+			f.Close()
+		})
+	}
+	return runStops, nil
+}

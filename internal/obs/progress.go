@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"satalloc/internal/sat"
+)
+
+// NewProgressPrinter returns a hook suitable for sat.Solver.OnProgress
+// that writes one ticker line to w at most every interval. The first
+// callback always prints, so even solves too short to restart emit at
+// least one line. The returned function is safe for concurrent use and
+// may be shared between solvers (rates are computed from the cumulative
+// counters it is handed).
+func NewProgressPrinter(w io.Writer, interval time.Duration) func(sat.Progress) {
+	var (
+		mu       sync.Mutex
+		started  time.Time
+		last     time.Time
+		lastConf int64
+	)
+	return func(p sat.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if started.IsZero() {
+			started = now
+		} else if now.Sub(last) < interval {
+			return
+		}
+		rate := int64(0)
+		if dt := now.Sub(last); !last.IsZero() && dt > 0 {
+			d := p.Conflicts - lastConf
+			if d > 0 {
+				rate = int64(float64(d) / dt.Seconds())
+			}
+		}
+		fmt.Fprintf(w, "progress[%s]: conflicts=%d (%d/s) decisions=%d propagations=%d restarts=%d learnts=%d trail=%d elapsed=%s\n",
+			p.Event, p.Conflicts, rate, p.Decisions, p.Propagations,
+			p.Restarts, p.Learnts, p.TrailDepth, now.Sub(started).Round(time.Millisecond))
+		last = now
+		lastConf = p.Conflicts
+	}
+}

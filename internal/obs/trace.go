@@ -1,0 +1,194 @@
+// Package obs is the observability layer of the allocator: nestable span
+// tracing with JSONL output plus a human-readable phase-breakdown table,
+// low-overhead solver progress tickers, and runtime profiling hooks.
+//
+// Everything is stdlib-only and nil-safe: a nil *Tracer or *Span turns
+// every call into a no-op, so instrumented code needs no "if tracing
+// enabled" guards and pays only a nil check when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records nestable spans and aggregates a per-phase summary.
+// Create one with NewTracer; a nil *Tracer is a valid no-op tracer. A
+// Tracer is safe for concurrent use — the portfolio records both of its
+// racing arms under one tracer.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	epoch  time.Time
+	nextID int64
+	err    error
+	agg    map[string]*phaseAgg
+	order  []string
+}
+
+type phaseAgg struct {
+	calls int
+	total time.Duration
+}
+
+// NewTracer returns a tracer writing one JSON object per finished span to
+// w. A nil writer is allowed: spans are then only folded into Summary.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, epoch: time.Now(), agg: map[string]*phaseAgg{}}
+}
+
+// Span is one timed region of the pipeline. Spans nest via Child and are
+// closed exactly once with End. A nil *Span is a valid no-op. A span's
+// own methods are single-goroutine; concurrent work must use distinct
+// child spans (Child itself is safe to call from any goroutine).
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	attrs  map[string]any
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0)
+}
+
+func (t *Tracer) newSpan(name string, parent int64) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parent: parent, name: name, start: time.Now()}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id)
+}
+
+// Attr attaches a key/value pair, recorded when the span ends. It returns
+// s so attributes chain: sp.Attr("vars", n).Attr("status", st).
+func (s *Span) Attr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// spanRecord is the JSONL schema: one object per line, microsecond
+// offsets relative to the tracer's creation. Parent 0 marks a root span.
+type spanRecord struct {
+	Span    string         `json:"span"`
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// End closes the span: its JSONL record is emitted and its duration folds
+// into the phase summary.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := phaseKey(s.name)
+	a := t.agg[key]
+	if a == nil {
+		a = &phaseAgg{}
+		t.agg[key] = a
+		t.order = append(t.order, key)
+	}
+	a.calls++
+	a.total += dur
+	if t.w == nil {
+		return
+	}
+	b, err := json.Marshal(spanRecord{
+		Span:    s.name,
+		ID:      s.id,
+		Parent:  s.parent,
+		StartUS: s.start.Sub(t.epoch).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Attrs:   s.attrs,
+	})
+	if err == nil {
+		b = append(b, '\n')
+		_, err = t.w.Write(b)
+	}
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// phaseKey folds indexed span names ("Solve[3]") into their phase
+// ("Solve") for the summary table.
+func phaseKey(name string) string {
+	if i := strings.IndexByte(name, '['); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Err reports the first span-write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Summary renders the phase-breakdown table: per phase, call count, total
+// and mean duration, and share of the longest phase (normally the root
+// span, so the column reads as "% of wall time").
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.order) == 0 {
+		return ""
+	}
+	keys := append([]string(nil), t.order...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		return t.agg[keys[i]].total > t.agg[keys[j]].total
+	})
+	wall := t.agg[keys[0]].total
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %6s\n", "phase", "calls", "total", "mean", "share")
+	for _, k := range keys {
+		a := t.agg[k]
+		share := 0.0
+		if wall > 0 {
+			share = 100 * float64(a.total) / float64(wall)
+		}
+		fmt.Fprintf(&b, "%-14s %6d %12s %12s %5.1f%%\n",
+			k, a.calls, a.total.Round(time.Microsecond),
+			(a.total / time.Duration(a.calls)).Round(time.Microsecond), share)
+	}
+	return b.String()
+}

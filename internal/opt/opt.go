@@ -13,6 +13,7 @@ import (
 	"satalloc/internal/encode"
 	"satalloc/internal/ir"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 	"satalloc/internal/rta"
 	"satalloc/internal/sat"
 )
@@ -56,6 +57,33 @@ type Options struct {
 	SkipVerify bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Trace, when set, is the parent span under which the optimizer
+	// records its BitBlast/Solve[i]/Decode/Verify phases. Nil disables
+	// tracing.
+	Trace *obs.Span
+	// Progress, when set, is installed as the SAT solver's OnProgress
+	// hook, reporting search counters at restart and clause-DB-reduction
+	// boundaries. Nil disables it.
+	Progress func(sat.Progress)
+}
+
+// IterStats records one SOLVE call of the binary search — the
+// per-iteration effort behind the paper's §7 incremental-speedup claim.
+type IterStats struct {
+	// Call is the 1-based SOLVE invocation index.
+	Call int
+	// Lo and Hi bound the cost window assumed for this call; -1 means the
+	// side was unconstrained (the initial SOLVE(φ)).
+	Lo, Hi int64
+	// Status is the solver's verdict for this window.
+	Status sat.Status
+	// Cost is the model's cost when Status is Sat, else -1.
+	Cost int64
+	// Conflicts and Decisions are this call's effort *delta* (not the
+	// solver's cumulative counters).
+	Conflicts int64
+	Decisions int64
+	Duration  time.Duration
 }
 
 // Result reports the minimization outcome.
@@ -71,10 +99,18 @@ type Result struct {
 	// is the single shared solver; otherwise the first solve's encoding.
 	Vars     int
 	Literals int64
-	// Conflicts and Decisions aggregate CDCL effort across all calls.
+	// Conflicts and Decisions aggregate CDCL effort across all calls
+	// (per-call deltas summed; in incremental mode this equals the shared
+	// solver's final cumulative counters).
 	Conflicts int64
 	Decisions int64
 	Duration  time.Duration
+	// Iters is the per-SOLVE-call search history.
+	Iters []IterStats
+	// SolverStats is the final cumulative counter snapshot of the SAT
+	// solver (the shared solver in incremental mode, the last fresh one
+	// otherwise).
+	SolverStats sat.Stats
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -109,11 +145,12 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	var sys *bv.System
 	compile := func() error {
 		var err error
-		sys, err = bv.Compile(enc.F)
+		sys, err = bv.CompileWith(enc.F, bv.Options{Trace: opts.Trace})
 		if err != nil {
 			return err
 		}
 		sys.S.MaxConflicts = opts.MaxConflictsPerCall
+		sys.S.OnProgress = opts.Progress
 		if res.Vars == 0 {
 			res.Vars = sys.S.NumVariables()
 			res.Literals = sys.S.Stats.NumLiterals
@@ -148,21 +185,48 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			}
 			assumptions = append(assumptions, l)
 		}
+		// Snapshot the cumulative counters so this call's effort is a
+		// delta — the solver keeps counting across calls in incremental
+		// mode, and summing its cumulative values would sum prefix sums.
+		preConf, preDec := sys.S.Stats.Conflicts, sys.S.Stats.Decisions
+		callStart := time.Now()
+		sp := opts.Trace.Child(fmt.Sprintf("Solve[%d]", res.SolveCalls)).
+			Attr("lo", lo).Attr("hi", hi)
 		st := sys.Solve(assumptions...)
 		out := solveOut{status: st}
 		if st == sat.Sat {
 			out.assign = sys.Model()
 			out.cost = out.assign.Ints[enc.Cost]
 		}
-		res.Conflicts += sys.S.Stats.Conflicts
-		res.Decisions += sys.S.Stats.Decisions
+		it := IterStats{
+			Call:      res.SolveCalls,
+			Lo:        lo,
+			Hi:        hi,
+			Status:    st,
+			Cost:      -1,
+			Conflicts: sys.S.Stats.Conflicts - preConf,
+			Decisions: sys.S.Stats.Decisions - preDec,
+			Duration:  time.Since(callStart),
+		}
+		if st == sat.Sat {
+			it.Cost = out.cost
+		}
+		res.Iters = append(res.Iters, it)
+		res.Conflicts += it.Conflicts
+		res.Decisions += it.Decisions
+		sp.Attr("status", st.String()).Attr("cost", it.Cost).
+			Attr("conflicts", it.Conflicts).Attr("decisions", it.Decisions).End()
 		return out, nil
 	}
 
 	finish := func() (*Result, error) {
 		res.Duration = time.Since(start)
+		res.SolverStats = sys.S.Stats
 		if res.Status == Optimal && !opts.SkipVerify {
-			if err := verify(enc, res); err != nil {
+			sp := opts.Trace.Child("Verify")
+			err := verify(enc, res)
+			sp.End()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -213,7 +277,9 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			res.Status = Aborted
 			res.Cost = best.cost
 			res.Assignment = best.assign
+			dsp := opts.Trace.Child("Decode")
 			alloc, derr := enc.Decode(best.assign)
+			dsp.End()
 			if derr != nil {
 				return nil, derr
 			}
@@ -225,7 +291,9 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	res.Status = Optimal
 	res.Cost = R
 	res.Assignment = best.assign
+	dsp := opts.Trace.Child("Decode")
 	alloc, err := enc.Decode(best.assign)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}

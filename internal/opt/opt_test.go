@@ -1,11 +1,15 @@
 package opt
 
 import (
+	"bytes"
 	"testing"
 
 	"satalloc/internal/encode"
+	"satalloc/internal/ir"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 	"satalloc/internal/rta"
+	"satalloc/internal/sat"
 )
 
 // tinyRing builds a 2-ECU token ring with three tasks and one message — a
@@ -166,6 +170,135 @@ func TestMinimizeLogsProgress(t *testing.T) {
 	}
 }
 
+// TestConflictAccountingIsDelta is the regression test for the stats
+// double-count bug: in incremental mode the optimizer used to add the
+// solver's *cumulative* conflict counter after every SOLVE call (summing
+// prefix sums). Result.Conflicts must equal the solver's final cumulative
+// count and the sum of the per-iteration deltas.
+func TestConflictAccountingIsDelta(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolveCalls < 2 {
+		t.Fatalf("need ≥2 SOLVE calls to expose double counting, got %d", res.SolveCalls)
+	}
+	if res.Conflicts != res.SolverStats.Conflicts {
+		t.Fatalf("Result.Conflicts=%d, solver cumulative=%d (double counting?)",
+			res.Conflicts, res.SolverStats.Conflicts)
+	}
+	if res.Decisions != res.SolverStats.Decisions {
+		t.Fatalf("Result.Decisions=%d, solver cumulative=%d", res.Decisions, res.SolverStats.Decisions)
+	}
+	if len(res.Iters) != res.SolveCalls {
+		t.Fatalf("%d IterStats for %d SOLVE calls", len(res.Iters), res.SolveCalls)
+	}
+	var sumC, sumD int64
+	for i, it := range res.Iters {
+		if it.Call != i+1 {
+			t.Fatalf("iter %d has Call=%d", i, it.Call)
+		}
+		if it.Conflicts < 0 || it.Decisions < 0 {
+			t.Fatalf("negative delta in iter %+v", it)
+		}
+		if (it.Status == sat.Sat) != (it.Cost >= 0) {
+			t.Fatalf("iter %+v: Cost must be set iff Sat", it)
+		}
+		sumC += it.Conflicts
+		sumD += it.Decisions
+	}
+	if sumC != res.Conflicts || sumD != res.Decisions {
+		t.Fatalf("iter deltas sum to %d/%d, Result says %d/%d", sumC, sumD, res.Conflicts, res.Decisions)
+	}
+}
+
+// TestFreshModeAccountingMatches checks the delta accounting in fresh
+// (non-incremental) mode, where each call gets its own solver.
+func TestFreshModeAccountingMatches(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumC int64
+	for _, it := range res.Iters {
+		sumC += it.Conflicts
+	}
+	if sumC != res.Conflicts {
+		t.Fatalf("fresh-mode deltas sum to %d, Result says %d", sumC, res.Conflicts)
+	}
+	// The last fresh solver only saw the final call.
+	if last := res.Iters[len(res.Iters)-1]; res.SolverStats.Conflicts != last.Conflicts {
+		t.Fatalf("fresh-mode SolverStats.Conflicts=%d, want last call's %d",
+			res.SolverStats.Conflicts, last.Conflicts)
+	}
+}
+
+// TestMinimizeEmitsTrace checks the optimizer's span plumbing: a traced
+// run must record the BitBlast and per-call Solve spans as JSONL.
+func TestMinimizeEmitsTrace(t *testing.T) {
+	sys := tinyRing()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	root := tr.Start("test")
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1, Trace: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true, Trace: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"span":"Encode"`, `"span":"Triplet"`, `"span":"BitBlast"`, `"span":"Solve[1]"`, `"span":"Decode"`, `"span":"Verify"`} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("trace missing %s:\n%s", want, out)
+		}
+	}
+	if got := bytes.Count([]byte(out), []byte(`"span":"Solve[`)); got != res.SolveCalls {
+		t.Fatalf("%d Solve spans for %d calls", got, res.SolveCalls)
+	}
+}
+
+// TestMinimizeProgressHook checks that the progress hook reaches the
+// underlying solver and reports the solve boundaries.
+func TestMinimizeProgressHook(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	res, err := Minimize(enc, Options{Incremental: true, Progress: func(p sat.Progress) {
+		events = append(events, p.Event)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := 0
+	for _, e := range events {
+		if e == "solve" {
+			solves++
+		}
+	}
+	if solves != res.SolveCalls {
+		t.Fatalf("%d solve events for %d SOLVE calls", solves, res.SolveCalls)
+	}
+}
+
 func TestEnumerateOptimalPlacements(t *testing.T) {
 	sys := tinyRing()
 	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
@@ -211,4 +344,94 @@ func TestEnumerateOptimalPlacements(t *testing.T) {
 		t.Fatal("at least the proven optimum must be enumerable")
 	}
 	t.Logf("%d distinct optimal placements", n)
+}
+
+// enumSetup minimizes the tiny ring and returns a fresh encoding plus the
+// proven optimum, ready for enumeration tests.
+func enumSetup(t *testing.T) (*encode.Encoding, int64) {
+	t.Helper()
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(enc, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	enc2, err := encode.Encode(tinyRing(), encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc2, res.Cost
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	enc, optimal := enumSetup(t)
+	// Unlimited enumeration establishes the true count...
+	all, err := EnumerateOptimalPlacements(enc, optimal, 0, func(*model.Allocation) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all < 2 {
+		t.Skipf("only %d optimal placement(s); limit test needs ≥2", all)
+	}
+	// ...and a limit of 1 must stop after exactly one model.
+	enc2, _ := enumSetup(t)
+	calls := 0
+	n, err := EnumerateOptimalPlacements(enc2, optimal, 1, func(*model.Allocation) bool {
+		calls++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || calls != 1 {
+		t.Fatalf("limit=1 enumerated %d models (%d callbacks)", n, calls)
+	}
+}
+
+func TestEnumerateStopsWhenFnReturnsFalse(t *testing.T) {
+	enc, optimal := enumSetup(t)
+	calls := 0
+	n, err := EnumerateOptimalPlacements(enc, optimal, 0, func(*model.Allocation) bool {
+		calls++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || calls != 1 {
+		t.Fatalf("fn=false should stop after the first model, got n=%d calls=%d", n, calls)
+	}
+}
+
+func TestEnumerateInfeasibleCostYieldsNothing(t *testing.T) {
+	enc, optimal := enumSetup(t)
+	// Below the proven optimum the pinned window [c,c] is empty.
+	n, err := EnumerateOptimalPlacements(enc, optimal-1, 0, func(*model.Allocation) bool {
+		t.Fatal("callback on infeasible cost")
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("enumerated %d models below the optimum", n)
+	}
+}
+
+// TestDecodeErrorPropagates covers the decode-error path the enumerator
+// forwards: Decode must reject an assignment that places no task, which is
+// the failure EnumerateOptimalPlacements surfaces as its error return (a
+// well-formed encoding can never produce such a model, so the error is
+// exercised at the Decode layer directly).
+func TestDecodeErrorPropagates(t *testing.T) {
+	enc, _ := enumSetup(t)
+	if _, err := enc.Decode(ir.NewAssignment()); err == nil {
+		t.Fatal("Decode must fail on an empty assignment")
+	}
 }

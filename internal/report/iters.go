@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"satalloc/internal/opt"
+)
+
+// IterTable renders the per-SOLVE-call search history of a binary-search
+// run: the cost window each call confined, its verdict, the model cost it
+// found, and its conflict/decision effort *delta* — the measurement behind
+// the paper's §7 incremental-vs-fresh comparison. The footer sums the
+// deltas, which by construction equal the run's cumulative totals.
+func IterTable(iters []opt.IterStats) string {
+	if len(iters) == 0 {
+		return "no SOLVE calls recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-SOLVE-call search history (%d calls)\n", len(iters))
+	fmt.Fprintf(&b, "%4s  %-15s %-8s %8s %10s %10s %12s\n",
+		"call", "window", "status", "cost", "conflicts", "decisions", "time")
+	var sumC, sumD int64
+	var sumT time.Duration
+	for _, it := range iters {
+		fmt.Fprintf(&b, "%4d  %-15s %-8s %8s %10d %10d %12s\n",
+			it.Call, window(it.Lo, it.Hi), it.Status, costStr(it.Cost),
+			it.Conflicts, it.Decisions, it.Duration.Round(time.Microsecond))
+		sumC += it.Conflicts
+		sumD += it.Decisions
+		sumT += it.Duration
+	}
+	fmt.Fprintf(&b, "%4s  %-15s %-8s %8s %10d %10d %12s\n",
+		"Σ", "", "", "", sumC, sumD, sumT.Round(time.Microsecond))
+	return b.String()
+}
+
+func window(lo, hi int64) string {
+	l, h := "-∞", "+∞"
+	if lo >= 0 {
+		l = fmt.Sprint(lo)
+	}
+	if hi >= 0 {
+		h = fmt.Sprint(hi)
+	}
+	return "[" + l + "," + h + "]"
+}
+
+func costStr(c int64) string {
+	if c < 0 {
+		return "-"
+	}
+	return fmt.Sprint(c)
+}

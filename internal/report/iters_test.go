@@ -1,0 +1,36 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"satalloc/internal/opt"
+	"satalloc/internal/sat"
+)
+
+func TestIterTable(t *testing.T) {
+	iters := []opt.IterStats{
+		{Call: 1, Lo: -1, Hi: -1, Status: sat.Sat, Cost: 88, Conflicts: 1200, Decisions: 7000, Duration: 600 * time.Millisecond},
+		{Call: 2, Lo: 12, Hi: 50, Status: sat.Sat, Cost: 24, Conflicts: 452, Decisions: 2200, Duration: 200 * time.Millisecond},
+		{Call: 3, Lo: 12, Hi: 17, Status: sat.Unsat, Cost: -1, Conflicts: 300, Decisions: 1500, Duration: 100 * time.Millisecond},
+	}
+	out := IterTable(iters)
+	for _, want := range []string{"[-∞,+∞]", "[12,50]", "SAT", "UNSAT", "1952", "3 calls"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The UNSAT row must render its absent cost as "-".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "UNSAT") && !strings.Contains(line, " - ") {
+			t.Fatalf("UNSAT row should show '-' cost: %q", line)
+		}
+	}
+}
+
+func TestIterTableEmpty(t *testing.T) {
+	if out := IterTable(nil); !strings.Contains(out, "no SOLVE calls") {
+		t.Fatalf("unexpected empty rendering: %q", out)
+	}
+}

@@ -1,0 +1,62 @@
+package sat
+
+import "testing"
+
+// TestProgressHookFires checks the OnProgress contract on a learning-heavy
+// instance: the hook fires at least at Solve entry and at every restart,
+// snapshots are monotone in the cumulative counters, and the final
+// snapshot agrees with the solver's own Stats.
+func TestProgressHookFires(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 7)
+	var snaps []Progress
+	s.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+	if s.Solve() != Unsat {
+		t.Fatal("PHP must be unsat")
+	}
+	if len(snaps) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	if snaps[0].Event != "solve" {
+		t.Fatalf("first event %q, want solve", snaps[0].Event)
+	}
+	restarts := 0
+	for i, p := range snaps {
+		if p.Event == "restart" {
+			restarts++
+		}
+		if i == 0 {
+			continue
+		}
+		prev := snaps[i-1]
+		if p.Conflicts < prev.Conflicts || p.Decisions < prev.Decisions ||
+			p.Propagations < prev.Propagations || p.Restarts < prev.Restarts {
+			t.Fatalf("non-monotone snapshot at %d: %+v after %+v", i, p, prev)
+		}
+	}
+	if int64(restarts) != s.Stats.Restarts {
+		t.Fatalf("saw %d restart events, solver counted %d", restarts, s.Stats.Restarts)
+	}
+	last := snaps[len(snaps)-1]
+	if last.Conflicts > s.Stats.Conflicts || last.Decisions > s.Stats.Decisions {
+		t.Fatalf("final snapshot %+v exceeds cumulative stats %+v", last, s.Stats)
+	}
+	if s.Stats.Restarts == 0 {
+		t.Fatal("PHP(8,7) should restart at least once; restart path untested")
+	}
+}
+
+// TestProgressHookNilIsFree exercises the nil-hook path (the default) —
+// solving must behave identically with no hook set.
+func TestProgressHookNilIsFree(t *testing.T) {
+	a, b := New(), New()
+	addPigeonhole(a, 6)
+	addPigeonhole(b, 6)
+	b.OnProgress = func(Progress) {}
+	if a.Solve() != Unsat || b.Solve() != Unsat {
+		t.Fatal("PHP must be unsat")
+	}
+	if a.Stats.Conflicts != b.Stats.Conflicts || a.Stats.Decisions != b.Stats.Decisions {
+		t.Fatalf("hook changed the search: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

@@ -46,6 +46,23 @@ type Stats struct {
 	NumLiterals int64
 }
 
+// Progress is a point-in-time snapshot of the search, delivered to the
+// Solver's OnProgress hook.
+type Progress struct {
+	// Event names the boundary that triggered the callback: "solve"
+	// (entry of a Solve call), "restart", or "reduce" (learnt-DB
+	// reduction).
+	Event        string
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	// Learnts is the current size of the learnt-clause database.
+	Learnts int
+	// TrailDepth is the number of literals assigned at the callback point.
+	TrailDepth int
+}
+
 // Solver is a CDCL SAT solver over clauses and pseudo-Boolean constraints.
 // The zero value is not usable; call New.
 //
@@ -84,6 +101,13 @@ type Solver struct {
 	// MaxConflicts, when > 0, bounds the number of conflicts per Solve
 	// call; exceeding it yields Unknown.
 	MaxConflicts int64
+
+	// OnProgress, when non-nil, receives a Progress snapshot at
+	// low-frequency search boundaries: the entry of each Solve call, each
+	// restart, and each learnt-DB reduction. The hot propagation loop
+	// never checks it, so a nil hook costs nothing and a set hook costs
+	// O(restarts) calls per solve.
+	OnProgress func(Progress)
 
 	Stats
 }
@@ -600,6 +624,23 @@ func (s *Solver) pickBranchLit() Lit {
 	return LitUndef
 }
 
+// fireProgress invokes the OnProgress hook with a snapshot of the
+// counters. Call sites sit outside the propagation loop by design.
+func (s *Solver) fireProgress(event string) {
+	if s.OnProgress == nil {
+		return
+	}
+	s.OnProgress(Progress{
+		Event:        event,
+		Conflicts:    s.Stats.Conflicts,
+		Decisions:    s.Stats.Decisions,
+		Propagations: s.Stats.Propagations,
+		Restarts:     s.Stats.Restarts,
+		Learnts:      len(s.learnts),
+		TrailDepth:   len(s.trail),
+	})
+}
+
 // luby returns the i-th element (1-based) of the Luby restart sequence.
 func luby(i int64) int64 {
 	for k := int64(1); ; k++ {
@@ -625,6 +666,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 
+	s.fireProgress("solve")
 	var conflictsThisCall int64
 	restartNum := int64(1)
 	conflictBudget := luby(restartNum) * 100
@@ -646,6 +688,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if float64(len(s.learnts)) >= s.maxLearnt {
 				s.reduceDB()
 				s.maxLearnt *= 1.3
+				s.fireProgress("reduce")
 			}
 			if conflictsThisCall >= conflictBudget {
 				// Restart.
@@ -653,6 +696,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				restartNum++
 				conflictBudget = conflictsThisCall + luby(restartNum)*100
 				s.cancelUntil(0)
+				s.fireProgress("restart")
 			}
 			if s.MaxConflicts > 0 && conflictsThisCall > s.MaxConflicts {
 				s.cancelUntil(0)
