@@ -1,9 +1,11 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race fuzz bench
 
-## check: the full CI gate — vet, build, and the race-enabled test suite.
-check: vet build race
+## check: the full CI gate — vet, build, the race-enabled test suite, and
+## a short fuzz smoke run of every parser-hardening target.
+check: vet build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fuzz: smoke-run the native fuzz targets for $(FUZZTIME) each. Longer
+## campaigns: go test -fuzz FuzzParseDIMACS -fuzztime 10m ./internal/sat
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDIMACS$$' -fuzztime $(FUZZTIME) ./internal/sat
+	$(GO) test -run '^$$' -fuzz '^FuzzParseOPB$$' -fuzztime $(FUZZTIME) ./internal/sat
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSpec$$' -fuzztime $(FUZZTIME) ./internal/core
 
 ## bench: the solver micro-benchmarks (hooks disabled), for regression spotting.
 bench:

@@ -183,16 +183,16 @@ func BenchmarkBaselineSA(b *testing.B) {
 // iteration — the "regenerate the whole evaluation section" button.
 func BenchmarkSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(experiments.Scaled); err != nil {
+		if _, err := experiments.Table1(experiments.Scaled, experiments.Budget{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiments.Table2(experiments.Scaled); err != nil {
+		if _, err := experiments.Table2(experiments.Scaled, experiments.Budget{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiments.Table3(experiments.Scaled); err != nil {
+		if _, err := experiments.Table3(experiments.Scaled, experiments.Budget{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiments.Table4(experiments.Scaled); err != nil {
+		if _, err := experiments.Table4(experiments.Scaled, experiments.Budget{}); err != nil {
 			b.Fatal(err)
 		}
 	}

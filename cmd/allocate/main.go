@@ -5,6 +5,7 @@
 //
 //	allocate [-objective trt|sumtrt|busutil|maxutil] [-medium id]
 //	         [-fresh] [-v] [-progress 1s] [-iters] [-trace spans.jsonl]
+//	         [-timeout 30s] [-conflict-budget n]
 //	         [-cpuprofile f] [-memprofile f] [-exectrace f] [spec.json]
 //
 // With no file argument the spec is read from stdin. The result — the
@@ -17,6 +18,12 @@
 // (and prints the phase-breakdown table to stderr); -iters prints the
 // per-SOLVE-call search history; -cpuprofile/-memprofile/-exectrace write
 // runtime/pprof profiles and a go-tool-trace execution trace.
+//
+// Budgets: -timeout bounds the wall clock and -conflict-budget each SOLVE
+// call; Ctrl-C cancels cleanly. On any of the three the search degrades
+// to its best incumbent with a proven optimality gap (printed, exit 0) or
+// reports budget exhaustion before any model (exit 4). INFEASIBLE stays
+// exit 3.
 package main
 
 import (
@@ -25,8 +32,10 @@ import (
 	"io"
 	"os"
 
+	"satalloc/internal/cli"
 	"satalloc/internal/core"
 	"satalloc/internal/obs"
+	"satalloc/internal/opt"
 	"satalloc/internal/report"
 )
 
@@ -49,7 +58,11 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	budget := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := budget.Context()
+	defer cancel()
 
 	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
@@ -71,7 +84,11 @@ func run() int {
 		fatal(err)
 	}
 
-	cfg := core.Config{ObjectiveMedium: *medium, FreshSolverPerCall: *fresh}
+	cfg := core.Config{
+		ObjectiveMedium:     *medium,
+		FreshSolverPerCall:  *fresh,
+		MaxConflictsPerCall: budget.ConflictBudget,
+	}
 	switch *objective {
 	case "trt":
 		cfg.Objective = core.MinimizeTRT
@@ -114,7 +131,7 @@ func run() int {
 		}()
 	}
 
-	sol, err := core.Solve(sys, cfg)
+	sol, err := core.SolveContext(ctx, sys, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,8 +139,16 @@ func run() int {
 		fmt.Fprint(os.Stderr, report.IterTable(sol.Iters))
 	}
 	if !sol.Feasible {
+		if sol.Status == opt.Aborted {
+			fmt.Println("UNKNOWN: budget exhausted or cancelled before any feasible allocation was found")
+			return 4
+		}
 		fmt.Println("INFEASIBLE: no allocation meets all deadlines")
 		return 3
+	}
+	if sol.Status == opt.Feasible {
+		fmt.Printf("FEASIBLE (search interrupted): cost=%d, proven lower bound=%d, gap=%d\n",
+			sol.Cost, sol.LowerBound, sol.Cost-sol.LowerBound)
 	}
 	if *asJSON {
 		if err := core.WriteAllocation(os.Stdout, sys, sol.Allocation, sol.Cost); err != nil {

@@ -5,9 +5,12 @@
 // Usage:
 //
 //	analyze -spec system.json [-alloc allocation.json] [-sim] [-horizon n]
+//	        [-timeout 30s]
 //
 // Without -alloc the greedy first-fit baseline produces the allocation, so
-// the tool can also be used as a quick feasibility probe.
+// the tool can also be used as a quick feasibility probe. -timeout (or
+// Ctrl-C) bounds the run: the analysis verdict is always printed, and the
+// optional simulation phases are skipped once the budget is spent.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"satalloc/internal/baseline"
+	"satalloc/internal/cli"
 	"satalloc/internal/core"
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
@@ -28,7 +32,11 @@ func main() {
 	allocPath := flag.String("alloc", "", "allocation JSON (default: greedy first-fit)")
 	runSim := flag.Bool("sim", false, "also run the discrete-event simulator")
 	horizon := flag.Int64("horizon", 20000, "simulation horizon in ticks")
+	budget := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := budget.Context()
+	defer cancel()
 
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -spec is required")
@@ -85,10 +93,23 @@ func main() {
 		fmt.Printf("  VIOLATION: %s\n", v)
 	}
 
-	if *runSim {
+	// The simulation phases are the expensive part; the budget is polled
+	// between them so a timeout (or Ctrl-C) still leaves the analysis
+	// verdict above intact.
+	spent := func() bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		fmt.Fprintln(os.Stderr, "analyze: budget exhausted or cancelled; skipping remaining simulation")
+		return true
+	}
+	if *runSim && !spent() {
 		fmt.Println("\nsimulation (observed figures include the release-jitter offset,")
 		fmt.Println("so the sound bound is the analyzed response plus the task's jitter):")
 		for _, e := range sys.ECUs {
+			if ctx.Err() != nil {
+				break
+			}
 			for id, o := range sim.SimulateECU(sys, alloc, e.ID, *horizon) {
 				task := sys.TaskByID(id)
 				bound := res.TaskResponse[id] + task.Jitter
@@ -101,6 +122,9 @@ func main() {
 			}
 		}
 		for _, med := range sys.Media {
+			if spent() {
+				break
+			}
 			var obs map[int]*sim.MsgObservation
 			if med.Kind == model.TokenRing {
 				obs = sim.SimulateTokenRing(sys, alloc, med.ID, *horizon)
@@ -117,19 +141,21 @@ func main() {
 		}
 		// Whole-system co-simulation: end-to-end journeys with gateway
 		// forwarding, checked against the §4 certified bounds.
-		e2e := sim.SimulateSystem(sys, alloc, *horizon)
-		for _, m := range sys.Messages {
-			o := e2e[m.ID]
-			if o == nil || o.Deliveries == 0 {
-				continue
+		if !spent() {
+			e2e := sim.SimulateSystem(sys, alloc, *horizon)
+			for _, m := range sys.Messages {
+				o := e2e[m.ID]
+				if o == nil || o.Deliveries == 0 {
+					continue
+				}
+				bound := sim.EndToEndBound(sys, alloc, m.ID)
+				verdict := "OK"
+				if bound == rta.Infeasible || o.MaxLatency > bound {
+					verdict = "VIOLATION"
+				}
+				fmt.Printf("  msg  %-8s end-to-end observed %4d ≤ certified %4d (Δ %d)  %s\n",
+					m.Name, o.MaxLatency, bound, m.Deadline, verdict)
 			}
-			bound := sim.EndToEndBound(sys, alloc, m.ID)
-			verdict := "OK"
-			if bound == rta.Infeasible || o.MaxLatency > bound {
-				verdict = "VIOLATION"
-			}
-			fmt.Printf("  msg  %-8s end-to-end observed %4d ≤ certified %4d (Δ %d)  %s\n",
-				m.Name, o.MaxLatency, bound, m.Deadline, verdict)
 		}
 	}
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|iters|all]
+//	         [-timeout 10m] [-conflict-budget n]
 //	         [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
 // Scaled mode (default) shrinks the instances so the whole suite finishes
@@ -12,6 +13,10 @@
 // the per-SOLVE-call search history of one representative run — the
 // per-call measurement behind the §7 incremental-speedup claim. The
 // profile flags write runtime/pprof output for the whole suite.
+//
+// -timeout bounds the whole suite's wall clock (and Ctrl-C cancels it):
+// the in-flight solve degrades to its best incumbent, tables stop between
+// instances, and the rows completed so far are still printed.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"satalloc/internal/cli"
 	"satalloc/internal/experiments"
 	"satalloc/internal/obs"
 )
@@ -35,7 +41,12 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	budgetFlags := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := budgetFlags.Context()
+	defer cancel()
+	budget := experiments.Budget{Ctx: ctx, MaxConflictsPerCall: budgetFlags.ConflictBudget}
 
 	mode := experiments.Scaled
 	switch *modeFlag {
@@ -63,7 +74,7 @@ func run() int {
 
 	fmt.Printf("== satalloc experiment suite (%s mode) ==\n\n", mode)
 	if want("1") {
-		rows, err := experiments.Table1(mode)
+		rows, err := experiments.Table1(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
@@ -71,7 +82,7 @@ func run() int {
 		}
 	}
 	if want("2") {
-		rows, err := experiments.Table2(mode)
+		rows, err := experiments.Table2(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
@@ -80,7 +91,7 @@ func run() int {
 		}
 	}
 	if want("3") {
-		rows, err := experiments.Table3(mode)
+		rows, err := experiments.Table3(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
@@ -89,7 +100,7 @@ func run() int {
 		}
 	}
 	if want("4") {
-		rows, err := experiments.Table4(mode)
+		rows, err := experiments.Table4(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
@@ -97,7 +108,7 @@ func run() int {
 		}
 	}
 	if want("reuse") {
-		row, err := experiments.LearnedClauseReuse(mode)
+		row, err := experiments.LearnedClauseReuse(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
@@ -105,12 +116,15 @@ func run() int {
 		}
 	}
 	if want("iters") {
-		row, err := experiments.SearchHistory(mode)
+		row, err := experiments.SearchHistory(mode, budget)
 		if err != nil {
 			fail(err)
 		} else {
 			fmt.Println(experiments.FormatHistory(row))
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "benchtab: budget exhausted or cancelled; tables above may be partial")
 	}
 	return code
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	solvesat [-format cnf|opb] [-progress 1s] [-cpuprofile f]
+//	solvesat [-format cnf|opb] [-progress 1s] [-timeout 30s]
+//	         [-conflict-budget n] [-cpuprofile f]
 //	         [-memprofile f] [-exectrace f] [file]
 //
 // Without -format the format is inferred from the file extension (.cnf /
@@ -15,6 +16,12 @@
 // conventions (s/v/o lines). -progress prints "c progress ..." comment
 // lines to stderr at the given interval; the profile flags write
 // runtime/pprof output.
+//
+// Exit codes follow the DIMACS convention: 10 SATISFIABLE, 20
+// UNSATISFIABLE, 30 OPTIMUM FOUND, 0 unknown (including budget
+// exhaustion). -timeout and -conflict-budget (and Ctrl-C) halt the
+// search early; a model found before the halt is still printed with
+// "s SATISFIABLE" and exit 10.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"satalloc/internal/cli"
 	"satalloc/internal/obs"
 	"satalloc/internal/sat"
 )
@@ -40,7 +48,11 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	budget := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := budget.Context()
+	defer cancel()
 
 	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
@@ -80,15 +92,19 @@ func run() int {
 			fatal(err)
 		}
 		s.OnProgress = hook
+		s.Stop = func() bool { return ctx.Err() != nil }
+		s.MaxConflicts = budget.ConflictBudget
 		switch s.Solve() {
 		case sat.Sat:
 			fmt.Println("s SATISFIABLE")
 			printModel(s, n)
+			return 10
 		case sat.Unsat:
 			fmt.Println("s UNSATISFIABLE")
 			return 20
 		default:
 			fmt.Println("s UNKNOWN")
+			return 0
 		}
 	case "opb":
 		s, obj, err := sat.ParseOPB(in)
@@ -96,27 +112,31 @@ func run() int {
 			fatal(err)
 		}
 		s.OnProgress = hook
+		s.Stop = func() bool { return ctx.Err() != nil }
+		s.MaxConflicts = budget.ConflictBudget
 		n := s.NumVariables()
 		if len(obj) == 0 {
 			switch s.Solve() {
 			case sat.Sat:
 				fmt.Println("s SATISFIABLE")
 				printModel(s, n)
+				return 10
 			case sat.Unsat:
 				fmt.Println("s UNSATISFIABLE")
 				return 20
 			default:
 				fmt.Println("s UNKNOWN")
+				return 0
 			}
-			return 0
 		}
 		// Minimize: iterative strengthening. Each round adds the permanent
 		// (and entailed-by-optimality-search) constraint obj ≤ best−1.
-		best, haveModel := int64(0), false
+		best, haveModel, halted := int64(0), false, false
 		var model []bool
 		for {
 			st := s.Solve()
 			if st != sat.Sat {
+				halted = st == sat.Unknown
 				break
 			}
 			var v int64
@@ -139,12 +159,25 @@ func run() int {
 			}
 		}
 		if !haveModel {
+			if halted {
+				fmt.Println("s UNKNOWN")
+				return 0
+			}
 			fmt.Println("s UNSATISFIABLE")
 			return 20
+		}
+		if halted {
+			// Budget hit with a model in hand: the model is valid, just not
+			// proven optimal.
+			fmt.Println("s SATISFIABLE")
+			fmt.Printf("c objective = %d (search halted before the optimality proof)\n", best)
+			printSnapshot(model)
+			return 10
 		}
 		fmt.Println("s OPTIMUM FOUND")
 		fmt.Printf("c objective = %d\n", best)
 		printSnapshot(model)
+		return 30
 	default:
 		fatal(fmt.Errorf("unknown format %q", fm))
 	}

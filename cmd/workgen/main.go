@@ -4,7 +4,7 @@
 // Usage:
 //
 //	workgen [-kind t43|t43can|ring|archA|archB|archC|automotive]
-//	        [-ecus n] [-tasks n] [-seed n]
+//	        [-ecus n] [-tasks n] [-seed n] [-timeout 30s]
 //
 // Kinds:
 //
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"satalloc/internal/cli"
 	"satalloc/internal/core"
 	"satalloc/internal/model"
 	"satalloc/internal/workload"
@@ -32,7 +33,13 @@ func main() {
 	tasks := flag.Int("tasks", 20, "task count for -kind ring")
 	seed := flag.Int64("seed", 43, "generator seed for -kind ring")
 	describe := flag.Bool("describe", false, "print a topology overview to stderr")
+	// Generation is fast; the shared budget flags are accepted for CLI
+	// uniformity and bound the (already quick) generate+validate+emit path.
+	budget := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := budget.Context()
+	defer cancel()
 
 	var sys *model.System
 	switch *kind {
@@ -67,6 +74,10 @@ func main() {
 	if err := sys.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "workgen: generated system invalid: %v\n", err)
 		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "workgen: budget exhausted or cancelled before the spec was emitted")
+		os.Exit(4)
 	}
 	if *describe {
 		fmt.Fprint(os.Stderr, sys.Describe())

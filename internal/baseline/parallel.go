@@ -8,12 +8,19 @@ import (
 
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 )
 
 // ParallelSA runs the simulated-annealing restarts concurrently, one
 // goroutine per restart (bounded by GOMAXPROCS), and returns the best
 // result. Each restart derives its own seed, so the search is
 // deterministic for a fixed option set regardless of scheduling order.
+//
+// A panicking restart is contained: its goroutine recovers, the restart
+// counts as infeasible, and the surviving restarts still contribute their
+// results (the heuristic arm of a portfolio must never take the exact arm
+// down with it). opts.Ctx cancellation makes every restart return its
+// best-so-far promptly.
 func ParallelSA(sys *model.System, opts SAOptions) *SAResult {
 	restarts := opts.Restarts
 	if restarts < 1 {
@@ -29,11 +36,23 @@ func ParallelSA(sys *model.System, opts SAOptions) *SAResult {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sp := opts.Trace.Child(fmt.Sprintf("SA[%d]", i))
+			defer func() {
+				if r := recover(); r != nil {
+					results[i] = &SAResult{Feasible: false, Cost: math.MaxInt64}
+					sp.Outcome(obs.OutcomeError).Attr("panic", fmt.Sprint(r)).End()
+					if opts.Logf != nil {
+						opts.Logf("SA restart %d: PANIC contained: %v", i, r)
+					}
+				}
+			}()
 			o := opts
 			o.Restarts = 1
 			o.Seed = opts.Seed + int64(i)*7919 // distinct deterministic seeds
 			r := SimulatedAnnealing(sys, o)
 			results[i] = r
+			if opts.Ctx != nil && opts.Ctx.Err() != nil {
+				sp.Outcome(obs.OutcomeCancelled)
+			}
 			sp.Attr("feasible", r.Feasible).Attr("cost", r.Cost).
 				Attr("evaluated", r.Evaluated).End()
 			if opts.Logf != nil {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -8,6 +9,11 @@ import (
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
 )
+
+// ctxCheckSteps is the annealing-step interval between context polls: the
+// anytime guarantee is "returns the best-so-far within this many steps of
+// cancellation".
+const ctxCheckSteps = 128
 
 // SAOptions tunes the simulated-annealing allocator.
 type SAOptions struct {
@@ -17,6 +23,11 @@ type SAOptions struct {
 	Steps    int     // total annealing steps
 	Restarts int     // independent restarts; the best result wins
 	Encode   encode.Options
+	// Ctx, when set, makes the annealer cancellable: it is polled every
+	// ctxCheckSteps steps and at restart boundaries, and on cancellation
+	// the best result found so far is returned (anytime behaviour, like
+	// the exact arm). Nil means never cancelled.
+	Ctx context.Context
 	// Trace, when set, is the parent span under which ParallelSA records
 	// one SA[i] span per restart. Nil disables tracing.
 	Trace *obs.Span
@@ -56,8 +67,12 @@ func SimulatedAnnealing(sys *model.System, opts SAOptions) *SAResult {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	paths := sys.EnumeratePaths()
 	best := &SAResult{Feasible: false, Cost: math.MaxInt64}
+	cancelled := func() bool { return opts.Ctx != nil && opts.Ctx.Err() != nil }
 
 	for restart := 0; restart < opts.Restarts; restart++ {
+		if cancelled() {
+			return best
+		}
 		cur := InitialCandidate(sys, rng)
 		curE, curOK := Energy(sys, cur, opts.Encode)
 		best.Evaluated++
@@ -68,6 +83,9 @@ func SimulatedAnnealing(sys *model.System, opts SAOptions) *SAResult {
 		}
 		temp := opts.Initial
 		for step := 0; step < opts.Steps; step++ {
+			if step%ctxCheckSteps == 0 && cancelled() {
+				return best
+			}
 			next := mutate(sys, cur, paths, rng)
 			nextE, nextOK := Energy(sys, next, opts.Encode)
 			best.Evaluated++

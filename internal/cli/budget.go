@@ -1,0 +1,49 @@
+// Package cli holds the flag plumbing the cmd/ binaries share: every tool
+// exposes the same -timeout and -conflict-budget flags and the same
+// Ctrl-C behaviour, so a solve can always be deadlined or cancelled and
+// degrade gracefully instead of being killed mid-search.
+package cli
+
+import (
+	"context"
+	"flag"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Budget carries the wall-clock and conflict budgets parsed from the
+// shared CLI flags.
+type Budget struct {
+	// Timeout bounds the whole run's wall clock; 0 means unlimited.
+	Timeout time.Duration
+	// ConflictBudget bounds each SOLVE call's CDCL conflicts; 0 means
+	// unlimited.
+	ConflictBudget int64
+}
+
+// AddBudgetFlags registers -timeout and -conflict-budget on the flag set
+// (the default set via flag.CommandLine) and returns the Budget they
+// populate after fs.Parse.
+func AddBudgetFlags(fs *flag.FlagSet) *Budget {
+	b := &Budget{}
+	fs.DurationVar(&b.Timeout, "timeout", 0,
+		"wall-clock budget for the whole run; on expiry the best result so far is returned (0: unlimited)")
+	fs.Int64Var(&b.ConflictBudget, "conflict-budget", 0,
+		"CDCL conflict budget per SOLVE call; exhaustion degrades to the best incumbent (0: unlimited)")
+	return b
+}
+
+// Context returns a context honouring the budget's timeout and the
+// process's interrupt signals: SIGINT/SIGTERM cancel it, so a Ctrl-C
+// degrades the solve to its best incumbent instead of killing the
+// process mid-search (a second Ctrl-C falls back to the default abrupt
+// termination). Callers must call the returned cancel.
+func (b *Budget) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if b.Timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, tcancel := context.WithTimeout(ctx, b.Timeout)
+	return tctx, func() { tcancel(); stop() }
+}

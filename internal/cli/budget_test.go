@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestAddBudgetFlagsParses(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	b := AddBudgetFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "1500ms", "-conflict-budget", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Timeout != 1500*time.Millisecond || b.ConflictBudget != 42 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestContextWithoutTimeoutHasNoDeadline(t *testing.T) {
+	b := &Budget{}
+	ctx, cancel := b.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("unexpected deadline on unlimited budget")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already cancelled: %v", ctx.Err())
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Fatal("cancel did not cancel the context")
+	}
+}
+
+func TestContextTimeoutExpires(t *testing.T) {
+	b := &Budget{Timeout: time.Millisecond}
+	ctx, cancel := b.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("timeout budget must set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context did not expire")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}

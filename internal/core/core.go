@@ -13,9 +13,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
+	"satalloc/internal/bv"
 	"satalloc/internal/encode"
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
@@ -49,6 +52,14 @@ type Config struct {
 	FreshSolverPerCall bool
 	// MaxConflictsPerCall aborts runaway solves; 0 = unlimited.
 	MaxConflictsPerCall int64
+	// Timeout bounds the whole solve wall-clock; 0 = unlimited. On expiry
+	// the search degrades to the best incumbent found (Status Feasible
+	// with a proven [LowerBound, Cost] window) or Aborted, never an empty
+	// hang. It composes with the caller's context in SolveContext.
+	Timeout time.Duration
+	// DiagnosticsDir is where panic repro bundles are written; empty uses
+	// DefaultDiagnosticsDir.
+	DiagnosticsDir string
 	// Logf receives progress lines when set. SolvePortfolio invokes it
 	// from both arms concurrently, so it must be safe for concurrent use
 	// there.
@@ -64,14 +75,25 @@ type Config struct {
 
 // Solution is the outcome of a Solve run.
 type Solution struct {
-	// Feasible is false when no allocation meets all deadlines.
+	// Status is the optimizer's verdict: Optimal, Infeasible, Feasible
+	// (interrupted with an incumbent and a proven gap), or Aborted
+	// (interrupted before any model was found).
+	Status opt.Status
+	// Feasible is false when no allocation is available (either none
+	// exists, or the search was interrupted before finding one).
 	Feasible bool
-	// Aborted is true when the conflict budget was exhausted; Cost then
-	// holds the best (possibly suboptimal) value found, if any.
+	// Aborted is true when the search was interrupted — conflict budget,
+	// deadline, or cancellation; Cost then holds the best (possibly
+	// suboptimal) value found, if any. See Status for the finer verdict.
 	Aborted bool
-	// Cost is the proven-minimal objective value (when Feasible and not
-	// Aborted).
+	// Cost is the objective value of Allocation: the proven minimum when
+	// Status is Optimal, the best incumbent's (verified) value when
+	// Status is Feasible.
 	Cost int64
+	// LowerBound is the proven lower bound on the optimal cost; equal to
+	// Cost when Status is Optimal, ≤ Cost when Feasible (the difference
+	// is the suboptimality gap).
+	LowerBound int64
 	// Allocation is the optimal deployment: Π, Φ, Γ, slot table, local
 	// message deadlines.
 	Allocation *model.Allocation
@@ -91,11 +113,38 @@ type Solution struct {
 }
 
 // Solve finds a provably cost-minimal schedulable allocation of the
-// system's tasks and messages, or reports infeasibility.
+// system's tasks and messages, or reports infeasibility. It is
+// SolveContext under a background context — cfg.Timeout still applies.
 func Solve(sys *model.System, cfg Config) (*Solution, error) {
+	return SolveContext(context.Background(), sys, cfg)
+}
+
+// SolveContext is Solve under a caller-supplied context. Cancellation (or
+// cfg.Timeout, whichever fires first) stops the search within one solver
+// restart boundary and degrades the result along the ladder
+// optimal → feasible-with-gap → aborted, preserving the best incumbent
+// and the proven cost window instead of discarding the work done.
+//
+// A panic anywhere in the encode/solve/decode pipeline is contained here:
+// it is recovered, a repro bundle (problem spec, formula dump, solver
+// stats, stack) is written under cfg.DiagnosticsDir, and a *PanicError
+// is returned in its place.
+func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solution, err error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid system: %w", err)
 	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	var observed *bv.System
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, observed)
+		}
+	}()
 	objMedium := cfg.ObjectiveMedium
 	if objMedium == 0 {
 		objMedium = -1
@@ -114,11 +163,15 @@ func Solve(sys *model.System, cfg Config) (*Solution, error) {
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
 		Progress:            cfg.Progress,
+		Ctx:                 ctx,
+		Observe:             func(b *bv.System) { observed = b },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization failed: %w", err)
 	}
-	sol := &Solution{
+	sol = &Solution{
+		Status:      res.Status,
+		LowerBound:  res.LowerBound,
 		BoolVars:    res.Vars,
 		Literals:    res.Literals,
 		SolveCalls:  res.SolveCalls,
@@ -130,7 +183,7 @@ func Solve(sys *model.System, cfg Config) (*Solution, error) {
 	switch res.Status {
 	case opt.Infeasible:
 		return sol, nil
-	case opt.Aborted:
+	case opt.Aborted, opt.Feasible:
 		sol.Aborted = true
 	}
 	sol.Feasible = res.Allocation != nil
@@ -157,10 +210,19 @@ func CheckFeasible(sys *model.System, cfg Config) (bool, error) {
 // Explain renders a human-readable summary of a solution.
 func Explain(sys *model.System, sol *Solution) string {
 	if sol == nil || !sol.Feasible {
+		if sol != nil && sol.Status == opt.Aborted {
+			return "budget exhausted or cancelled before any feasible allocation was found\n"
+		}
 		return "no feasible allocation exists\n"
 	}
-	out := fmt.Sprintf("optimal cost: %d (proven by binary search over %d SOLVE calls)\n",
-		sol.Cost, sol.SolveCalls)
+	var out string
+	if sol.Status == opt.Feasible {
+		out = fmt.Sprintf("feasible cost: %d (search interrupted; proven lower bound %d, gap %d, %d SOLVE calls)\n",
+			sol.Cost, sol.LowerBound, sol.Cost-sol.LowerBound, sol.SolveCalls)
+	} else {
+		out = fmt.Sprintf("optimal cost: %d (proven by binary search over %d SOLVE calls)\n",
+			sol.Cost, sol.SolveCalls)
+	}
 	out += fmt.Sprintf("encoding: %d Boolean variables, %d literals; %d conflicts; %v\n",
 		sol.BoolVars, sol.Literals, sol.Conflicts, sol.Duration.Round(time.Millisecond))
 	for _, t := range sys.Tasks {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"satalloc/internal/bv"
+	"satalloc/internal/model"
+)
+
+// PanicError is the typed error a contained solver panic surfaces as: the
+// pipeline recovered at the core.Solve boundary, wrote a repro bundle to
+// disk, and degraded to an error return instead of taking the process
+// down. Detect it with errors.As(err, &pe).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+	// BundleDir is the directory holding the repro bundle (spec.json, the
+	// formula dump, solver stats, and the panic report); empty when no
+	// bundle could be written.
+	BundleDir string
+	// BundleErr reports why the bundle is missing or incomplete, nil when
+	// the bundle was written cleanly.
+	BundleErr error
+}
+
+func (e *PanicError) Error() string {
+	msg := fmt.Sprintf("core: solve panicked: %v", e.Value)
+	if e.BundleDir != "" {
+		msg += fmt.Sprintf(" (repro bundle: %s)", e.BundleDir)
+	}
+	return msg
+}
+
+// DefaultDiagnosticsDir is where repro bundles land when Config leaves
+// DiagnosticsDir empty.
+func DefaultDiagnosticsDir() string {
+	return filepath.Join(os.TempDir(), "satalloc-diag")
+}
+
+// newPanicError recovers the panic value into a PanicError, writing a
+// best-effort repro bundle. bsys may be nil when the panic struck before
+// any solver was compiled.
+func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys *bv.System) *PanicError {
+	bundle, berr := writeReproBundle(dir, sys, bsys, value, stack)
+	return &PanicError{Value: value, Stack: stack, BundleDir: bundle, BundleErr: berr}
+}
+
+// writeReproBundle writes a fresh panic-* directory under dir holding
+// everything needed to replay the failing solve: the problem spec, the
+// bit-blasted formula in DIMACS or OPB form, the solver's counter
+// snapshot, and the panic value plus stack. Every file is best-effort —
+// the first write error is reported but does not stop the remaining
+// files, so a partially corrupted solver still yields a usable bundle.
+func writeReproBundle(dir string, sys *model.System, bsys *bv.System, value any, stack []byte) (string, error) {
+	if dir == "" {
+		dir = DefaultDiagnosticsDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	bundle, err := os.MkdirTemp(dir, "panic-")
+	if err != nil {
+		return "", err
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	write := func(name string, fn func(*os.File) error) {
+		f, err := os.Create(filepath.Join(bundle, name))
+		if err != nil {
+			keep(err)
+			return
+		}
+		keep(fn(f))
+		keep(f.Close())
+	}
+	write("panic.txt", func(f *os.File) error {
+		_, err := fmt.Fprintf(f, "panic: %v\n\n%s", value, stack)
+		return err
+	})
+	if sys != nil {
+		write("spec.json", func(f *os.File) error { return WriteSpec(f, sys) })
+	}
+	if bsys != nil && bsys.S != nil {
+		// The bit-blast usually emits PB constraints, which CNF cannot
+		// express; pick the dump format the formula actually fits.
+		if bsys.S.Stats.NumPB == 0 {
+			write("formula.cnf", func(f *os.File) error { return bsys.S.WriteDIMACS(f) })
+		} else {
+			write("formula.opb", func(f *os.File) error { return bsys.S.WriteOPB(f) })
+		}
+		write("stats.json", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(bsys.S.Stats)
+		})
+	}
+	return bundle, firstErr
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"satalloc/internal/workload"
+)
+
+// FuzzReadSpec hardens the JSON spec ingestion path: arbitrary bytes must
+// either be rejected with an error or produce a system that passes (or is
+// cleanly rejected by) Validate — never a panic. The seed corpus includes
+// a real spec so the fuzzer starts from the accepted grammar.
+func FuzzReadSpec(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, workload.T43()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"name":"x","ecus":[{"id":0,"name":"p"}]}`))
+	f.Add([]byte(`{"tasks":[{"id":-1,"period":-5}]}`))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if sys == nil {
+			t.Fatal("ReadSpec returned nil system with nil error")
+		}
+		// Validation may reject the system, but must not panic either.
+		_ = sys.Validate()
+	})
+}

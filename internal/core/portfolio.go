@@ -1,12 +1,18 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"satalloc/internal/baseline"
 	"satalloc/internal/encode"
+	"satalloc/internal/faultinject"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
+	"satalloc/internal/opt"
 	"satalloc/internal/rta"
 )
 
@@ -21,10 +27,17 @@ type PortfolioResult struct {
 	IncumbentCost int64
 	IncumbentAt   time.Duration
 	// Exact is the SAT result — the proven optimum (or infeasibility).
+	// Nil when the exact arm died; see ExactErr.
 	Exact *Solution
 	// ExactAt is when the exact arm finished; IncumbentAt < ExactAt means
 	// the heuristic won the race to a first answer.
 	ExactAt time.Duration
+	// ExactErr is the exact arm's failure (typically a *PanicError from
+	// the containment layer) when the heuristic arm's incumbent rescued
+	// the run: the portfolio then still returns a usable result with a
+	// nil error. When no incumbent exists either, the failure is returned
+	// as the call's error instead.
+	ExactErr error
 }
 
 // SolvePortfolio races the heuristic (parallel simulated annealing) against
@@ -40,6 +53,17 @@ type PortfolioResult struct {
 // concurrent use. cfg.Trace records the heuristic arm under an "SA-arm"
 // span next to the exact pipeline's spans.
 func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*PortfolioResult, error) {
+	return SolvePortfolioContext(context.Background(), sys, cfg, saOpts)
+}
+
+// SolvePortfolioContext is SolvePortfolio under a caller-supplied context:
+// cancellation (or cfg.Timeout) reaches both arms, each of which returns
+// its best-so-far promptly. Each arm also contains its own panics, so a
+// dying arm never takes the other's result with it: an exact-arm failure
+// with a usable heuristic incumbent is reported via ExactErr on an
+// otherwise valid result, and a heuristic-arm failure merely forfeits the
+// incumbent.
+func SolvePortfolioContext(ctx context.Context, sys *model.System, cfg Config, saOpts baseline.SAOptions) (*PortfolioResult, error) {
 	res := &PortfolioResult{IncumbentCost: -1}
 	start := time.Now()
 	logf := cfg.Logf
@@ -54,11 +78,21 @@ func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*
 	saOpts.Encode = encode.Options{Objective: cfg.Objective, ObjectiveMedium: objMedium}
 	saOpts.Trace = cfg.Trace.Child("SA-arm")
 	saOpts.Logf = cfg.Logf
+	saOpts.Ctx = ctx
 
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer func() {
+			// Contain heuristic-arm panics: the arm forfeits its
+			// incumbent, the exact arm's result survives untouched.
+			if r := recover(); r != nil {
+				saOpts.Trace.Outcome(obs.OutcomeError).Attr("panic", fmt.Sprint(r)).End()
+				logf("portfolio: heuristic arm panicked (contained): %v", r)
+			}
+		}()
+		faultinject.Fire(faultinject.SitePortfolioSA)
 		sa := baseline.ParallelSA(sys, saOpts)
 		saOpts.Trace.Attr("feasible", sa.Feasible).Attr("cost", sa.Cost).
 			Attr("evaluated", sa.Evaluated).End()
@@ -73,14 +107,22 @@ func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*
 		}
 	}()
 
-	sol, err := Solve(sys, cfg)
+	var sol *Solution
+	var exactErr error
+	func() {
+		// SolveContext contains panics below it; this recover only guards
+		// the portfolio's own exact-arm boundary (the faultinject site).
+		defer func() {
+			if r := recover(); r != nil {
+				sol = nil
+				exactErr = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, nil)
+			}
+		}()
+		faultinject.Fire(faultinject.SitePortfolioExact)
+		sol, exactErr = SolveContext(ctx, sys, cfg)
+	}()
 	exactAt := time.Since(start)
 	wg.Wait()
-	if err != nil {
-		return nil, err
-	}
-	res.Exact = sol
-	res.ExactAt = exactAt
 
 	// Sanity: a feasible incumbent must pass the analyzer and can never
 	// undercut the proven optimum.
@@ -88,13 +130,25 @@ func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*
 		if !rta.Analyze(sys, res.Incumbent).Schedulable {
 			res.Incumbent = nil
 			res.IncumbentCost = -1
-		} else if sol.Feasible && res.IncumbentCost < sol.Cost {
+		} else if sol != nil && sol.Feasible && sol.Status == opt.Optimal && res.IncumbentCost < sol.Cost {
 			// Impossible if the optimizer is correct; prefer the proven
 			// result and surface the anomaly by dropping the incumbent.
 			res.Incumbent = nil
 			res.IncumbentCost = -1
 		}
 	}
+	if exactErr != nil {
+		if res.Incumbent == nil {
+			return nil, exactErr
+		}
+		// The heuristic arm rescued the run: degrade to its incumbent and
+		// report the exact arm's death on the side.
+		res.ExactErr = exactErr
+		logf("portfolio: exact arm failed (%v); returning the heuristic incumbent", exactErr)
+		return res, nil
+	}
+	res.Exact = sol
+	res.ExactAt = exactAt
 	if res.Incumbent == nil {
 		logf("portfolio: heuristic arm lost the race (no usable incumbent before the exact arm finished in %v)",
 			exactAt.Round(time.Millisecond))

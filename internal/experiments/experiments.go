@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -26,6 +27,34 @@ import (
 	"satalloc/internal/report"
 	"satalloc/internal/workload"
 )
+
+// Budget bounds an experiment run. The zero value is unlimited. On
+// cancellation the table functions stop between instances and return the
+// rows completed so far (with a nil error), so a deadlined suite still
+// prints partial tables instead of nothing.
+type Budget struct {
+	// Ctx, when non-nil, cancels the run; the in-flight solve degrades to
+	// its best incumbent and no further instances are started.
+	Ctx context.Context
+	// MaxConflictsPerCall bounds each SOLVE call; 0 means unlimited.
+	MaxConflictsPerCall int64
+}
+
+// ctx returns the budget's context, defaulting to Background.
+func (b Budget) ctx() context.Context {
+	if b.Ctx == nil {
+		return context.Background()
+	}
+	return b.Ctx
+}
+
+// cancelled reports whether the budget's context is done.
+func (b Budget) cancelled() bool { return b.ctx().Err() != nil }
+
+// config builds a core.Config carrying the budget's conflict cap.
+func (b Budget) config(obj core.Objective) core.Config {
+	return core.Config{Objective: obj, MaxConflictsPerCall: b.MaxConflictsPerCall}
+}
 
 // Mode selects instance sizes.
 type Mode int
@@ -67,9 +96,12 @@ type Table1Row struct {
 // Table1 reproduces Table 1: the [5]-shaped workload on the 8-ECU token
 // ring minimizing TRT (compared against simulated annealing), and the same
 // workload on CAN minimizing bus utilization.
-func Table1(m Mode) ([]Table1Row, error) {
+func Table1(m Mode, b Budget) ([]Table1Row, error) {
 	nRing, nCAN := table1Sizes(m)
 	var rows []Table1Row
+	if b.cancelled() {
+		return rows, nil
+	}
 
 	// Row 1: token ring, minimize TRT, SA vs SAT.
 	ring := workload.Partition(workload.T43(), nRing)
@@ -81,13 +113,14 @@ func Table1(m Mode) ([]Table1Row, error) {
 	}
 	saOpts := baseline.DefaultSAOptions()
 	saOpts.Encode = ringOpts
+	saOpts.Ctx = b.Ctx
 	sa := baseline.SimulatedAnnealing(ring, saOpts)
 	saCost := int64(-1)
 	if sa.Feasible {
 		saCost = sa.Cost
 	}
 	start := time.Now()
-	sol, err := core.Solve(ring, core.Config{Objective: core.MinimizeTRT})
+	sol, err := core.SolveContext(b.ctx(), ring, b.config(core.MinimizeTRT))
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +133,9 @@ func Table1(m Mode) ([]Table1Row, error) {
 		Greedy:     grCost, SAResult: saCost, SATResult: satCost,
 		Time: time.Since(start), Vars: sol.BoolVars, Literals: sol.Literals,
 	})
+	if b.cancelled() {
+		return rows, nil
+	}
 
 	// Row 2: CAN, minimize U_CAN.
 	can := workload.Partition(workload.T43CAN(), nCAN)
@@ -111,13 +147,14 @@ func Table1(m Mode) ([]Table1Row, error) {
 	}
 	saOpts2 := baseline.DefaultSAOptions()
 	saOpts2.Encode = canOpts
+	saOpts2.Ctx = b.Ctx
 	sa2 := baseline.SimulatedAnnealing(can, saOpts2)
 	saCost2 := int64(-1)
 	if sa2.Feasible {
 		saCost2 = sa2.Cost
 	}
 	start = time.Now()
-	sol2, err := core.Solve(can, core.Config{Objective: core.MinimizeBusUtilization})
+	sol2, err := core.SolveContext(b.ctx(), can, b.config(core.MinimizeBusUtilization))
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +193,7 @@ type ScaleRow struct {
 
 // Table2 reproduces Table 2: a fixed task set allocated to token rings of
 // growing ECU count.
-func Table2(m Mode) ([]ScaleRow, error) {
+func Table2(m Mode, b Budget) ([]ScaleRow, error) {
 	series := []int{4, 6, 8, 10}
 	tasks := 12
 	if m == Full {
@@ -165,6 +202,9 @@ func Table2(m Mode) ([]ScaleRow, error) {
 	}
 	var rows []ScaleRow
 	for _, n := range series {
+		if b.cancelled() {
+			return rows, nil
+		}
 		o := workload.T43Options()
 		o.Tasks = tasks
 		o.Chains = tasks / 4
@@ -172,7 +212,7 @@ func Table2(m Mode) ([]ScaleRow, error) {
 		o.SeparatedPairs = 1
 		sys := workload.Populate(workload.RingArchitecture(n), o)
 		start := time.Now()
-		sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+		sol, err := core.SolveContext(b.ctx(), sys, b.config(core.MinimizeTRT))
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +230,7 @@ func Table2(m Mode) ([]ScaleRow, error) {
 
 // Table3 reproduces Table 3: partitions of the [5]-shaped set of growing
 // size on the 8-ECU ring.
-func Table3(m Mode) ([]ScaleRow, error) {
+func Table3(m Mode, b Budget) ([]ScaleRow, error) {
 	series := []int{5, 8, 11, 14}
 	if m == Full {
 		series = []int{7, 12, 20, 30, 43}
@@ -198,9 +238,12 @@ func Table3(m Mode) ([]ScaleRow, error) {
 	full := workload.T43()
 	var rows []ScaleRow
 	for _, n := range series {
+		if b.cancelled() {
+			return rows, nil
+		}
 		sys := workload.Partition(full, n)
 		start := time.Now()
-		sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+		sol, err := core.SolveContext(b.ctx(), sys, b.config(core.MinimizeTRT))
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +289,7 @@ func table4Tasks(m Mode) int {
 // Table4 reproduces Table 4: the workload placed on the hierarchical
 // architectures A, B and C of Figure 2, minimizing Σ TRT over all media,
 // plus the §6 variant of architecture C with the upper bus swapped to CAN.
-func Table4(m Mode) ([]Table4Row, error) {
+func Table4(m Mode, b Budget) ([]Table4Row, error) {
 	n := table4Tasks(m)
 	build := func(arch *model.System) *model.System {
 		return workload.Partition(workload.HierarchicalT43(arch), n)
@@ -261,8 +304,11 @@ func Table4(m Mode) ([]Table4Row, error) {
 		{"Arch C + [5]", build(workload.ArchitectureC())},
 		{"Arch C upper=CAN", workload.SwapMediumToCAN(build(workload.ArchitectureC()), 1)},
 	} {
+		if b.cancelled() {
+			return rows, nil
+		}
 		start := time.Now()
-		sol, err := core.Solve(tc.sys, core.Config{Objective: core.MinimizeSumTRT})
+		sol, err := core.SolveContext(b.ctx(), tc.sys, b.config(core.MinimizeSumTRT))
 		if err != nil {
 			return nil, err
 		}
@@ -296,20 +342,22 @@ type ReuseRow struct {
 
 // LearnedClauseReuse measures the binary search with and without keeping
 // the solver (and its learned clauses) across SOLVE calls.
-func LearnedClauseReuse(m Mode) (*ReuseRow, error) {
+func LearnedClauseReuse(m Mode, b Budget) (*ReuseRow, error) {
 	n := 12
 	if m == Full {
 		n = 20
 	}
 	sys := workload.Partition(workload.T43(), n)
 	start := time.Now()
-	inc, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+	inc, err := core.SolveContext(b.ctx(), sys, b.config(core.MinimizeTRT))
 	if err != nil {
 		return nil, err
 	}
 	incTime := time.Since(start)
 	start = time.Now()
-	fresh, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT, FreshSolverPerCall: true})
+	freshCfg := b.config(core.MinimizeTRT)
+	freshCfg.FreshSolverPerCall = true
+	fresh, err := core.SolveContext(b.ctx(), sys, freshCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -332,13 +380,13 @@ type HistoryRow struct {
 // per-SOLVE-call iteration history — the per-call view of the §7
 // incremental speedup (each call's conflict/decision delta shows how much
 // cheaper later calls get as learned clauses accumulate).
-func SearchHistory(m Mode) (*HistoryRow, error) {
+func SearchHistory(m Mode, b Budget) (*HistoryRow, error) {
 	n := 12
 	if m == Full {
 		n = 20
 	}
 	sys := workload.Partition(workload.T43(), n)
-	sol, err := core.Solve(sys, core.Config{Objective: core.MinimizeTRT})
+	sol, err := core.SolveContext(b.ctx(), sys, b.config(core.MinimizeTRT))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // numbers, which depend on the synthetic workload calibration.
 
 func TestTable1Shape(t *testing.T) {
-	rows, err := Table1(Scaled)
+	rows, err := Table1(Scaled, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(Scaled)
+	rows, err := Table2(Scaled, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows, err := Table3(Scaled)
+	rows, err := Table3(Scaled, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	rows, err := Table4(Scaled)
+	rows, err := Table4(Scaled, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestLearnedClauseReuse(t *testing.T) {
-	row, err := LearnedClauseReuse(Scaled)
+	row, err := LearnedClauseReuse(Scaled, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +123,26 @@ func TestLearnedClauseReuse(t *testing.T) {
 		t.Fatalf("learned-clause reuse slowed the search down: %.2fx", row.Speedup)
 	}
 	t.Logf("speedup %.2fx (incremental %v, fresh %v)", row.Speedup, row.Incremental, row.Fresh)
+}
+
+func TestCancelledBudgetReturnsPartialRows(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Budget{Ctx: ctx}
+	// A pre-cancelled budget must short-circuit every table to its partial
+	// (here: empty) row set without an error — the suite keeps printing.
+	if rows, err := Table1(Scaled, b); err != nil || len(rows) != 0 {
+		t.Fatalf("Table1 = %d rows, %v", len(rows), err)
+	}
+	if rows, err := Table2(Scaled, b); err != nil || len(rows) != 0 {
+		t.Fatalf("Table2 = %d rows, %v", len(rows), err)
+	}
+	if rows, err := Table3(Scaled, b); err != nil || len(rows) != 0 {
+		t.Fatalf("Table3 = %d rows, %v", len(rows), err)
+	}
+	if rows, err := Table4(Scaled, b); err != nil || len(rows) != 0 {
+		t.Fatalf("Table4 = %d rows, %v", len(rows), err)
+	}
 }
 
 func TestModeString(t *testing.T) {

@@ -79,6 +79,27 @@ func (s *Span) Child(name string) *Span {
 	return s.t.newSpan(name, s.id)
 }
 
+// Span outcome codes, recorded with Span.Outcome. They classify how the
+// spanned work ended, mirroring the solve pipeline's degradation ladder.
+const (
+	// OutcomeOK marks work that ran to its normal completion.
+	OutcomeOK = "ok"
+	// OutcomeDegraded marks work that hit a budget and returned a
+	// best-effort result (e.g. a feasible-but-unproven incumbent).
+	OutcomeDegraded = "degraded"
+	// OutcomeCancelled marks work cut short by context cancellation or a
+	// deadline before any usable result existed.
+	OutcomeCancelled = "cancelled"
+	// OutcomeError marks work that failed with an error or panic.
+	OutcomeError = "error"
+)
+
+// Outcome records how the spanned work ended as the "outcome" attribute,
+// using the Outcome* codes above. It returns s so calls chain.
+func (s *Span) Outcome(code string) *Span {
+	return s.Attr("outcome", code)
+}
+
 // Attr attaches a key/value pair, recorded when the span ends. It returns
 // s so attributes chain: sp.Attr("vars", n).Attr("status", st).
 func (s *Span) Attr(key string, value any) *Span {

@@ -6,6 +6,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,14 +22,23 @@ import (
 // Status is the outcome of a minimization run.
 type Status int
 
-// Outcomes.
+// Outcomes, ordered by the degradation ladder: an interrupted search
+// downgrades Optimal to Feasible (incumbent with a proven gap) or, when no
+// model was found yet, to Aborted.
 const (
 	// Optimal means the returned cost is the proven minimum.
 	Optimal Status = iota
 	// Infeasible means no allocation satisfies the constraints.
 	Infeasible
-	// Aborted means a per-call conflict budget was exhausted.
+	// Aborted means the search was interrupted — conflict budget,
+	// deadline, or context cancellation — before any model was found; no
+	// allocation is available.
 	Aborted
+	// Feasible means the search was interrupted after at least one model
+	// was found: Allocation holds the best incumbent, Cost its verified
+	// value R, and LowerBound the proven L with L ≤ optimum ≤ R (a
+	// bounded-suboptimality gap).
+	Feasible
 )
 
 func (s Status) String() string {
@@ -37,8 +47,12 @@ func (s Status) String() string {
 		return "optimal"
 	case Infeasible:
 		return "infeasible"
+	case Aborted:
+		return "aborted"
+	case Feasible:
+		return "feasible"
 	}
-	return "aborted"
+	return fmt.Sprintf("Status(%d)", int(s))
 }
 
 // Options tunes the optimizer.
@@ -65,6 +79,17 @@ type Options struct {
 	// hook, reporting search counters at restart and clause-DB-reduction
 	// boundaries. Nil disables it.
 	Progress func(sat.Progress)
+	// Ctx, when set, makes the whole binary search cancellable: its
+	// cancellation or deadline is polled by the SAT solver at restart and
+	// conflict-batch boundaries, and the search degrades to a Feasible
+	// (incumbent + gap) or Aborted result within one such boundary. Nil
+	// means never cancelled.
+	Ctx context.Context
+	// Observe, when set, receives each compiled solver system just after
+	// it is built (once in incremental mode, per SOLVE call in fresh
+	// mode). The panic-containment layer uses it to dump the formula that
+	// was being solved into the repro bundle.
+	Observe func(*bv.System)
 }
 
 // IterStats records one SOLVE call of the binary search — the
@@ -88,8 +113,13 @@ type IterStats struct {
 
 // Result reports the minimization outcome.
 type Result struct {
-	Status     Status
-	Cost       int64
+	Status Status
+	Cost   int64
+	// LowerBound is the proven lower bound L on the optimal cost: equal to
+	// Cost for Optimal, ≤ Cost for Feasible (the difference is the
+	// suboptimality gap), and the bound established so far for Aborted.
+	// Meaningless for Infeasible.
+	LowerBound int64
 	Allocation *model.Allocation
 	Assignment *ir.Assignment
 	// SolveCalls counts the SOLVE invocations of the binary search.
@@ -132,9 +162,40 @@ func (o *Options) logf(format string, args ...any) {
 // intended L := M+1 — the window [L,M] was proven empty.) R always holds
 // the cost of a model already found, so on termination R is the optimum
 // and its model the witness.
+//
+// Minimize is anytime: when opts.Ctx is cancelled, its deadline expires,
+// or a SOLVE call exhausts MaxConflictsPerCall mid-search, the incumbent
+// model and the proven window survive as a Feasible result instead of
+// being discarded (Aborted is returned only when no model was found at
+// all). The whole search is recorded under a "Minimize" span whose
+// outcome attribute distinguishes ok/degraded/cancelled/error.
 func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
+	sp := opts.Trace.Child("Minimize")
+	opts.Trace = sp
+	res, err := minimize(enc, opts)
+	switch {
+	case err != nil:
+		sp.Outcome(obs.OutcomeError).Attr("error", err.Error())
+	case res.Status == Feasible:
+		sp.Outcome(obs.OutcomeDegraded).
+			Attr("cost", res.Cost).Attr("lower_bound", res.LowerBound)
+	case res.Status == Aborted:
+		sp.Outcome(obs.OutcomeCancelled)
+	default:
+		sp.Outcome(obs.OutcomeOK)
+	}
+	sp.End()
+	return res, err
+}
+
+func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := func() bool { return ctx.Err() != nil }
 
 	type solveOut struct {
 		status sat.Status
@@ -151,9 +212,13 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		}
 		sys.S.MaxConflicts = opts.MaxConflictsPerCall
 		sys.S.OnProgress = opts.Progress
+		sys.S.Stop = stop
 		if res.Vars == 0 {
 			res.Vars = sys.S.NumVariables()
 			res.Literals = sys.S.Stats.NumLiterals
+		}
+		if opts.Observe != nil {
+			opts.Observe(sys)
 		}
 		return nil
 	}
@@ -222,7 +287,7 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	finish := func() (*Result, error) {
 		res.Duration = time.Since(start)
 		res.SolverStats = sys.S.Stats
-		if res.Status == Optimal && !opts.SkipVerify {
+		if (res.Status == Optimal || res.Status == Feasible) && !opts.SkipVerify {
 			sp := opts.Trace.Child("Verify")
 			err := verify(enc, res)
 			sp.End()
@@ -243,13 +308,35 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		res.Status = Infeasible
 		return finish()
 	case sat.Unknown:
+		// Interrupted before any model existed: nothing to salvage beyond
+		// the encoding's structural lower bound.
 		res.Status = Aborted
+		res.LowerBound = enc.Cost.Lo
 		return finish()
 	}
 	best := first
 	L := enc.Cost.Lo
 	R := best.cost
 	opts.logf("initial solution cost=%d (search window [%d,%d])", R, L, R)
+
+	// degrade packages the incumbent and the proven window [L,R] as a
+	// Feasible result — the anytime payoff of an interrupted search.
+	degrade := func(L int64) (*Result, error) {
+		res.Status = Feasible
+		res.Cost = best.cost
+		res.LowerBound = L
+		res.Assignment = best.assign
+		dsp := opts.Trace.Child("Decode")
+		alloc, derr := enc.Decode(best.assign)
+		dsp.End()
+		if derr != nil {
+			return nil, derr
+		}
+		res.Allocation = alloc
+		opts.logf("search interrupted: incumbent cost=%d, proven lower bound=%d (gap %d)",
+			res.Cost, L, res.Cost-L)
+		return finish()
+	}
 
 	for L < R {
 		M := (L + R) / 2
@@ -274,22 +361,13 @@ func Minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			R = k.cost
 			opts.logf("found cost=%d → R=%d", k.cost, R)
 		case sat.Unknown:
-			res.Status = Aborted
-			res.Cost = best.cost
-			res.Assignment = best.assign
-			dsp := opts.Trace.Child("Decode")
-			alloc, derr := enc.Decode(best.assign)
-			dsp.End()
-			if derr != nil {
-				return nil, derr
-			}
-			res.Allocation = alloc
-			return finish()
+			return degrade(L)
 		}
 	}
 
 	res.Status = Optimal
 	res.Cost = R
+	res.LowerBound = R
 	res.Assignment = best.assign
 	dsp := opts.Trace.Child("Decode")
 	alloc, err := enc.Decode(best.assign)

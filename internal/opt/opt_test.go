@@ -2,7 +2,9 @@ package opt
 
 import (
 	"bytes"
+	"context"
 	"testing"
+	"time"
 
 	"satalloc/internal/encode"
 	"satalloc/internal/ir"
@@ -131,8 +133,8 @@ func TestAbortedRunReturnsBestSoFar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A one-conflict budget may abort at any point of the search; the
-	// result must be coherent either way.
+	// A one-conflict budget may interrupt at any point of the search; the
+	// result must land on a coherent rung of the degradation ladder.
 	res, err := Minimize(enc, Options{Incremental: true, MaxConflictsPerCall: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -142,15 +144,134 @@ func TestAbortedRunReturnsBestSoFar(t *testing.T) {
 		if res.Allocation == nil {
 			t.Fatal("optimal without allocation")
 		}
+		if res.LowerBound != res.Cost {
+			t.Fatalf("optimal must close the window: L=%d R=%d", res.LowerBound, res.Cost)
+		}
+	case Feasible:
+		// Interrupted with an incumbent: it must exist, verify, and come
+		// with a lower bound no greater than its cost.
+		if res.Allocation == nil {
+			t.Fatal("feasible without incumbent")
+		}
+		if err := res.Allocation.CheckStructure(sys); err != nil {
+			t.Fatal(err)
+		}
+		if res.LowerBound > res.Cost {
+			t.Fatalf("lower bound %d exceeds incumbent cost %d", res.LowerBound, res.Cost)
+		}
 	case Aborted:
-		// Best-so-far may or may not exist; if it does, it must verify.
+		// Interrupted before any model: nothing to return.
 		if res.Allocation != nil {
-			if err := res.Allocation.CheckStructure(sys); err != nil {
-				t.Fatal(err)
-			}
+			t.Fatal("aborted must not carry an allocation")
 		}
 	case Infeasible:
 		t.Fatal("tiny ring is feasible")
+	}
+}
+
+// TestStatusStringExhaustive pins the String form of every Status — the
+// regression test for the fallthrough that rendered Feasible as "aborted".
+func TestStatusStringExhaustive(t *testing.T) {
+	want := map[Status]string{
+		Optimal:    "optimal",
+		Infeasible: "infeasible",
+		Aborted:    "aborted",
+		Feasible:   "feasible",
+	}
+	seen := map[string]bool{}
+	for s, w := range want {
+		got := s.String()
+		if got != w {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), got, w)
+		}
+		if seen[got] {
+			t.Errorf("duplicate String %q", got)
+		}
+		seen[got] = true
+	}
+	if got := Status(99).String(); got != "Status(99)" {
+		t.Errorf("unknown status renders as %q", got)
+	}
+}
+
+// budgetedFeasible cancels the run's context as the second SOLVE call
+// starts, so the search deterministically holds one incumbent (the first
+// model) when the interruption lands, and must degrade to Feasible.
+func budgetedFeasible(t *testing.T, incremental bool) {
+	t.Helper()
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solves := 0
+	res, err := Minimize(enc, Options{
+		Incremental: incremental,
+		Ctx:         ctx,
+		Progress: func(p sat.Progress) {
+			if p.Event == "solve" {
+				solves++
+				if solves == 2 {
+					cancel()
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible {
+		t.Fatalf("status %v, want feasible (solver saw %d solve events)", res.Status, solves)
+	}
+	if res.Allocation == nil {
+		t.Fatal("feasible result must carry the incumbent")
+	}
+	if res.LowerBound > res.Cost {
+		t.Fatalf("lower bound %d > incumbent cost %d", res.LowerBound, res.Cost)
+	}
+	if res.LowerBound < enc.Cost.Lo {
+		t.Fatalf("lower bound %d below the structural bound %d", res.LowerBound, enc.Cost.Lo)
+	}
+	// Minimize verified internally (SkipVerify unset); re-check with the
+	// independent analyzer for belt and braces.
+	if r := rta.Analyze(sys, res.Allocation); !r.Schedulable {
+		t.Fatalf("incumbent rejected by analyzer: %v", r.Violations)
+	}
+}
+
+func TestCancelledSearchDegradesToFeasibleIncremental(t *testing.T) {
+	budgetedFeasible(t, true)
+}
+
+func TestCancelledSearchDegradesToFeasibleFresh(t *testing.T) {
+	budgetedFeasible(t, false)
+}
+
+// TestExpiredDeadlineAbortsBeforeFirstModel: a context that is already
+// dead stops the very first SOLVE call at entry, so no model can exist and
+// the ladder bottoms out at Aborted with the structural lower bound.
+func TestExpiredDeadlineAbortsBeforeFirstModel(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	res, err := Minimize(enc, Options{Incremental: true, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Aborted {
+		t.Fatalf("status %v, want aborted", res.Status)
+	}
+	if res.Allocation != nil {
+		t.Fatal("no model can exist under an expired deadline")
+	}
+	if res.LowerBound != enc.Cost.Lo {
+		t.Fatalf("lower bound %d, want the structural bound %d", res.LowerBound, enc.Cost.Lo)
 	}
 }
 

@@ -1,0 +1,98 @@
+package sat
+
+import (
+	"testing"
+
+	"satalloc/internal/faultinject"
+)
+
+// php loads the n+1-pigeons/n-holes instance (UNSAT, learning-heavy) into
+// a fresh solver.
+func php(n int) *Solver {
+	s := New()
+	x := make([][]Var, n+1)
+	for p := range x {
+		x[p] = make([]Var, n)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(x[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(x[p1][h]), NegLit(x[p2][h]))
+			}
+		}
+	}
+	return s
+}
+
+func TestStopAtSolveEntry(t *testing.T) {
+	s := php(4)
+	s.Stop = func() bool { return true }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown under immediate stop", st)
+	}
+}
+
+func TestStopAtRestartBoundaryKeepsStateUsable(t *testing.T) {
+	s := php(9)
+	stop := false
+	s.OnProgress = func(p Progress) {
+		if p.Event == "restart" {
+			stop = true
+		}
+	}
+	s.Stop = func() bool { return stop }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown when stopped at a restart", st)
+	}
+	if s.Stats.Restarts < 1 {
+		t.Fatalf("search stopped before any restart (restarts=%d)", s.Stats.Restarts)
+	}
+	// The solver must remain usable: lifting the stop yields the true
+	// verdict, and the learnt clauses from the interrupted run survive.
+	learnt := s.Stats.LearntAdded
+	s.Stop = nil
+	s.OnProgress = nil
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v after lifting the stop, want Unsat", st)
+	}
+	if s.Stats.LearntAdded < learnt {
+		t.Fatalf("learnt-clause counter went backwards: %d < %d", s.Stats.LearntAdded, learnt)
+	}
+}
+
+func TestStopPolledBetweenRestartsOnConflictPath(t *testing.T) {
+	// Asking to stop from the first poll must end the search long before
+	// the budget-driven verdict: the conflict-path poll fires every
+	// stopCheckConflicts conflicts.
+	s := php(9)
+	polls := 0
+	s.Stop = func() bool { polls++; return polls > 1 }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown", st)
+	}
+	if s.Stats.Conflicts > 2*stopCheckConflicts {
+		t.Fatalf("stop honored only after %d conflicts", s.Stats.Conflicts)
+	}
+}
+
+func TestFaultInjectionPanicAtRestartPropagates(t *testing.T) {
+	defer faultinject.Set(faultinject.PanicAt(faultinject.SiteSatRestart, 1, "injected"))()
+	s := php(9)
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	s.Solve()
+	t.Fatal("solve returned despite injected panic (no restart reached?)")
+}

@@ -13,6 +13,13 @@ import (
 // BerkMin solvers of [11]–[13] consume) and OPB pseudo-Boolean format (the
 // language of Barth's PB solvers [15] and of GOBLIN's constraint layer).
 
+// maxParseVars bounds the variable count a parsed problem may declare or
+// reference. Each solver variable costs ~100 bytes of bookkeeping, so the
+// limit (~4M variables, ~400MB) rejects absurd headers and adversarial
+// inputs before they exhaust memory, while staying far above any instance
+// this solver could realistically search.
+const maxParseVars = 1 << 22
+
 // ParseDIMACS reads a DIMACS CNF problem and loads its clauses into a
 // fresh solver. It returns the solver and the number of variables declared
 // in the header.
@@ -42,6 +49,9 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 			if err != nil {
 				return nil, 0, fmt.Errorf("sat: bad variable count: %v", err)
 			}
+			if n < 0 || n > maxParseVars {
+				return nil, 0, fmt.Errorf("sat: variable count %d out of range [0,%d]", n, maxParseVars)
+			}
 			declared = n
 			ensure(n)
 			continue
@@ -61,6 +71,11 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 			abs := v
 			if abs < 0 {
 				abs = -abs
+			}
+			// abs stays negative when v is the minimum int (negation
+			// overflows), so the range check also rejects that case.
+			if abs <= 0 || abs > maxParseVars {
+				return nil, 0, fmt.Errorf("sat: literal %d out of range [1,%d]", v, maxParseVars)
 			}
 			ensure(abs)
 			clause = append(clause, MkLit(vars[abs-1], v < 0))
@@ -115,7 +130,7 @@ func ParseOPB(r io.Reader) (*Solver, []PBTerm, error) {
 				return nil, fmt.Errorf("sat: bad variable token %q", tokens[i+1])
 			}
 			idx, err := strconv.Atoi(name[1:])
-			if err != nil || idx < 1 {
+			if err != nil || idx < 1 || idx > maxParseVars {
 				return nil, fmt.Errorf("sat: bad variable index %q", name)
 			}
 			ensure(idx)

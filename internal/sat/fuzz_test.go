@@ -1,0 +1,64 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The parser fuzz targets harden the two ingestion surfaces (DIMACS CNF
+// and OPB) against hostile input: no panic, no unbounded allocation, and
+// every accepted formula must be solvable under a small conflict budget
+// without crashing. `make fuzz` runs them for a short smoke window; longer
+// campaigns use go test -fuzz directly.
+
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add([]byte("p cnf 3 2\n1 -2 0\n2 3 0\n"))
+	f.Add([]byte("c a comment\np cnf 1 2\n1 0\n-1 0\n"))
+	f.Add([]byte("p cnf 0 0\n"))
+	f.Add([]byte("p cnf 4294967296 1\n1 0\n"))
+	f.Add([]byte("p cnf 2 1\n-9223372036854775808 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil || n < 0 || n > maxParseVars {
+			t.Fatalf("accepted formula with s=%v n=%d", s, n)
+		}
+		// Accepted formulas must also survive a (bounded) solve.
+		if n <= 64 {
+			s.MaxConflicts = 50
+			switch s.Solve() {
+			case Sat, Unsat, Unknown:
+			default:
+				t.Fatal("solver returned an unknown status")
+			}
+		}
+	})
+}
+
+func FuzzParseOPB(f *testing.F) {
+	f.Add([]byte("* a comment\nmin: 1 x1 2 x2;\n1 x1 1 x2 >= 1;\n"))
+	f.Add([]byte("1 x1 1 ~x2 <= 1;\n"))
+	f.Add([]byte("2 x1 -3 x2 = 0;\n"))
+	f.Add([]byte("min: 9223372036854775807 x1;\n1 x1 >= 1;\n"))
+	f.Add([]byte("1 x4194305 >= 1;\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, obj, err := ParseOPB(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("accepted OPB without a solver")
+		}
+		for _, term := range obj {
+			if v := term.Lit.Var(); int(v) < 1 || int(v) > s.NumVariables() {
+				t.Fatalf("objective references out-of-range var %d (solver has %d)", v, s.NumVariables())
+			}
+		}
+		if s.NumVariables() <= 64 {
+			s.MaxConflicts = 50
+			s.Solve()
+		}
+	})
+}

@@ -3,6 +3,8 @@ package sat
 import (
 	"errors"
 	"sort"
+
+	"satalloc/internal/faultinject"
 )
 
 // Status is the outcome of a Solve call.
@@ -108,6 +110,16 @@ type Solver struct {
 	// never checks it, so a nil hook costs nothing and a set hook costs
 	// O(restarts) calls per solve.
 	OnProgress func(Progress)
+
+	// Stop, when non-nil, is polled at the entry of each Solve call, at
+	// every restart boundary, and every stopCheckConflicts conflicts /
+	// stopCheckDecisions decisions (so low-conflict searches remain
+	// interruptible). Returning true makes Solve return Unknown with the
+	// solver state intact: learnt clauses survive and further Solve calls
+	// are valid. The hot propagation loop never polls it. Callers
+	// typically close over a context: s.Stop = func() bool { return
+	// ctx.Err() != nil }.
+	Stop func() bool
 
 	Stats
 }
@@ -641,6 +653,21 @@ func (s *Solver) fireProgress(event string) {
 	})
 }
 
+// Cancellation poll intervals: masks applied to the per-call conflict and
+// cumulative decision counters. Polling sits on the conflict-analysis and
+// decision paths (never inside propagation), so the overhead is one
+// branch; the intervals keep Stop-callback cost (often a time syscall)
+// negligible while bounding the reaction latency to well under a restart.
+const (
+	stopCheckConflicts = 64
+	stopCheckDecisions = 8192
+)
+
+// stopRequested polls the Stop hook.
+func (s *Solver) stopRequested() bool {
+	return s.Stop != nil && s.Stop()
+}
+
 // luby returns the i-th element (1-based) of the Luby restart sequence.
 func luby(i int64) int64 {
 	for k := int64(1); ; k++ {
@@ -666,7 +693,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 
+	faultinject.Fire(faultinject.SiteSatSolve)
 	s.fireProgress("solve")
+	if s.stopRequested() {
+		s.cancelUntil(0)
+		return Unknown
+	}
 	var conflictsThisCall int64
 	restartNum := int64(1)
 	conflictBudget := luby(restartNum) * 100
@@ -688,6 +720,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if float64(len(s.learnts)) >= s.maxLearnt {
 				s.reduceDB()
 				s.maxLearnt *= 1.3
+				faultinject.Fire(faultinject.SiteSatReduce)
 				s.fireProgress("reduce")
 			}
 			if conflictsThisCall >= conflictBudget {
@@ -696,7 +729,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				restartNum++
 				conflictBudget = conflictsThisCall + luby(restartNum)*100
 				s.cancelUntil(0)
+				faultinject.Fire(faultinject.SiteSatRestart)
 				s.fireProgress("restart")
+				if s.stopRequested() {
+					return Unknown
+				}
+			} else if conflictsThisCall%stopCheckConflicts == 0 && s.stopRequested() {
+				s.cancelUntil(0)
+				return Unknown
 			}
 			if s.MaxConflicts > 0 && conflictsThisCall > s.MaxConflicts {
 				s.cancelUntil(0)
@@ -729,6 +769,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.Stats.Decisions++
+		if s.Stats.Decisions%stopCheckDecisions == 0 && s.stopRequested() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
 		s.uncheckedEnqueue(p, nil)
 	}
