@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz bench ops-smoke
 
 ## check: the full CI gate — vet, build, the race-enabled test suite, and
 ## a short fuzz smoke run of every parser-hardening target.
@@ -29,3 +29,9 @@ fuzz:
 ## bench: the solver micro-benchmarks (hooks disabled), for regression spotting.
 bench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' ./internal/sat
+
+## ops-smoke: end-to-end check of the ops HTTP listener — builds the real
+## allocate binary, scrapes /healthz, /metrics and /progress against a
+## live process, and validates the Prometheus exposition.
+ops-smoke:
+	$(GO) test -run 'TestOps' -count 1 -v ./cmd/allocate

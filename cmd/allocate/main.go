@@ -5,7 +5,7 @@
 //
 //	allocate [-objective trt|sumtrt|busutil|maxutil] [-medium id]
 //	         [-fresh] [-v] [-progress 1s] [-iters] [-trace spans.jsonl]
-//	         [-timeout 30s] [-conflict-budget n]
+//	         [-ops-addr :9090] [-timeout 30s] [-conflict-budget n]
 //	         [-cpuprofile f] [-memprofile f] [-exectrace f] [spec.json]
 //
 // With no file argument the spec is read from stdin. The result — the
@@ -15,9 +15,12 @@
 //
 // Observability: -progress prints a solver ticker line to stderr at the
 // given interval; -trace writes a JSONL span trace of the whole pipeline
-// (and prints the phase-breakdown table to stderr); -iters prints the
-// per-SOLVE-call search history; -cpuprofile/-memprofile/-exectrace write
-// runtime/pprof profiles and a go-tool-trace execution trace.
+// (and prints the phase-breakdown table to stderr); -ops-addr serves the
+// live metrics registry (/metrics, /debug/vars), the search progress
+// snapshot (/progress), the flight recorder (/debug/flightrec), and
+// net/http/pprof while the solve runs; -iters prints the per-SOLVE-call
+// search history; -cpuprofile/-memprofile/-exectrace write runtime/pprof
+// profiles and a go-tool-trace execution trace.
 //
 // Budgets: -timeout bounds the wall clock and -conflict-budget each SOLVE
 // call; Ctrl-C cancels cleanly. On any of the three the search degrades
@@ -54,7 +57,8 @@ func run() int {
 	asReport := flag.Bool("report", false, "emit a full deployment report with ASCII schedules")
 	progress := flag.Duration("progress", 0, "emit a solver progress line to stderr at this interval (0: off)")
 	iters := flag.Bool("iters", false, "print the per-SOLVE-call search history")
-	traceFile := flag.String("trace", "", "write a JSONL span trace of the pipeline to this file")
+	trace := cli.AddTraceFlag(flag.CommandLine)
+	ops := cli.AddOpsFlags(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
@@ -69,20 +73,6 @@ func run() int {
 		fatal(err)
 	}
 	defer stopProf()
-
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in = f
-	}
-	sys, err := core.ReadSpec(in)
-	if err != nil {
-		fatal(err)
-	}
 
 	cfg := core.Config{
 		ObjectiveMedium:     *medium,
@@ -112,23 +102,34 @@ func run() int {
 		cfg.Progress = obs.NewProgressPrinter(os.Stderr, *progress)
 	}
 
-	var tracer *obs.Tracer
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	root, err := trace.Start("allocate")
+	if err != nil {
+		fatal(err)
+	}
+	defer trace.Close("allocate")
+	cfg.Trace = root
+
+	// The ops listener comes up before the spec is read, so /healthz and
+	// /metrics answer while the process is still waiting on stdin.
+	if err := ops.Start("allocate"); err != nil {
+		fatal(err)
+	}
+	defer ops.Close("allocate")
+	cfg.Metrics = ops.Metrics
+	cfg.FlightRecorder = ops.Recorder
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		tracer = obs.NewTracer(f)
-		root := tracer.Start("allocate")
-		cfg.Trace = root
-		defer func() {
-			root.End()
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "allocate: trace: %v\n", err)
-			}
-			fmt.Fprint(os.Stderr, tracer.Summary())
-		}()
+		in = f
+	}
+	sys, err := core.ReadSpec(in)
+	if err != nil {
+		fatal(err)
 	}
 
 	sol, err := core.SolveContext(ctx, sys, cfg)

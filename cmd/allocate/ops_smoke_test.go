@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"satalloc/internal/core"
+	"satalloc/internal/workload"
+)
+
+// TestOpsEndpointSmoke is the end-to-end check of the ops listener: build
+// the real binary, start it with -ops-addr on a free port, scrape
+// /healthz, /metrics and /progress while it waits for its spec on stdin,
+// then feed the spec and verify the solve still completes cleanly. The
+// listener comes up before stdin is read, which is what makes the scrape
+// phase deterministic.
+func TestOpsEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the allocate binary")
+	}
+	bin := filepath.Join(t.TempDir(), "allocate")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-ops-addr", "127.0.0.1:0")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The announcement line is the discovery protocol for ":0".
+	addr := ""
+	var stderrTail strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		stderrTail.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "allocate: ops listening on http://"); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no ops announcement on stderr:\n%s", stderrTail.String())
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stderr)
+
+	get := func(path string) string {
+		t.Helper()
+		client := http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	// The exposition must parse: HELP/TYPE comments plus sample lines, and
+	// the solver metric families must already be registered.
+	body := get("/metrics")
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "#"):
+			if !comment.MatchString(line) {
+				t.Fatalf("malformed comment line %q", line)
+			}
+		case !sample.MatchString(line):
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for _, want := range []string{"satalloc_sat_conflicts_total", "satalloc_opt_bound_gap", "satalloc_sat_lbd_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+
+	var progress struct {
+		Component     string `json:"component"`
+		IncumbentCost int64  `json:"incumbent_cost"`
+	}
+	if err := json.Unmarshal([]byte(get("/progress")), &progress); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if progress.Component != "allocate" || progress.IncumbentCost != -1 {
+		t.Fatalf("/progress before the solve: %+v", progress)
+	}
+
+	// Now feed the spec and let the solve run to completion.
+	o := workload.T43Options()
+	o.Tasks = 8
+	o.Chains = 2
+	o.Restricted = 1
+	o.SeparatedPairs = 1
+	sys := workload.Populate(workload.RingArchitecture(3), o)
+	var spec bytes.Buffer
+	if err := core.WriteSpec(&spec, sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(stdin, &spec); err != nil {
+		t.Fatal(err)
+	}
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("allocate exited with %v; stdout:\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "optimal cost") {
+		t.Fatalf("no optimum reported:\n%s", stdout.String())
+	}
+}
+
+// TestOpsAddrInUseFailsFast pins the failure mode of a busy port: a clear
+// error and a non-zero exit, not a silent solve without the listener.
+func TestOpsAddrInUseFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the allocate binary")
+	}
+	bin := filepath.Join(t.TempDir(), "allocate")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	first := exec.Command(bin, "-ops-addr", "127.0.0.1:0")
+	fin, err := first.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fin.Close()
+	ferr, err := first.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer first.Process.Kill()
+	addr := ""
+	sc := bufio.NewScanner(ferr)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "allocate: ops listening on http://"); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("first process never announced its listener")
+	}
+	go io.Copy(io.Discard, ferr)
+
+	second := exec.Command(bin, "-ops-addr", addr)
+	out, err := second.CombinedOutput()
+	if err == nil {
+		t.Fatalf("second listener on %s must fail; output:\n%s", addr, out)
+	}
+	if !strings.Contains(string(out), "ophttp") {
+		t.Fatalf("busy-port error not surfaced:\n%s", out)
+	}
+	fmt.Fprintln(fin) // unblock the first process's stdin read
+}

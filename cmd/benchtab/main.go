@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|iters|all]
+//	         [-trace spans.jsonl] [-ops-addr :9090]
 //	         [-timeout 10m] [-conflict-budget n]
 //	         [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
@@ -12,7 +13,10 @@
 // the largest instances, as the authors did). The "iters" table prints
 // the per-SOLVE-call search history of one representative run — the
 // per-call measurement behind the §7 incremental-speedup claim. The
-// profile flags write runtime/pprof output for the whole suite.
+// profile flags write runtime/pprof output for the whole suite; -trace
+// writes a JSONL span trace covering every instance; -ops-addr serves
+// the live metrics registry, /progress, the flight recorder, and
+// net/http/pprof while the suite runs.
 //
 // -timeout bounds the whole suite's wall clock (and Ctrl-C cancels it):
 // the in-flight solve degrades to its best incumbent, tables stop between
@@ -38,6 +42,8 @@ func main() {
 func run() int {
 	modeFlag := flag.String("mode", "scaled", "instance sizes: scaled or full")
 	tableFlag := flag.String("table", "all", "which table to run: 1, 2, 3, 4, reuse, iters, or all")
+	trace := cli.AddTraceFlag(flag.CommandLine)
+	ops := cli.AddOpsFlags(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
@@ -46,7 +52,24 @@ func run() int {
 
 	ctx, cancel := budgetFlags.Context()
 	defer cancel()
-	budget := experiments.Budget{Ctx: ctx, MaxConflictsPerCall: budgetFlags.ConflictBudget}
+	root, err := trace.Start("benchtab")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 1
+	}
+	defer trace.Close("benchtab")
+	if err := ops.Start("benchtab"); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 1
+	}
+	defer ops.Close("benchtab")
+	budget := experiments.Budget{
+		Ctx:                 ctx,
+		MaxConflictsPerCall: budgetFlags.ConflictBudget,
+		Trace:               root,
+		Metrics:             ops.Metrics,
+		Recorder:            ops.Recorder,
+	}
 
 	mode := experiments.Scaled
 	switch *modeFlag {

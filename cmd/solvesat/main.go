@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	solvesat [-format cnf|opb] [-progress 1s] [-timeout 30s]
-//	         [-conflict-budget n] [-cpuprofile f]
-//	         [-memprofile f] [-exectrace f] [file]
+//	solvesat [-format cnf|opb] [-progress 1s] [-trace spans.jsonl]
+//	         [-ops-addr :9090] [-timeout 30s] [-conflict-budget n]
+//	         [-cpuprofile f] [-memprofile f] [-exectrace f] [file]
 //
 // Without -format the format is inferred from the file extension (.cnf /
 // .opb), defaulting to cnf on stdin. For OPB files with a "min:" objective
@@ -14,8 +14,10 @@
 // Davis-Putnam-based enumeration of Barth [15]: after each model, demand a
 // strictly better one until UNSAT). Output follows SAT-competition
 // conventions (s/v/o lines). -progress prints "c progress ..." comment
-// lines to stderr at the given interval; the profile flags write
-// runtime/pprof output.
+// lines to stderr at the given interval; -trace writes a JSONL span trace
+// (one span per SOLVE call); -ops-addr serves the live metrics registry,
+// /progress, the flight recorder, and net/http/pprof while the solve
+// runs; the profile flags write runtime/pprof output.
 //
 // Exit codes follow the DIMACS convention: 10 SATISFIABLE, 20
 // UNSATISFIABLE, 30 OPTIMUM FOUND, 0 unknown (including budget
@@ -30,6 +32,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"satalloc/internal/cli"
 	"satalloc/internal/obs"
@@ -45,6 +48,8 @@ func main() {
 func run() int {
 	format := flag.String("format", "", "input format: cnf or opb (default: by extension)")
 	progress := flag.Duration("progress", 0, "emit a solver progress line to stderr at this interval (0: off)")
+	trace := cli.AddTraceFlag(flag.CommandLine)
+	ops := cli.AddOpsFlags(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
@@ -59,9 +64,35 @@ func run() int {
 		fatal(err)
 	}
 	defer stopProf()
+
+	root, err := trace.Start("solvesat")
+	if err != nil {
+		fatal(err)
+	}
+	defer trace.Close("solvesat")
+	if err := ops.Start("solvesat"); err != nil {
+		fatal(err)
+	}
+	defer ops.Close("solvesat")
+
 	var hook func(sat.Progress)
 	if *progress > 0 {
 		hook = obs.NewProgressPrinter(os.Stderr, *progress)
+	}
+	hook = obs.TeeProgress(hook,
+		obs.MetricsProgress(ops.Metrics), obs.FlightProgress(ops.Recorder))
+
+	// solveSpanned wraps one SOLVE call in a trace span and the per-call
+	// metrics so the ops endpoint sees the iterative-strengthening rounds.
+	call := 0
+	solveSpanned := func(s *sat.Solver) sat.Status {
+		call++
+		sp := root.Child(fmt.Sprintf("Solve[%d]", call))
+		start := time.Now()
+		st := s.Solve()
+		ops.Metrics.RecordIter(time.Since(start), st == sat.Unknown)
+		sp.Attr("status", st.String()).End()
+		return st
 	}
 
 	var in io.Reader = os.Stdin
@@ -92,9 +123,10 @@ func run() int {
 			fatal(err)
 		}
 		s.OnProgress = hook
+		s.OnConflict = ops.Metrics.ConflictHook()
 		s.Stop = func() bool { return ctx.Err() != nil }
 		s.MaxConflicts = budget.ConflictBudget
-		switch s.Solve() {
+		switch solveSpanned(s) {
 		case sat.Sat:
 			fmt.Println("s SATISFIABLE")
 			printModel(s, n)
@@ -112,11 +144,12 @@ func run() int {
 			fatal(err)
 		}
 		s.OnProgress = hook
+		s.OnConflict = ops.Metrics.ConflictHook()
 		s.Stop = func() bool { return ctx.Err() != nil }
 		s.MaxConflicts = budget.ConflictBudget
 		n := s.NumVariables()
 		if len(obj) == 0 {
-			switch s.Solve() {
+			switch solveSpanned(s) {
 			case sat.Sat:
 				fmt.Println("s SATISFIABLE")
 				printModel(s, n)
@@ -134,7 +167,7 @@ func run() int {
 		best, haveModel, halted := int64(0), false, false
 		var model []bool
 		for {
-			st := s.Solve()
+			st := solveSpanned(s)
 			if st != sat.Sat {
 				halted = st == sat.Unknown
 				break
@@ -148,6 +181,8 @@ func run() int {
 			haveModel = true
 			best = v
 			model = snapshot(s, n)
+			ops.Metrics.RecordIncumbent(v)
+			ops.Recorder.Record("opt.incumbent", "objective=%d", v)
 			fmt.Printf("o %d\n", v)
 			// Demand strictly better: Σ obj ≤ best−1 ⇔ Σ −obj ≥ −(best−1).
 			neg := make([]sat.PBTerm, len(obj))

@@ -75,6 +75,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "workgen: generated system invalid: %v\n", err)
 		os.Exit(1)
 	}
+	// Stamp provenance so a spec on disk records how to regenerate it
+	// bit-for-bit (the seed only drives -kind ring; the fixed kinds are
+	// deterministic regardless, and the version pins their shape too).
+	sys.Meta = map[string]string{
+		"generator":        "workgen",
+		"generatorVersion": workload.GeneratorVersion,
+		"kind":             *kind,
+		"seed":             fmt.Sprint(*seed),
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "workgen: budget exhausted or cancelled before the spec was emitted")
 		os.Exit(4)

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"satalloc/internal/obs"
+)
+
+// Trace carries the -trace flag and the tracer lifecycle the commands
+// share: open the JSONL sink, hand out a root span, and at exit end the
+// span, surface any write error, and print the phase summary.
+type Trace struct {
+	// File is the -trace value; empty disables tracing.
+	File string
+
+	f      *os.File
+	tracer *obs.Tracer
+	root   *obs.Span
+}
+
+// AddTraceFlag registers -trace on the flag set and returns the Trace it
+// populates after fs.Parse.
+func AddTraceFlag(fs *flag.FlagSet) *Trace {
+	t := &Trace{}
+	fs.StringVar(&t.File, "trace", "",
+		"write a JSONL span trace of the run to this file")
+	return t
+}
+
+// Start opens the trace sink and returns the root span named after the
+// component. Without -trace it returns a nil span (a valid disabled
+// tracer) and does nothing.
+func (t *Trace) Start(component string) (*obs.Span, error) {
+	if t.File == "" {
+		return nil, nil
+	}
+	f, err := os.Create(t.File)
+	if err != nil {
+		return nil, err
+	}
+	t.f = f
+	t.tracer = obs.NewTracer(f)
+	t.root = t.tracer.Start(component)
+	return t.root, nil
+}
+
+// Close ends the root span and flushes the sink. A trace that could not
+// be written fully — a failed span write or a failed file close — is
+// reported on stderr instead of being silently dropped: the run's result
+// stands, but the operator learns the trace file is incomplete. The
+// phase-breakdown summary is printed to stderr on success and failure
+// alike (it is computed in memory, not read back from the file).
+func (t *Trace) Close(component string) {
+	if t == nil || t.tracer == nil {
+		return
+	}
+	t.root.End()
+	if err := t.tracer.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace: %v\n", component, err)
+	}
+	fmt.Fprint(os.Stderr, t.tracer.Summary())
+	if err := t.f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace: close %s: %v\n", component, t.File, err)
+	}
+}

@@ -20,6 +20,8 @@ import (
 
 	"satalloc/internal/bv"
 	"satalloc/internal/encode"
+	"satalloc/internal/flightrec"
+	"satalloc/internal/metrics"
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
 	"satalloc/internal/opt"
@@ -71,6 +73,17 @@ type Config struct {
 	// Progress, when set, becomes the SAT solver's OnProgress hook (see
 	// sat.Solver.OnProgress and obs.NewProgressPrinter).
 	Progress func(sat.Progress)
+	// Metrics, when set, receives the live counter/gauge/histogram series
+	// of the whole pipeline (search counters, LBD, bounds, incumbents,
+	// phase outcomes) — typically the instrument behind an ophttp ops
+	// listener. Nil disables metrics at the cost of one nil check per
+	// observation point.
+	Metrics *metrics.SolverMetrics
+	// FlightRecorder, when set, receives the recent-event ring that ends
+	// up in panic repro bundles and on /debug/flightrec. When nil,
+	// SolveContext still runs a private recorder internally so every
+	// bundle carries the event history leading up to a contained panic.
+	FlightRecorder *flightrec.Recorder
 }
 
 // Solution is the outcome of a Solve run.
@@ -138,11 +151,35 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
+	rec := cfg.FlightRecorder
+	if rec == nil {
+		// Always keep a private ring so a contained panic's repro bundle
+		// carries the event history even when no recorder was wired up.
+		rec = flightrec.New(flightrec.DefaultCapacity)
+	}
+	cfg.Metrics.RecordSolveStart()
+	rec.Record("core.solve.start", "system=%s tasks=%d messages=%d",
+		sys.Name, len(sys.Tasks), len(sys.Messages))
+	// Registered before the recover defer (LIFO) so it sees the final
+	// sol/err — including the PanicError the recover substitutes.
+	defer func() {
+		switch {
+		case sol != nil:
+			cfg.Metrics.RecordSolveEnd(sol.Status.String())
+			rec.Record("core.solve.end", "status=%s cost=%d conflicts=%d",
+				sol.Status, sol.Cost, sol.Conflicts)
+		case err != nil:
+			cfg.Metrics.RecordSolveEnd("error")
+			rec.Record("core.solve.end", "status=error err=%v", err)
+		}
+	}()
 	var observed *bv.System
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
-			err = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, observed)
+			cfg.Metrics.RecordPanic()
+			rec.Record("core.panic", "%v", r)
+			err = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, observed, rec)
 		}
 	}()
 	objMedium := cfg.ObjectiveMedium
@@ -163,6 +200,8 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
 		Progress:            cfg.Progress,
+		Metrics:             cfg.Metrics,
+		Recorder:            rec,
 		Ctx:                 ctx,
 		Observe:             func(b *bv.System) { observed = b },
 	})

@@ -129,6 +129,43 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSpecPreservesMeta(t *testing.T) {
+	sys := smallSystem()
+	sys.Meta = map[string]string{
+		"generator":        "workgen",
+		"generatorVersion": workload.GeneratorVersion,
+		"kind":             "ring",
+		"seed":             "43",
+	}
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"meta"`) || !strings.Contains(buf.String(), `"seed": "43"`) {
+		t.Fatalf("meta block missing from spec JSON:\n%s", buf.String())
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Meta) != len(sys.Meta) {
+		t.Fatalf("meta round trip lost keys: %v", back.Meta)
+	}
+	for k, v := range sys.Meta {
+		if back.Meta[k] != v {
+			t.Fatalf("meta[%q] = %q, want %q", k, back.Meta[k], v)
+		}
+	}
+	// A spec with no meta must keep omitting the block.
+	var plain bytes.Buffer
+	if err := WriteSpec(&plain, smallSystem()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"meta"`) {
+		t.Fatal("meta block emitted for a system without metadata")
+	}
+}
+
 func TestSpecRejectsUnknownKind(t *testing.T) {
 	in := `{"name":"x","ecus":[{"id":0,"name":"a"},{"id":1,"name":"b"}],
 	"media":[{"id":0,"name":"m","kind":"ethernet","ecus":[0,1],"timePerUnit":1}],

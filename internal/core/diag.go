@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"satalloc/internal/bv"
+	"satalloc/internal/flightrec"
 	"satalloc/internal/model"
 )
 
@@ -44,19 +45,21 @@ func DefaultDiagnosticsDir() string {
 
 // newPanicError recovers the panic value into a PanicError, writing a
 // best-effort repro bundle. bsys may be nil when the panic struck before
-// any solver was compiled.
-func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys *bv.System) *PanicError {
-	bundle, berr := writeReproBundle(dir, sys, bsys, value, stack)
+// any solver was compiled; rec may be nil when no flight recorder was
+// running.
+func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys *bv.System, rec *flightrec.Recorder) *PanicError {
+	bundle, berr := writeReproBundle(dir, sys, bsys, rec, value, stack)
 	return &PanicError{Value: value, Stack: stack, BundleDir: bundle, BundleErr: berr}
 }
 
 // writeReproBundle writes a fresh panic-* directory under dir holding
 // everything needed to replay the failing solve: the problem spec, the
 // bit-blasted formula in DIMACS or OPB form, the solver's counter
-// snapshot, and the panic value plus stack. Every file is best-effort —
-// the first write error is reported but does not stop the remaining
-// files, so a partially corrupted solver still yields a usable bundle.
-func writeReproBundle(dir string, sys *model.System, bsys *bv.System, value any, stack []byte) (string, error) {
+// snapshot, the flight recorder's recent-event ring, and the panic value
+// plus stack. Every file is best-effort — the first write error is
+// reported but does not stop the remaining files, so a partially
+// corrupted solver still yields a usable bundle.
+func writeReproBundle(dir string, sys *model.System, bsys *bv.System, rec *flightrec.Recorder, value any, stack []byte) (string, error) {
 	if dir == "" {
 		dir = DefaultDiagnosticsDir()
 	}
@@ -102,6 +105,9 @@ func writeReproBundle(dir string, sys *model.System, bsys *bv.System, value any,
 			enc.SetIndent("", "  ")
 			return enc.Encode(bsys.S.Stats)
 		})
+	}
+	if rec != nil {
+		write("flightrec.json", func(f *os.File) error { return rec.WriteJSON(f) })
 	}
 	return bundle, firstErr
 }

@@ -89,6 +89,8 @@ func SolvePortfolioContext(ctx context.Context, sys *model.System, cfg Config, s
 			// incumbent, the exact arm's result survives untouched.
 			if r := recover(); r != nil {
 				saOpts.Trace.Outcome(obs.OutcomeError).Attr("panic", fmt.Sprint(r)).End()
+				cfg.Metrics.RecordArmFailure()
+				cfg.FlightRecorder.Record("portfolio.arm", "heuristic arm panicked: %v", r)
 				logf("portfolio: heuristic arm panicked (contained): %v", r)
 			}
 		}()
@@ -100,6 +102,8 @@ func SolvePortfolioContext(ctx context.Context, sys *model.System, cfg Config, s
 			res.Incumbent = sa.Allocation
 			res.IncumbentCost = sa.Cost
 			res.IncumbentAt = time.Since(start)
+			cfg.Metrics.RecordArmIncumbent(sa.Cost)
+			cfg.FlightRecorder.Record("portfolio.incumbent", "cost=%d evaluated=%d", sa.Cost, sa.Evaluated)
 			logf("portfolio: incumbent cost=%d after %v (exact arm still running)",
 				sa.Cost, res.IncumbentAt.Round(time.Millisecond))
 		} else {
@@ -115,7 +119,9 @@ func SolvePortfolioContext(ctx context.Context, sys *model.System, cfg Config, s
 		defer func() {
 			if r := recover(); r != nil {
 				sol = nil
-				exactErr = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, nil)
+				cfg.Metrics.RecordArmFailure()
+				cfg.FlightRecorder.Record("portfolio.arm", "exact arm panicked: %v", r)
+				exactErr = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, nil, cfg.FlightRecorder)
 			}
 		}()
 		faultinject.Fire(faultinject.SitePortfolioExact)

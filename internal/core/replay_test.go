@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"satalloc/internal/faultinject"
+	"satalloc/internal/flightrec"
+	"satalloc/internal/opt"
+	"satalloc/internal/sat"
+)
+
+// TestReproBundleRoundTrip is the diagnostics-pipeline end-to-end check:
+// force a panic mid-solve, then replay the written bundle — the spec must
+// reproduce the original verdict and cost, the formula dump must parse
+// and solve, and the flight recorder ring must narrate the run up to the
+// panic. It is what makes a bundle attached to a bug report actionable.
+func TestReproBundleRoundTrip(t *testing.T) {
+	sys := smallSystem()
+	cfg := Config{Objective: MinimizeTRT, DiagnosticsDir: t.TempDir()}
+
+	// Reference verdict on the pristine system.
+	want, err := Solve(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Feasible || want.Status != opt.Optimal {
+		t.Fatalf("reference solve not optimal: %v", want.Status)
+	}
+
+	// Panic on the second SOLVE call, so the ring already holds the first
+	// iteration's events when the bundle is snapshotted.
+	restore := faultinject.Set(faultinject.PanicAt(faultinject.SiteSatSolve, 2, "injected replay panic"))
+	_, err = Solve(sys, cfg)
+	restore()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *PanicError", err, err)
+	}
+	if pe.BundleErr != nil || pe.BundleDir == "" {
+		t.Fatalf("bundle incomplete: dir=%q err=%v", pe.BundleDir, pe.BundleErr)
+	}
+
+	// The flight recorder ring must be in the bundle and tell the story:
+	// the solve started, iterated at least once, and then panicked.
+	raw, err := os.ReadFile(filepath.Join(pe.BundleDir, "flightrec.json"))
+	if err != nil {
+		t.Fatalf("bundle missing the flight recorder dump: %v", err)
+	}
+	var dump flightrec.Dump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("flightrec.json malformed: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, e := range dump.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{"core.solve.start", "sat.solve", "opt.iter", "core.panic"} {
+		if kinds[k] == 0 {
+			t.Errorf("flight recorder missing %q events; got %v", k, kinds)
+		}
+	}
+	if dump.Total != int64(len(dump.Events))+dump.Dropped {
+		t.Errorf("dump accounting inconsistent: %+v", dump)
+	}
+
+	// Replay the bundled spec: the re-run must land on the same verdict
+	// and the same proven optimum.
+	f, err := os.Open(filepath.Join(pe.BundleDir, "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaySys, err := ReadSpec(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("bundled spec unreadable: %v", err)
+	}
+	got, err := Solve(replaySys, Config{Objective: MinimizeTRT, DiagnosticsDir: cfg.DiagnosticsDir})
+	if err != nil {
+		t.Fatalf("replay solve failed: %v", err)
+	}
+	if got.Status != want.Status || got.Cost != want.Cost {
+		t.Fatalf("replay diverged: status %v cost %d, want status %v cost %d",
+			got.Status, got.Cost, want.Status, want.Cost)
+	}
+
+	// The formula dump must parse back into the solver and be satisfiable
+	// (it is φ without the cost-window assumptions).
+	opb, err := os.Open(filepath.Join(pe.BundleDir, "formula.opb"))
+	if err != nil {
+		t.Fatalf("bundle missing formula.opb: %v", err)
+	}
+	defer opb.Close()
+	s, _, err := sat.ParseOPB(opb)
+	if err != nil {
+		t.Fatalf("formula dump unparseable: %v", err)
+	}
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("dumped formula solves to %v, want Sat", st)
+	}
+}

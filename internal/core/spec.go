@@ -11,11 +11,15 @@ import (
 // Spec is the JSON wire format for problem instances, used by the CLI
 // tools (cmd/allocate, cmd/workgen).
 type Spec struct {
-	Name     string        `json:"name"`
-	ECUs     []ECUSpec     `json:"ecus"`
-	Media    []MediumSpec  `json:"media"`
-	Tasks    []TaskSpec    `json:"tasks"`
-	Messages []MessageSpec `json:"messages,omitempty"`
+	Name string `json:"name"`
+	// Meta is free-form provenance (generator name/version, seed, kind)
+	// stamped by cmd/workgen and preserved across the round-trip; it does
+	// not influence solving.
+	Meta     map[string]string `json:"meta,omitempty"`
+	ECUs     []ECUSpec         `json:"ecus"`
+	Media    []MediumSpec      `json:"media"`
+	Tasks    []TaskSpec        `json:"tasks"`
+	Messages []MessageSpec     `json:"messages,omitempty"`
 }
 
 // ECUSpec mirrors model.ECU.
@@ -66,7 +70,7 @@ type MessageSpec struct {
 
 // ToSpec converts a model.System to its wire format.
 func ToSpec(s *model.System) *Spec {
-	sp := &Spec{Name: s.Name}
+	sp := &Spec{Name: s.Name, Meta: s.Meta}
 	for _, e := range s.ECUs {
 		sp.ECUs = append(sp.ECUs, ECUSpec{ID: e.ID, Name: e.Name, GatewayOnly: e.GatewayOnly, ServiceCost: e.ServiceCost, MemCapacity: e.MemCapacity})
 	}
@@ -105,7 +109,7 @@ func ToSpec(s *model.System) *Spec {
 // ToSystem converts a wire-format spec back into a model.System and
 // validates it.
 func (sp *Spec) ToSystem() (*model.System, error) {
-	s := &model.System{Name: sp.Name}
+	s := &model.System{Name: sp.Name, Meta: sp.Meta}
 	for _, e := range sp.ECUs {
 		s.ECUs = append(s.ECUs, &model.ECU{ID: e.ID, Name: e.Name, GatewayOnly: e.GatewayOnly, ServiceCost: e.ServiceCost, MemCapacity: e.MemCapacity})
 	}

@@ -23,7 +23,10 @@ import (
 	"satalloc/internal/baseline"
 	"satalloc/internal/core"
 	"satalloc/internal/encode"
+	"satalloc/internal/flightrec"
+	"satalloc/internal/metrics"
 	"satalloc/internal/model"
+	"satalloc/internal/obs"
 	"satalloc/internal/report"
 	"satalloc/internal/workload"
 )
@@ -38,6 +41,14 @@ type Budget struct {
 	Ctx context.Context
 	// MaxConflictsPerCall bounds each SOLVE call; 0 means unlimited.
 	MaxConflictsPerCall int64
+	// Trace, when set, is the root span under which every instance's
+	// pipeline records its spans.
+	Trace *obs.Span
+	// Metrics and Recorder, when set, receive the live instrumentation of
+	// every solve in the suite (the counters accumulate across instances,
+	// which is what a scraper watching a long benchtab run wants).
+	Metrics  *metrics.SolverMetrics
+	Recorder *flightrec.Recorder
 }
 
 // ctx returns the budget's context, defaulting to Background.
@@ -51,9 +62,16 @@ func (b Budget) ctx() context.Context {
 // cancelled reports whether the budget's context is done.
 func (b Budget) cancelled() bool { return b.ctx().Err() != nil }
 
-// config builds a core.Config carrying the budget's conflict cap.
+// config builds a core.Config carrying the budget's conflict cap and
+// observability sinks.
 func (b Budget) config(obj core.Objective) core.Config {
-	return core.Config{Objective: obj, MaxConflictsPerCall: b.MaxConflictsPerCall}
+	return core.Config{
+		Objective:           obj,
+		MaxConflictsPerCall: b.MaxConflictsPerCall,
+		Trace:               b.Trace,
+		Metrics:             b.Metrics,
+		FlightRecorder:      b.Recorder,
+	}
 }
 
 // Mode selects instance sizes.

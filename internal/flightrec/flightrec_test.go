@@ -1,0 +1,106 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	r := New(4)
+	for i := 1; i <= 3; i++ {
+		r.Record("k", "event %d", i)
+	}
+	ev := r.Snapshot()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != int64(i+1) || e.Detail != fmt.Sprintf("event %d", i+1) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	r := New(4)
+	for i := 1; i <= 10; i++ {
+		r.Record("k", "event %d", i)
+	}
+	ev := r.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want capacity 4", len(ev))
+	}
+	// Retained events are the newest four, in order, with contiguous Seq.
+	for i, e := range ev {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestWriteJSONDump(t *testing.T) {
+	r := New(2)
+	r.Record("a", "first")
+	r.Record("b", "second")
+	r.Record("c", "third")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump not parseable: %v\n%s", err, buf.String())
+	}
+	if d.Capacity != 2 || d.Total != 3 || d.Dropped != 1 || len(d.Events) != 2 {
+		t.Fatalf("dump accounting wrong: %+v", d)
+	}
+	if d.Events[0].Kind != "b" || d.Events[1].Kind != "c" {
+		t.Fatalf("dump holds wrong events: %+v", d.Events)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record("k", "ignored")
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder must snapshot nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil || len(d.Events) != 0 {
+		t.Fatalf("nil recorder must dump an empty ring: %+v err=%v", d, err)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Record("k", "n=%d", j)
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ev := r.Snapshot()
+	if len(ev) != 64 {
+		t.Fatalf("ring holds %d events, want 64", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("Seq not contiguous at %d: %d then %d", i, ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package ophttp is the allocator's ops HTTP listener: a small stdlib
+// server exposing the live state of a running solve for scraping and
+// debugging. Routes:
+//
+//	/metrics          Prometheus text exposition of the metrics registry
+//	/debug/vars       the same registry as JSON (expvar-style)
+//	/healthz          liveness: "ok\n", 200
+//	/progress         JSON snapshot of the search (incumbent, bounds L/R,
+//	                  conflict counters and the conflict rate between
+//	                  scrapes)
+//	/debug/flightrec  the flight recorder's event ring as JSON
+//	/debug/pprof/*    the standard runtime profiling endpoints
+//
+// The long-running commands (allocate, solvesat, benchtab) start one via
+// -ops-addr; see internal/cli. Handlers only read atomics and snapshot
+// under short locks, so scraping mid-solve does not perturb the search.
+package ophttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"satalloc/internal/flightrec"
+	"satalloc/internal/metrics"
+)
+
+// Options configures a Server. All fields are optional: endpoints whose
+// source is absent serve empty-but-valid payloads, so a partially wired
+// caller still gets a scrapeable server.
+type Options struct {
+	// Registry backs /metrics and /debug/vars.
+	Registry *metrics.Registry
+	// Solver backs /progress.
+	Solver *metrics.SolverMetrics
+	// Recorder backs /debug/flightrec.
+	Recorder *flightrec.Recorder
+	// Component names the process in /progress (e.g. "allocate").
+	Component string
+}
+
+// Progress is the JSON payload of /progress: the live view of the search
+// a human (or a dashboard) polls to diagnose a stall.
+type Progress struct {
+	Component string `json:"component,omitempty"`
+	UptimeMS  int64  `json:"uptime_ms"`
+	// Binary-search state: incumbent cost and the proven window [L,R]
+	// with its gap; -1 means not yet known.
+	IncumbentCost int64 `json:"incumbent_cost"`
+	BoundLower    int64 `json:"bound_lower"`
+	BoundUpper    int64 `json:"bound_upper"`
+	BoundGap      int64 `json:"bound_gap"`
+	// Cumulative search counters.
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	SolveCalls   int64 `json:"solve_calls"`
+	BudgetHits   int64 `json:"budget_hits"`
+	LearntDB     int64 `json:"learnt_db_size"`
+	// ConflictsPerSec is the conflict rate since the previous /progress
+	// scrape (0 on the first scrape).
+	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+}
+
+// Server is a running ops listener. Create with Start, stop with Close.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	// Rate state between /progress scrapes.
+	mu            sync.Mutex
+	lastScrape    time.Time
+	lastConflicts int64
+
+	// Err receives the Serve loop's terminal error (nil on clean Close);
+	// buffered so the goroutine never blocks.
+	err chan error
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// the ops routes in a background goroutine.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ophttp: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now(), err: make(chan error, 1)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		o.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.progress(o))
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		o.Recorder.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.err <- err
+	}()
+	return s, nil
+}
+
+// progress builds the /progress snapshot, computing the conflict rate
+// from the delta since the previous scrape.
+func (s *Server) progress(o Options) Progress {
+	m := o.Solver
+	p := Progress{
+		Component:     o.Component,
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		IncumbentCost: -1,
+		BoundLower:    -1,
+		BoundUpper:    -1,
+		BoundGap:      -1,
+	}
+	if m == nil {
+		return p
+	}
+	p.IncumbentCost = m.IncumbentCost.Value()
+	p.BoundLower = m.BoundLower.Value()
+	p.BoundUpper = m.BoundUpper.Value()
+	p.BoundGap = m.BoundGap.Value()
+	p.Conflicts = m.Conflicts.Value()
+	p.Decisions = m.Decisions.Value()
+	p.Propagations = m.Propagations.Value()
+	p.Restarts = m.Restarts.Value()
+	p.SolveCalls = m.SolveCalls.Value()
+	p.BudgetHits = m.BudgetHits.Value()
+	p.LearntDB = m.LearntDB.Value()
+
+	s.mu.Lock()
+	now := time.Now()
+	if !s.lastScrape.IsZero() {
+		if dt := now.Sub(s.lastScrape).Seconds(); dt > 0 && p.Conflicts >= s.lastConflicts {
+			p.ConflictsPerSec = float64(p.Conflicts-s.lastConflicts) / dt
+		}
+	}
+	s.lastScrape = now
+	s.lastConflicts = p.Conflicts
+	s.mu.Unlock()
+	return p
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and returns the serve loop's terminal error,
+// if any. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	cerr := s.srv.Close()
+	if err := <-s.err; err != nil {
+		return err
+	}
+	return cerr
+}

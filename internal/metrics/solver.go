@@ -1,0 +1,216 @@
+package metrics
+
+import "time"
+
+// Default bucket layouts for the solver histograms. LBD and backjump
+// depth are small-integer distributions with long tails; per-SOLVE-call
+// wall time spans microseconds (trivial windows late in the binary
+// search) to minutes (the initial unconstrained solve).
+var (
+	LBDBuckets      = []int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	BackjumpBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// SolveCallMSBuckets are milliseconds.
+	SolveCallMSBuckets = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 300000}
+)
+
+// SolverMetrics bundles the standard metric set of the solve pipeline,
+// one series per concern, all registered under the satalloc_ prefix. A
+// nil *SolverMetrics is a valid disabled instrument: every Record method
+// is a no-op and every hook constructor returns nil, so the layers below
+// (sat, opt, core) pay one nil check when metrics are off — the same
+// contract as obs.Tracer.
+type SolverMetrics struct {
+	reg *Registry
+
+	// SAT search counters, mirrored from the solver's cumulative Stats at
+	// progress boundaries (restart/reduce/solve entry).
+	Conflicts    *Counter
+	Decisions    *Counter
+	Propagations *Counter
+	Restarts     *Counter
+	LearntAdded  *Counter
+	LearntPruned *Counter
+	// Point-in-time search state.
+	LearntDB   *Gauge
+	TrailDepth *Gauge
+	// Per-conflict learning quality.
+	LBD      *Histogram
+	Backjump *Histogram
+
+	// Binary-search optimizer (opt.Minimize).
+	SolveCalls    *Counter
+	SolveCallMS   *Histogram
+	BoundLower    *Gauge // L: proven lower bound (-1 until known)
+	BoundUpper    *Gauge // R: best incumbent cost (-1 until known)
+	BoundGap      *Gauge // R-L (-1 until both known)
+	IncumbentCost *Gauge // current best model cost, any source (-1 until known)
+	BudgetHits    *Counter
+
+	// core.Solve phases and portfolio arms.
+	SolvesStarted *Counter
+	Panics        *Counter
+	ArmIncumbents *Counter
+	ArmFailures   *Counter
+}
+
+// NewSolverMetrics registers the standard solver metric set on r. A nil
+// registry yields a nil (disabled) *SolverMetrics.
+func NewSolverMetrics(r *Registry) *SolverMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &SolverMetrics{
+		reg:          r,
+		Conflicts:    r.Counter("satalloc_sat_conflicts_total", "CDCL conflicts across all SOLVE calls", nil),
+		Decisions:    r.Counter("satalloc_sat_decisions_total", "CDCL decisions across all SOLVE calls", nil),
+		Propagations: r.Counter("satalloc_sat_propagations_total", "unit propagations across all SOLVE calls", nil),
+		Restarts:     r.Counter("satalloc_sat_restarts_total", "solver restarts", nil),
+		LearntAdded:  r.Counter("satalloc_sat_learnt_added_total", "learnt clauses recorded", nil),
+		LearntPruned: r.Counter("satalloc_sat_learnt_pruned_total", "learnt clauses removed by DB reduction", nil),
+		LearntDB:     r.Gauge("satalloc_sat_learnt_db_size", "current learnt-clause database size", nil),
+		TrailDepth:   r.Gauge("satalloc_sat_trail_depth", "assigned literals at the last progress boundary", nil),
+		LBD:          r.Histogram("satalloc_sat_lbd", "literal block distance of learnt clauses", LBDBuckets, nil),
+		Backjump:     r.Histogram("satalloc_sat_backjump_levels", "decision levels undone per conflict", BackjumpBuckets, nil),
+
+		SolveCalls:    r.Counter("satalloc_opt_solve_calls_total", "SOLVE invocations of the binary search", nil),
+		SolveCallMS:   r.Histogram("satalloc_opt_solve_call_duration_ms", "wall time per SOLVE call in milliseconds", SolveCallMSBuckets, nil),
+		BoundLower:    r.Gauge("satalloc_opt_bound_lower", "binary search proven lower bound L (-1: unknown)", nil),
+		BoundUpper:    r.Gauge("satalloc_opt_bound_upper", "binary search incumbent cost R (-1: unknown)", nil),
+		BoundGap:      r.Gauge("satalloc_opt_bound_gap", "binary search gap R-L (-1: unknown)", nil),
+		IncumbentCost: r.Gauge("satalloc_opt_incumbent_cost", "cost of the best model found so far (-1: none)", nil),
+		BudgetHits:    r.Counter("satalloc_opt_budget_hits_total", "SOLVE calls interrupted by a budget or cancellation", nil),
+
+		SolvesStarted: r.Counter("satalloc_core_solves_started_total", "core.Solve pipeline runs started", nil),
+		Panics:        r.Counter("satalloc_core_panics_total", "panics contained at the core.Solve boundary", nil),
+		ArmIncumbents: r.Counter("satalloc_portfolio_incumbents_total", "heuristic-arm incumbents delivered", nil),
+		ArmFailures:   r.Counter("satalloc_portfolio_arm_failures_total", "portfolio arms lost to contained panics", nil),
+	}
+	m.BoundLower.Set(-1)
+	m.BoundUpper.Set(-1)
+	m.BoundGap.Set(-1)
+	m.IncumbentCost.Set(-1)
+	return m
+}
+
+// Registry returns the registry the metrics are registered on (nil on a
+// disabled instrument).
+func (m *SolverMetrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// SearchHook returns a stateful hook mirroring one solver's cumulative
+// search counters into the registry as deltas. One hook must be created
+// per solver instance: a fresh solver restarts its cumulative counters at
+// zero, and per-hook state is what keeps the mirrored totals monotone
+// across solver rebuilds (opt's fresh mode). Returns nil when m is nil.
+func (m *SolverMetrics) SearchHook() func(conflicts, decisions, propagations, restarts, learntAdded, learntPruned int64, learnts, trail int) {
+	if m == nil {
+		return nil
+	}
+	var last struct{ conf, dec, prop, rest, ladd, lpru int64 }
+	return func(conflicts, decisions, propagations, restarts, learntAdded, learntPruned int64, learnts, trail int) {
+		m.Conflicts.Add(conflicts - last.conf)
+		m.Decisions.Add(decisions - last.dec)
+		m.Propagations.Add(propagations - last.prop)
+		m.Restarts.Add(restarts - last.rest)
+		m.LearntAdded.Add(learntAdded - last.ladd)
+		m.LearntPruned.Add(learntPruned - last.lpru)
+		last.conf, last.dec, last.prop = conflicts, decisions, propagations
+		last.rest, last.ladd, last.lpru = restarts, learntAdded, learntPruned
+		m.LearntDB.Set(int64(learnts))
+		m.TrailDepth.Set(int64(trail))
+	}
+}
+
+// ConflictHook returns the per-conflict observation hook for
+// sat.Solver.OnConflict: LBD and backjump-depth histograms. Stateless, so
+// one hook may be shared across solvers. Returns nil when m is nil.
+func (m *SolverMetrics) ConflictHook() func(lbd, backjump, learntLen int) {
+	if m == nil {
+		return nil
+	}
+	return func(lbd, backjump, learntLen int) {
+		m.LBD.Observe(int64(lbd))
+		m.Backjump.Observe(int64(backjump))
+	}
+}
+
+// RecordIter records one SOLVE call of the binary search.
+func (m *SolverMetrics) RecordIter(d time.Duration, interrupted bool) {
+	if m == nil {
+		return
+	}
+	m.SolveCalls.Inc()
+	m.SolveCallMS.Observe(d.Milliseconds())
+	if interrupted {
+		m.BudgetHits.Inc()
+	}
+}
+
+// RecordBounds publishes the binary search's current proven window [L,R].
+func (m *SolverMetrics) RecordBounds(l, r int64) {
+	if m == nil {
+		return
+	}
+	m.BoundLower.Set(l)
+	m.BoundUpper.Set(r)
+	m.BoundGap.Set(r - l)
+}
+
+// RecordIncumbent publishes the cost of the best model found so far.
+func (m *SolverMetrics) RecordIncumbent(cost int64) {
+	if m == nil {
+		return
+	}
+	m.IncumbentCost.Set(cost)
+}
+
+// RecordSolveStart counts a core.Solve pipeline run.
+func (m *SolverMetrics) RecordSolveStart() {
+	if m == nil {
+		return
+	}
+	m.SolvesStarted.Inc()
+}
+
+// RecordSolveEnd counts a completed pipeline run, labelled by its status
+// string ("optimal", "feasible", "infeasible", "aborted", "error").
+func (m *SolverMetrics) RecordSolveEnd(status string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_core_solves_completed_total",
+		"core.Solve pipeline runs completed, by outcome", Labels{"status": status}).Inc()
+}
+
+// RecordPanic counts a panic contained at the core.Solve boundary.
+func (m *SolverMetrics) RecordPanic() {
+	if m == nil {
+		return
+	}
+	m.Panics.Inc()
+}
+
+// RecordArmIncumbent counts a heuristic-arm incumbent and publishes its
+// cost.
+func (m *SolverMetrics) RecordArmIncumbent(cost int64) {
+	if m == nil {
+		return
+	}
+	m.ArmIncumbents.Inc()
+	// The portfolio's heuristic incumbent and the exact arm's R both feed
+	// the same "best model so far" gauge; whichever reported last wins,
+	// matching the live view a scraper wants.
+	m.IncumbentCost.Set(cost)
+}
+
+// RecordArmFailure counts a portfolio arm lost to a contained panic.
+func (m *SolverMetrics) RecordArmFailure() {
+	if m == nil {
+		return
+	}
+	m.ArmFailures.Inc()
+}

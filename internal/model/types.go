@@ -138,6 +138,10 @@ type System struct {
 	Media    []*Medium
 	Tasks    []*Task
 	Messages []*Message
+	// Meta is free-form provenance metadata (generator name/version,
+	// seed, kind) carried through the JSON spec round-trip. It is not
+	// part of the constraint problem: solvers and the analyzer ignore it.
+	Meta map[string]string
 }
 
 // ECUByID returns the ECU with the given ID.

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"satalloc/internal/flightrec"
+	"satalloc/internal/metrics"
+	"satalloc/internal/sat"
+)
+
+// MetricsProgress adapts a metrics instrument into a sat.Solver.OnProgress
+// hook that mirrors the solver's cumulative counters into the registry.
+// The returned hook is stateful (it tracks the last-seen counters to emit
+// deltas), so create one per solver instance — sharing one hook between a
+// fresh solver and its predecessor would make the mirrored totals jump.
+// Returns nil when m is nil, preserving the nil-hook fast path.
+func MetricsProgress(m *metrics.SolverMetrics) func(sat.Progress) {
+	h := m.SearchHook()
+	if h == nil {
+		return nil
+	}
+	return func(p sat.Progress) {
+		h(p.Conflicts, p.Decisions, p.Propagations, p.Restarts,
+			p.LearntAdded, p.LearntPruned, p.Learnts, p.TrailDepth)
+	}
+}
+
+// FlightProgress adapts a flight recorder into a sat.Solver.OnProgress
+// hook recording restart and learnt-DB-reduction events (the "solve"
+// entry event is recorded too — in incremental mode it marks each SOLVE
+// call of the binary search). Returns nil when rec is nil.
+func FlightProgress(rec *flightrec.Recorder) func(sat.Progress) {
+	if rec == nil {
+		return nil
+	}
+	return func(p sat.Progress) {
+		rec.Record("sat."+p.Event,
+			"conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d trail=%d",
+			p.Conflicts, p.Decisions, p.Propagations, p.Restarts, p.Learnts, p.TrailDepth)
+	}
+}
+
+// TeeProgress fans one OnProgress callback out to several hooks, skipping
+// nil entries. It returns nil when every hook is nil and the sole hook
+// itself when only one is set, so the disabled and single-consumer cases
+// cost exactly what they did without the tee.
+func TeeProgress(hooks ...func(sat.Progress)) func(sat.Progress) {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(p sat.Progress) {
+		for _, h := range live {
+			h(p)
+		}
+	}
+}

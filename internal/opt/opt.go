@@ -12,7 +12,9 @@ import (
 
 	"satalloc/internal/bv"
 	"satalloc/internal/encode"
+	"satalloc/internal/flightrec"
 	"satalloc/internal/ir"
+	"satalloc/internal/metrics"
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
 	"satalloc/internal/rta"
@@ -77,8 +79,18 @@ type Options struct {
 	Trace *obs.Span
 	// Progress, when set, is installed as the SAT solver's OnProgress
 	// hook, reporting search counters at restart and clause-DB-reduction
-	// boundaries. Nil disables it.
+	// boundaries. Nil disables it. When Metrics or Recorder are also set,
+	// the hooks are teed; the solver still sees a single callback.
 	Progress func(sat.Progress)
+	// Metrics, when set, receives live search counters (mirrored at
+	// progress boundaries), per-conflict LBD/backjump observations, and
+	// the binary search's bounds/incumbent/iteration series. Nil disables
+	// it at the cost of one nil check per boundary.
+	Metrics *metrics.SolverMetrics
+	// Recorder, when set, is the flight recorder receiving restart,
+	// reduction, iteration, bounds, incumbent, and budget events. Nil
+	// disables it.
+	Recorder *flightrec.Recorder
 	// Ctx, when set, makes the whole binary search cancellable: its
 	// cancellation or deadline is polled by the SAT solver at restart and
 	// conflict-batch boundaries, and the search degrades to a Feasible
@@ -211,7 +223,11 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			return err
 		}
 		sys.S.MaxConflicts = opts.MaxConflictsPerCall
-		sys.S.OnProgress = opts.Progress
+		// A fresh MetricsProgress hook per compile: its delta state must
+		// restart with the solver's counters (fresh mode rebuilds both).
+		sys.S.OnProgress = obs.TeeProgress(opts.Progress,
+			obs.MetricsProgress(opts.Metrics), obs.FlightProgress(opts.Recorder))
+		sys.S.OnConflict = opts.Metrics.ConflictHook()
 		sys.S.Stop = stop
 		if res.Vars == 0 {
 			res.Vars = sys.S.NumVariables()
@@ -281,6 +297,12 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		res.Decisions += it.Decisions
 		sp.Attr("status", st.String()).Attr("cost", it.Cost).
 			Attr("conflicts", it.Conflicts).Attr("decisions", it.Decisions).End()
+		opts.Metrics.RecordIter(it.Duration, st == sat.Unknown)
+		opts.Recorder.Record("opt.iter", "call=%d lo=%d hi=%d status=%s cost=%d conflicts=%d",
+			it.Call, lo, hi, st, it.Cost, it.Conflicts)
+		if st == sat.Unknown {
+			opts.Recorder.Record("opt.budget", "call=%d interrupted (budget/deadline/cancel)", it.Call)
+		}
 		return out, nil
 	}
 
@@ -318,6 +340,13 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	L := enc.Cost.Lo
 	R := best.cost
 	opts.logf("initial solution cost=%d (search window [%d,%d])", R, L, R)
+	publishWindow := func() {
+		opts.Metrics.RecordBounds(L, R)
+		opts.Recorder.Record("opt.bounds", "L=%d R=%d gap=%d", L, R, R-L)
+	}
+	opts.Metrics.RecordIncumbent(R)
+	opts.Recorder.Record("opt.incumbent", "cost=%d (initial model)", R)
+	publishWindow()
 
 	// degrade packages the incumbent and the proven window [L,R] as a
 	// Feasible result — the anytime payoff of an interrupted search.
@@ -348,6 +377,7 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		case sat.Unsat:
 			opts.logf("window [%d,%d] empty → L=%d", L, M, M+1)
 			L = M + 1
+			publishWindow()
 			if opts.Incremental {
 				// The bound is entailed (nothing below L can be feasible),
 				// so asserting it permanently is safe and lets the learner
@@ -360,6 +390,9 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			best = k
 			R = k.cost
 			opts.logf("found cost=%d → R=%d", k.cost, R)
+			opts.Metrics.RecordIncumbent(R)
+			opts.Recorder.Record("opt.incumbent", "cost=%d", R)
+			publishWindow()
 		case sat.Unknown:
 			return degrade(L)
 		}

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"satalloc/internal/encode"
+	"satalloc/internal/flightrec"
 	"satalloc/internal/ir"
+	"satalloc/internal/metrics"
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
 	"satalloc/internal/rta"
@@ -554,5 +556,101 @@ func TestDecodeErrorPropagates(t *testing.T) {
 	enc, _ := enumSetup(t)
 	if _, err := enc.Decode(ir.NewAssignment()); err == nil {
 		t.Fatal("Decode must fail on an empty assignment")
+	}
+}
+
+// TestMinimizeMetricsAndRecorder runs a full minimization with the live
+// instrumentation wired and asserts the registry and flight recorder end
+// up describing the search: solve-call count, settled bounds (L == R ==
+// optimum for an optimal run), incumbent cost, mirrored conflict
+// counters, and the iteration/bounds/incumbent event trail.
+func TestMinimizeMetricsAndRecorder(t *testing.T) {
+	for _, inc := range []bool{true, false} {
+		sys := tinyRing()
+		enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := metrics.NewSolverMetrics(metrics.New())
+		rec := flightrec.New(0)
+		res, err := Minimize(enc, Options{Incremental: inc, Metrics: m, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("inc=%v status %v", inc, res.Status)
+		}
+		if got := m.SolveCalls.Value(); got != int64(res.SolveCalls) {
+			t.Errorf("inc=%v metric solve calls %d, result says %d", inc, got, res.SolveCalls)
+		}
+		if l, r := m.BoundLower.Value(), m.BoundUpper.Value(); l != res.Cost || r != res.Cost {
+			t.Errorf("inc=%v final bounds [%d,%d], want [%d,%d]", inc, l, r, res.Cost, res.Cost)
+		}
+		if got := m.IncumbentCost.Value(); got != res.Cost {
+			t.Errorf("inc=%v incumbent gauge %d, want %d", inc, got, res.Cost)
+		}
+		if got := m.Conflicts.Value(); got != res.Conflicts {
+			t.Errorf("inc=%v mirrored conflicts %d, result counted %d", inc, got, res.Conflicts)
+		}
+		kinds := map[string]int{}
+		for _, e := range rec.Snapshot() {
+			kinds[e.Kind]++
+		}
+		if kinds["opt.iter"] != res.SolveCalls {
+			t.Errorf("inc=%v recorded %d opt.iter events over %d calls", inc, kinds["opt.iter"], res.SolveCalls)
+		}
+		if kinds["opt.incumbent"] == 0 || kinds["opt.bounds"] == 0 || kinds["sat.solve"] == 0 {
+			t.Errorf("inc=%v missing event kinds: %v", inc, kinds)
+		}
+		if kinds["opt.budget"] != 0 {
+			t.Errorf("inc=%v spurious budget events: %v", inc, kinds)
+		}
+	}
+}
+
+// TestMinimizeBudgetHitRecordsEvents interrupts the search mid-way and
+// checks the budget hit reaches both the counter and the event ring.
+func TestMinimizeBudgetHitRecordsEvents(t *testing.T) {
+	sys := tinyRing()
+	enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := metrics.NewSolverMetrics(metrics.New())
+	rec := flightrec.New(0)
+	calls := 0
+	res, err := Minimize(enc, Options{
+		Incremental: true,
+		Metrics:     m,
+		Recorder:    rec,
+		Ctx:         ctx,
+		Logf: func(string, ...any) {
+			// Cancel after the initial model so the search degrades to
+			// Feasible rather than Aborted.
+			calls++
+			if calls == 1 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if res.Status != Feasible {
+		t.Skipf("search finished before cancellation took effect (status %v)", res.Status)
+	}
+	if m.BudgetHits.Value() == 0 {
+		t.Error("interrupted SOLVE call did not count a budget hit")
+	}
+	found := false
+	for _, e := range rec.Snapshot() {
+		if e.Kind == "opt.budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no opt.budget event recorded")
 	}
 }

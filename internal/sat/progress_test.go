@@ -46,6 +46,50 @@ func TestProgressHookFires(t *testing.T) {
 	}
 }
 
+// TestConflictHookFires checks the OnConflict contract: one callback per
+// conflict with a plausible LBD, backjump depth, and learnt length.
+func TestConflictHookFires(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 7)
+	fired := int64(0)
+	s.OnConflict = func(lbd, backjump, learntLen int) {
+		fired++
+		if lbd < 1 || learntLen < 1 || lbd > learntLen+1 {
+			t.Fatalf("implausible conflict observation: lbd=%d backjump=%d learntLen=%d",
+				lbd, backjump, learntLen)
+		}
+		if backjump < 1 {
+			t.Fatalf("a conflict above level 0 must undo at least one level, got %d", backjump)
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("PHP must be unsat")
+	}
+	// The hook fires for every conflict except the final level-0 one,
+	// which returns Unsat before analysis.
+	if fired == 0 || fired > s.Stats.Conflicts {
+		t.Fatalf("hook fired %d times over %d conflicts", fired, s.Stats.Conflicts)
+	}
+	if fired < s.Stats.Conflicts-1 {
+		t.Fatalf("hook missed conflicts: fired %d of %d", fired, s.Stats.Conflicts)
+	}
+}
+
+// TestConflictHookNilIsFree proves a set conflict hook does not perturb
+// the search itself.
+func TestConflictHookNilIsFree(t *testing.T) {
+	a, b := New(), New()
+	addPigeonhole(a, 6)
+	addPigeonhole(b, 6)
+	b.OnConflict = func(int, int, int) {}
+	if a.Solve() != Unsat || b.Solve() != Unsat {
+		t.Fatal("PHP must be unsat")
+	}
+	if a.Stats.Conflicts != b.Stats.Conflicts || a.Stats.Decisions != b.Stats.Decisions {
+		t.Fatalf("hook changed the search: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
 // TestProgressHookNilIsFree exercises the nil-hook path (the default) —
 // solving must behave identically with no hook set.
 func TestProgressHookNilIsFree(t *testing.T) {

@@ -52,13 +52,18 @@ type Stats struct {
 // Solver's OnProgress hook.
 type Progress struct {
 	// Event names the boundary that triggered the callback: "solve"
-	// (entry of a Solve call), "restart", or "reduce" (learnt-DB
-	// reduction).
+	// (entry of a Solve call), "restart", "reduce" (learnt-DB
+	// reduction), or "done" (exit of a Solve call — the snapshot where
+	// the cumulative counters hold their final values for the call).
 	Event        string
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
 	Restarts     int64
+	// LearntAdded and LearntPruned are the cumulative learnt-clause
+	// counters (Stats.LearntAdded/LearntPruned) at the callback point.
+	LearntAdded  int64
+	LearntPruned int64
 	// Learnts is the current size of the learnt-clause database.
 	Learnts int
 	// TrailDepth is the number of literals assigned at the callback point.
@@ -110,6 +115,15 @@ type Solver struct {
 	// never checks it, so a nil hook costs nothing and a set hook costs
 	// O(restarts) calls per solve.
 	OnProgress func(Progress)
+
+	// OnConflict, when non-nil, receives per-conflict learning metrics —
+	// the learnt clause's literal block distance, the number of decision
+	// levels undone by the backjump, and the learnt clause's length. It
+	// fires once per conflict on the analysis path (never inside
+	// propagation), so a nil hook costs one branch per conflict and a set
+	// hook one call — cheap enough for live LBD histograms, but keep the
+	// hook allocation-free.
+	OnConflict func(lbd, backjump, learntLen int)
 
 	// Stop, when non-nil, is polled at the entry of each Solve call, at
 	// every restart boundary, and every stopCheckConflicts conflicts /
@@ -573,17 +587,20 @@ func (s *Solver) computeLBD(lits []Lit) int {
 	return len(seen)
 }
 
-func (s *Solver) recordLearnt(lits []Lit) {
+// recordLearnt stores the learnt clause and returns its LBD (1 for unit
+// clauses, which assert at the root).
+func (s *Solver) recordLearnt(lits []Lit) int {
 	s.Stats.LearntAdded++
 	if len(lits) == 1 {
 		s.uncheckedEnqueue(lits[0], nil)
-		return
+		return 1
 	}
 	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, lbd: s.computeLBD(lits)}
 	s.attach(c)
 	s.learnts = append(s.learnts, c)
 	s.bumpClause(c)
 	s.uncheckedEnqueue(lits[0], c)
+	return c.lbd
 }
 
 // reduceDB removes roughly half of the learnt clauses, keeping those that
@@ -648,6 +665,8 @@ func (s *Solver) fireProgress(event string) {
 		Decisions:    s.Stats.Decisions,
 		Propagations: s.Stats.Propagations,
 		Restarts:     s.Stats.Restarts,
+		LearntAdded:  s.Stats.LearntAdded,
+		LearntPruned: s.Stats.LearntPruned,
 		Learnts:      len(s.learnts),
 		TrailDepth:   len(s.trail),
 	})
@@ -684,6 +703,15 @@ func luby(i int64) int64 {
 // literals. On Sat, Model reports variable values. On Unsat under non-empty
 // assumptions, the formula itself may still be satisfiable.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	st := s.search(assumptions...)
+	// The "done" event carries the call's final counter values, letting a
+	// progress consumer (e.g. a metrics mirror) account for the conflicts
+	// since the last restart boundary.
+	s.fireProgress("done")
+	return st
+}
+
+func (s *Solver) search(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -713,8 +741,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			learnt, bt := s.analyze(confl)
+			backjump := int(s.decisionLevel() - bt)
 			s.cancelUntil(bt)
-			s.recordLearnt(learnt)
+			lbd := s.recordLearnt(learnt)
+			if s.OnConflict != nil {
+				s.OnConflict(lbd, backjump, len(learnt))
+			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			if float64(len(s.learnts)) >= s.maxLearnt {
