@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench ops-smoke
+.PHONY: check vet build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
 
 ## check: the full CI gate — vet, build, the race-enabled test suite, and
 ## a short fuzz smoke run of every parser-hardening target.
@@ -26,9 +26,26 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseOPB$$' -fuzztime $(FUZZTIME) ./internal/sat
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSpec$$' -fuzztime $(FUZZTIME) ./internal/core
 
+## race-parallel: the clause-sharing portfolio's concurrency tests under the
+## race detector, runnable on their own (CI gives them a dedicated step).
+race-parallel:
+	$(GO) test -race -count 1 -run Parallel ./internal/sat ./internal/opt ./internal/core
+
 ## bench: the solver micro-benchmarks (hooks disabled), for regression spotting.
 bench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' ./internal/sat
+
+## bench-json: run the top-level paper benchmarks once and write a dated
+## machine-readable data point for the performance trajectory.
+bench-json:
+	$(GO) test -bench . -benchtime 1x -run '^$$' -timeout 60m . \
+		| $(GO) run ./internal/tools/bench2json -o BENCH_$$(date +%Y%m%d).json
+
+## bench-smoke: one-iteration benchmark pass piped through bench2json — keeps
+## both the benchmarks and the JSON converter from rotting, without timing.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' -timeout 60m . \
+		| $(GO) run ./internal/tools/bench2json > /dev/null
 
 ## ops-smoke: end-to-end check of the ops HTTP listener — builds the real
 ## allocate binary, scrapes /healthz, /metrics and /progress against a

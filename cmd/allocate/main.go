@@ -4,9 +4,10 @@
 // Usage:
 //
 //	allocate [-objective trt|sumtrt|busutil|maxutil] [-medium id]
-//	         [-fresh] [-v] [-progress 1s] [-iters] [-trace spans.jsonl]
-//	         [-ops-addr :9090] [-timeout 30s] [-conflict-budget n]
-//	         [-cpuprofile f] [-memprofile f] [-exectrace f] [spec.json]
+//	         [-fresh] [-workers n] [-v] [-progress 1s] [-iters]
+//	         [-trace spans.jsonl] [-ops-addr :9090] [-timeout 30s]
+//	         [-conflict-budget n] [-cpuprofile f] [-memprofile f]
+//	         [-exectrace f] [spec.json]
 //
 // With no file argument the spec is read from stdin. The result — the
 // placement Π, priority order Φ, routes Γ, TDMA slot table, and the
@@ -62,6 +63,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	workers := cli.AddWorkersFlag(flag.CommandLine)
 	budget := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func run() int {
 		ObjectiveMedium:     *medium,
 		FreshSolverPerCall:  *fresh,
 		MaxConflictsPerCall: budget.ConflictBudget,
+		Workers:             *workers,
 	}
 	switch *objective {
 	case "trt":

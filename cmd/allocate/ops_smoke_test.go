@@ -34,7 +34,7 @@ func TestOpsEndpointSmoke(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-ops-addr", "127.0.0.1:0")
+	cmd := exec.Command(bin, "-ops-addr", "127.0.0.1:0", "-workers", "2")
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +105,16 @@ func TestOpsEndpointSmoke(t *testing.T) {
 			t.Fatalf("malformed sample line %q", line)
 		}
 	}
-	for _, want := range []string{"satalloc_sat_conflicts_total", "satalloc_opt_bound_gap", "satalloc_sat_lbd_bucket"} {
+	for _, want := range []string{
+		"satalloc_sat_conflicts_total", "satalloc_opt_bound_gap", "satalloc_sat_lbd_bucket",
+		// The portfolio's clause-exchange counters must be registered from
+		// startup so scrapers can discover them before the solve begins
+		// (the run below races 2 workers and moves them mid-solve).
+		"satalloc_parallel_workers",
+		"satalloc_parallel_shared_exported_total",
+		"satalloc_parallel_shared_imported_total",
+		"satalloc_parallel_shared_filtered_total",
+	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing family %s", want)
 		}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtab [-mode scaled|full] [-table 1|2|3|4|reuse|iters|all]
-//	         [-trace spans.jsonl] [-ops-addr :9090]
+//	         [-workers n] [-trace spans.jsonl] [-ops-addr :9090]
 //	         [-timeout 10m] [-conflict-budget n]
 //	         [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
@@ -47,6 +47,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	workers := cli.AddWorkersFlag(flag.CommandLine)
 	budgetFlags := cli.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func run() int {
 	budget := experiments.Budget{
 		Ctx:                 ctx,
 		MaxConflictsPerCall: budgetFlags.ConflictBudget,
+		Workers:             *workers,
 		Trace:               root,
 		Metrics:             ops.Metrics,
 		Recorder:            ops.Recorder,

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	solvesat [-format cnf|opb] [-progress 1s] [-trace spans.jsonl]
-//	         [-ops-addr :9090] [-timeout 30s] [-conflict-budget n]
-//	         [-cpuprofile f] [-memprofile f] [-exectrace f] [file]
+//	solvesat [-format cnf|opb] [-workers n] [-progress 1s]
+//	         [-trace spans.jsonl] [-ops-addr :9090] [-timeout 30s]
+//	         [-conflict-budget n] [-cpuprofile f] [-memprofile f]
+//	         [-exectrace f] [file]
 //
 // Without -format the format is inferred from the file extension (.cnf /
 // .opb), defaulting to cnf on stdin. For OPB files with a "min:" objective
@@ -47,6 +48,7 @@ func main() {
 
 func run() int {
 	format := flag.String("format", "", "input format: cnf or opb (default: by extension)")
+	workers := cli.AddWorkersFlag(flag.CommandLine)
 	progress := flag.Duration("progress", 0, "emit a solver progress line to stderr at this interval (0: off)")
 	trace := cli.AddTraceFlag(flag.CommandLine)
 	ops := cli.AddOpsFlags(flag.CommandLine)
@@ -82,17 +84,45 @@ func run() int {
 	hook = obs.TeeProgress(hook,
 		obs.MetricsProgress(ops.Metrics), obs.FlightProgress(ops.Recorder))
 
-	// solveSpanned wraps one SOLVE call in a trace span and the per-call
-	// metrics so the ops endpoint sees the iterative-strengthening rounds.
+	// mkSolve upgrades the parsed solver to a clause-sharing portfolio when
+	// -workers asks for one; with workers ≤ 1 it is the sequential solver
+	// unchanged. The returned function runs one SOLVE call wrapped in a
+	// trace span and the per-call metrics, so the ops endpoint sees the
+	// iterative-strengthening rounds (and the shared-clause deltas).
 	call := 0
-	solveSpanned := func(s *sat.Solver) sat.Status {
-		call++
-		sp := root.Child(fmt.Sprintf("Solve[%d]", call))
-		start := time.Now()
-		st := s.Solve()
-		ops.Metrics.RecordIter(time.Since(start), st == sat.Unknown)
-		sp.Attr("status", st.String()).End()
-		return st
+	mkSolve := func(s *sat.Solver) func() sat.Status {
+		var par *sat.ParallelSolver
+		var lastShared sat.ParallelStats
+		if *workers >= 2 {
+			var err error
+			par, err = sat.NewParallel(s, sat.ParallelOptions{Workers: *workers})
+			if err != nil {
+				fatal(err)
+			}
+			ops.Metrics.RecordParallelWorkers(*workers)
+		}
+		return func() sat.Status {
+			call++
+			sp := root.Child(fmt.Sprintf("Solve[%d]", call))
+			start := time.Now()
+			var st sat.Status
+			if par != nil {
+				st = par.Solve()
+				if err := par.Err(); err != nil {
+					fatal(err)
+				}
+				snap := par.Snapshot()
+				ops.Metrics.RecordShared(snap.Exported-lastShared.Exported,
+					snap.Imported-lastShared.Imported, snap.Filtered-lastShared.Filtered)
+				lastShared = snap
+				sp.Attr("winner", snap.LastWinner)
+			} else {
+				st = s.Solve()
+			}
+			ops.Metrics.RecordIter(time.Since(start), st == sat.Unknown)
+			sp.Attr("status", st.String()).End()
+			return st
+		}
 	}
 
 	var in io.Reader = os.Stdin
@@ -126,7 +156,7 @@ func run() int {
 		s.OnConflict = ops.Metrics.ConflictHook()
 		s.Stop = func() bool { return ctx.Err() != nil }
 		s.MaxConflicts = budget.ConflictBudget
-		switch solveSpanned(s) {
+		switch mkSolve(s)() {
 		case sat.Sat:
 			fmt.Println("s SATISFIABLE")
 			printModel(s, n)
@@ -148,8 +178,9 @@ func run() int {
 		s.Stop = func() bool { return ctx.Err() != nil }
 		s.MaxConflicts = budget.ConflictBudget
 		n := s.NumVariables()
+		solve := mkSolve(s)
 		if len(obj) == 0 {
-			switch solveSpanned(s) {
+			switch solve() {
 			case sat.Sat:
 				fmt.Println("s SATISFIABLE")
 				printModel(s, n)
@@ -167,7 +198,7 @@ func run() int {
 		best, haveModel, halted := int64(0), false, false
 		var model []bool
 		for {
-			st := solveSpanned(s)
+			st := solve()
 			if st != sat.Sat {
 				halted = st == sat.Unknown
 				break

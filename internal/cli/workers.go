@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"flag"
+	"runtime"
+)
+
+// DefaultWorkers is the default CDCL portfolio size for the binaries:
+// one worker per available CPU, capped at 8 (clause-sharing returns
+// diminish beyond that while memory cost stays linear). On a single-CPU
+// machine this is 1, i.e. the sequential solver.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AddWorkersFlag registers -workers on the flag set and returns the value
+// it populates after fs.Parse. Values ≤ 1 select the sequential solver;
+// ≥ 2 race that many diversified clause-sharing CDCL workers per SOLVE
+// call.
+func AddWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", DefaultWorkers(),
+		"CDCL portfolio size per SOLVE call: N>=2 races N clause-sharing workers, <=1 solves sequentially (default: min(GOMAXPROCS, 8))")
+}

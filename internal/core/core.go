@@ -54,6 +54,12 @@ type Config struct {
 	FreshSolverPerCall bool
 	// MaxConflictsPerCall aborts runaway solves; 0 = unlimited.
 	MaxConflictsPerCall int64
+	// Workers sets the clause-sharing CDCL portfolio size for each SOLVE
+	// call of the binary search (see opt.Options.Workers): ≥ 2 races that
+	// many diversified workers, ≤ 1 (including the zero value) keeps the
+	// sequential solver. In SolvePortfolio the exact arm becomes this
+	// parallel portfolio.
+	Workers int
 	// Timeout bounds the whole solve wall-clock; 0 = unlimited. On expiry
 	// the search degrades to the best incumbent found (Status Feasible
 	// with a proven [LowerBound, Cost] window) or Aborted, never an empty
@@ -197,6 +203,7 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 	res, err := opt.Minimize(enc, opt.Options{
 		Incremental:         !cfg.FreshSolverPerCall,
 		MaxConflictsPerCall: cfg.MaxConflictsPerCall,
+		Workers:             cfg.Workers,
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
 		Progress:            cfg.Progress,

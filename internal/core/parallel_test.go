@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// TestParallelWorkersConfig pins that cfg.Workers reaches the optimizer:
+// a 4-worker portfolio run must agree with the sequential run on
+// feasibility and optimal cost.
+func TestParallelWorkersConfig(t *testing.T) {
+	sys := smallSystem()
+	seq, err := Solve(sys, Config{Objective: MinimizeTRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(sys, Config{Objective: MinimizeTRT, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Feasible != par.Feasible || seq.Cost != par.Cost {
+		t.Fatalf("sequential (feasible=%v cost=%d) disagrees with 4-worker portfolio (feasible=%v cost=%d)",
+			seq.Feasible, seq.Cost, par.Feasible, par.Cost)
+	}
+	if par.Conflicts == 0 || par.SolveCalls == 0 {
+		t.Fatal("portfolio run reported no search effort")
+	}
+}

@@ -41,6 +41,9 @@ type Budget struct {
 	Ctx context.Context
 	// MaxConflictsPerCall bounds each SOLVE call; 0 means unlimited.
 	MaxConflictsPerCall int64
+	// Workers sets the clause-sharing CDCL portfolio size for each SOLVE
+	// call (see core.Config.Workers); ≤ 1 keeps the sequential solver.
+	Workers int
 	// Trace, when set, is the root span under which every instance's
 	// pipeline records its spans.
 	Trace *obs.Span
@@ -68,6 +71,7 @@ func (b Budget) config(obj core.Objective) core.Config {
 	return core.Config{
 		Objective:           obj,
 		MaxConflictsPerCall: b.MaxConflictsPerCall,
+		Workers:             b.Workers,
 		Trace:               b.Trace,
 		Metrics:             b.Metrics,
 		FlightRecorder:      b.Recorder,

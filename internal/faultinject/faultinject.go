@@ -23,6 +23,9 @@ const (
 	SiteSatRestart = "sat.restart"
 	// SiteSatReduce fires at every learnt-clause-DB reduction.
 	SiteSatReduce = "sat.reduce"
+	// SiteSatParallelWorker fires on each portfolio worker's goroutine as
+	// its race leg begins (before the worker's Solve call).
+	SiteSatParallelWorker = "sat.parallel.worker"
 	// SitePortfolioExact fires at the start of the portfolio's exact arm.
 	SitePortfolioExact = "portfolio.exact"
 	// SitePortfolioSA fires at the start of the portfolio's heuristic arm.

@@ -1,6 +1,9 @@
 package metrics
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // Default bucket layouts for the solver histograms. LBD and backjump
 // depth are small-integer distributions with long tails; per-SOLVE-call
@@ -51,6 +54,13 @@ type SolverMetrics struct {
 	Panics        *Counter
 	ArmIncumbents *Counter
 	ArmFailures   *Counter
+
+	// Clause-sharing CDCL portfolio (sat.ParallelSolver).
+	ParallelWorkers *Gauge   // configured portfolio size (0: sequential)
+	SharedExported  *Counter // learnt clauses published to the exchange pool
+	SharedImported  *Counter // shared clauses successfully integrated by other workers
+	SharedFiltered  *Counter // shared clauses dropped (LBD/length bound, overflow, satisfied)
+	WorkerDeaths    *Counter // portfolio workers lost to contained panics
 }
 
 // NewSolverMetrics registers the standard solver metric set on r. A nil
@@ -84,6 +94,12 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 		Panics:        r.Counter("satalloc_core_panics_total", "panics contained at the core.Solve boundary", nil),
 		ArmIncumbents: r.Counter("satalloc_portfolio_incumbents_total", "heuristic-arm incumbents delivered", nil),
 		ArmFailures:   r.Counter("satalloc_portfolio_arm_failures_total", "portfolio arms lost to contained panics", nil),
+
+		ParallelWorkers: r.Gauge("satalloc_parallel_workers", "CDCL portfolio size (0: sequential)", nil),
+		SharedExported:  r.Counter("satalloc_parallel_shared_exported_total", "learnt clauses published to the exchange pool", nil),
+		SharedImported:  r.Counter("satalloc_parallel_shared_imported_total", "shared clauses integrated by other workers", nil),
+		SharedFiltered:  r.Counter("satalloc_parallel_shared_filtered_total", "shared clauses dropped by LBD/length bound, overflow, or root subsumption", nil),
+		WorkerDeaths:    r.Counter("satalloc_parallel_worker_deaths_total", "portfolio workers lost to contained panics", nil),
 	}
 	m.BoundLower.Set(-1)
 	m.BoundUpper.Set(-1)
@@ -213,4 +229,50 @@ func (m *SolverMetrics) RecordArmFailure() {
 		return
 	}
 	m.ArmFailures.Inc()
+}
+
+// RecordParallelWorkers publishes the configured CDCL-portfolio size.
+func (m *SolverMetrics) RecordParallelWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.ParallelWorkers.Set(int64(n))
+}
+
+// RecordShared adds one race's clause-exchange deltas: clauses published,
+// integrated by an importer, and dropped along the way.
+func (m *SolverMetrics) RecordShared(exported, imported, filtered int64) {
+	if m == nil {
+		return
+	}
+	m.SharedExported.Add(exported)
+	m.SharedImported.Add(imported)
+	m.SharedFiltered.Add(filtered)
+}
+
+// RecordWorkerConflicts adds one portfolio worker's conflict delta for a
+// race, labelled by worker index.
+func (m *SolverMetrics) RecordWorkerConflicts(worker int, conflicts int64) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_parallel_worker_conflicts_total",
+		"CDCL conflicts per portfolio worker", Labels{"worker": strconv.Itoa(worker)}).Add(conflicts)
+}
+
+// RecordWorkerWin counts a race won by the given portfolio worker.
+func (m *SolverMetrics) RecordWorkerWin(worker int) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_parallel_worker_wins_total",
+		"races decided per portfolio worker", Labels{"worker": strconv.Itoa(worker)}).Inc()
+}
+
+// RecordWorkerDeath counts a portfolio worker lost to a contained panic.
+func (m *SolverMetrics) RecordWorkerDeath() {
+	if m == nil {
+		return
+	}
+	m.WorkerDeaths.Inc()
 }

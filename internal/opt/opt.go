@@ -67,6 +67,15 @@ type Options struct {
 	Incremental bool
 	// MaxConflictsPerCall bounds each SOLVE call; 0 means unlimited.
 	MaxConflictsPerCall int64
+	// Workers sets the clause-sharing CDCL portfolio size for each SOLVE
+	// call: Workers ≥ 2 races that many diversified workers and the first
+	// definitive verdict wins; Workers ≤ 1 (including the zero value)
+	// keeps the single sequential solver, bit-for-bit identical to the
+	// pre-portfolio behavior. In incremental mode the workers stay alive
+	// across all SOLVE calls, each retaining its own and imported learnt
+	// clauses; in fresh mode the portfolio is rebuilt per call like the
+	// solver itself.
+	Workers int
 	// Verify re-checks the decoded allocation with the independent
 	// response-time analyzer and fails loudly on disagreement. Enabled by
 	// default in Minimize; disable only in benchmarks of raw solve time.
@@ -216,6 +225,14 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	}
 
 	var sys *bv.System
+	var par *sat.ParallelSolver
+	var lastShared sat.ParallelStats
+	// curSolveSpan is the Solve[i] span of the race in flight; worker
+	// callbacks (which run on the worker goroutines) hang their spans off
+	// it. Written before each race starts, so the goroutine-creation
+	// ordering makes it safe to read from the workers.
+	var curSolveSpan *obs.Span
+	workerSpans := make([]*obs.Span, opts.Workers)
 	compile := func() error {
 		var err error
 		sys, err = bv.CompileWith(enc.F, bv.Options{Trace: opts.Trace})
@@ -236,10 +253,51 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		if opts.Observe != nil {
 			opts.Observe(sys)
 		}
+		if opts.Workers >= 2 {
+			par, err = sat.NewParallel(sys.S, sat.ParallelOptions{
+				Workers: opts.Workers,
+				Stop:    stop,
+				OnWorkerStart: func(w int) {
+					workerSpans[w] = curSolveSpan.Child(fmt.Sprintf("Worker[%d]", w))
+					opts.Recorder.Record("sat.worker", "start worker=%d", w)
+				},
+				OnWorkerDone: func(w int, st sat.Status, delta sat.Stats, won bool, recovered any) {
+					opts.Metrics.RecordWorkerConflicts(w, delta.Conflicts)
+					sp := workerSpans[w].Attr("status", st.String()).
+						Attr("conflicts", delta.Conflicts).Attr("winner", won)
+					switch {
+					case recovered != nil:
+						opts.Metrics.RecordWorkerDeath()
+						opts.Recorder.Record("sat.worker", "panic worker=%d: %v", w, recovered)
+						sp.Outcome(obs.OutcomeError).Attr("panic", fmt.Sprint(recovered))
+					case won:
+						opts.Metrics.RecordWorkerWin(w)
+						opts.Recorder.Record("sat.worker", "win worker=%d status=%s conflicts=%d", w, st, delta.Conflicts)
+					default:
+						opts.Recorder.Record("sat.worker", "cancel worker=%d status=%s conflicts=%d", w, st, delta.Conflicts)
+					}
+					sp.End()
+				},
+			})
+			if err != nil {
+				return err
+			}
+			lastShared = sat.ParallelStats{}
+			opts.Metrics.RecordParallelWorkers(opts.Workers)
+		}
 		return nil
 	}
 	if err := compile(); err != nil {
 		return nil, err
+	}
+	// cumStats reads the search counters — summed over all portfolio
+	// workers when racing, the single solver's otherwise — so IterStats
+	// deltas report the true total effort of each call.
+	cumStats := func() sat.Stats {
+		if par != nil {
+			return par.TotalStats()
+		}
+		return sys.S.Stats
 	}
 
 	// SOLVE(φ ∧ lo ≤ cost ≤ hi); lo/hi of -1 mean unconstrained.
@@ -269,24 +327,41 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		// Snapshot the cumulative counters so this call's effort is a
 		// delta — the solver keeps counting across calls in incremental
 		// mode, and summing its cumulative values would sum prefix sums.
-		preConf, preDec := sys.S.Stats.Conflicts, sys.S.Stats.Decisions
+		pre := cumStats()
+		preConf, preDec := pre.Conflicts, pre.Decisions
 		callStart := time.Now()
 		sp := opts.Trace.Child(fmt.Sprintf("Solve[%d]", res.SolveCalls)).
 			Attr("lo", lo).Attr("hi", hi)
-		st := sys.Solve(assumptions...)
+		var st sat.Status
+		if par != nil {
+			curSolveSpan = sp
+			st = par.Solve(assumptions...)
+			if err := par.Err(); err != nil {
+				sp.Outcome(obs.OutcomeError).Attr("error", err.Error()).End()
+				return solveOut{}, err
+			}
+			snap := par.Snapshot()
+			opts.Metrics.RecordShared(snap.Exported-lastShared.Exported,
+				snap.Imported-lastShared.Imported, snap.Filtered-lastShared.Filtered)
+			lastShared = snap
+			sp.Attr("winner", snap.LastWinner)
+		} else {
+			st = sys.Solve(assumptions...)
+		}
 		out := solveOut{status: st}
 		if st == sat.Sat {
 			out.assign = sys.Model()
 			out.cost = out.assign.Ints[enc.Cost]
 		}
+		post := cumStats()
 		it := IterStats{
 			Call:      res.SolveCalls,
 			Lo:        lo,
 			Hi:        hi,
 			Status:    st,
 			Cost:      -1,
-			Conflicts: sys.S.Stats.Conflicts - preConf,
-			Decisions: sys.S.Stats.Decisions - preDec,
+			Conflicts: post.Conflicts - preConf,
+			Decisions: post.Decisions - preDec,
 			Duration:  time.Since(callStart),
 		}
 		if st == sat.Sat {
@@ -308,7 +383,7 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 
 	finish := func() (*Result, error) {
 		res.Duration = time.Since(start)
-		res.SolverStats = sys.S.Stats
+		res.SolverStats = cumStats()
 		if (res.Status == Optimal || res.Status == Feasible) && !opts.SkipVerify {
 			sp := opts.Trace.Child("Verify")
 			err := verify(enc, res)

@@ -41,3 +41,13 @@ type watcher struct {
 	c       *clause
 	blocker Lit
 }
+
+// binWatcher is an entry in a literal's binary-clause watch list. A binary
+// clause (a ∨ b) is stored twice — under ¬a with other=b and under ¬b with
+// other=a — so falsifying either literal immediately exposes the implied
+// one without the watcher-search loop long clauses need. The clause pointer
+// is kept only to serve as the propagation reason during conflict analysis.
+type binWatcher struct {
+	other Lit
+	c     *clause
+}

@@ -1,0 +1,292 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"satalloc/internal/faultinject"
+)
+
+func TestParallelPigeonholeUnsat(t *testing.T) {
+	base := php(7)
+	p, err := NewParallel(base, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	snap := p.Snapshot()
+	if snap.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", snap.Workers)
+	}
+	if snap.LastWinner < 0 {
+		t.Fatalf("no winner recorded after a definitive verdict")
+	}
+	// A learning-heavy UNSAT instance must produce clause traffic.
+	if snap.Exported == 0 {
+		t.Fatalf("no clauses exported on a pigeonhole race: %+v", snap)
+	}
+}
+
+func TestParallelSatModelOnBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := New()
+	nVars := 60
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = base.NewVar()
+	}
+	var clauses [][]Lit
+	for i := 0; i < 220; i++ {
+		c := make([]Lit, 3)
+		for j := range c {
+			c[j] = MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 0)
+		}
+		clauses = append(clauses, c)
+		base.AddClause(c...)
+	}
+	p, err := NewParallel(base, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Sat {
+		t.Skip("random instance unsatisfiable under this seed; nothing to verify")
+	}
+	// The winning model must be readable through the base solver and must
+	// satisfy every clause, no matter which worker found it.
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if base.ModelLit(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("base model violates clause %v (winner %d)", c, p.Snapshot().LastWinner)
+		}
+	}
+}
+
+// TestParallelIncrementalJournal exercises the journal: the optimizer's
+// binary search adds comparator circuits (new vars + clauses + PBs) to the
+// base solver between Solve calls, and every worker must see them before
+// the next race or assumption literals would dangle.
+func TestParallelIncrementalJournal(t *testing.T) {
+	base := New()
+	a, b := base.NewVar(), base.NewVar()
+	base.AddClause(PosLit(a), PosLit(b))
+	p, err := NewParallel(base, ParallelOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Sat {
+		t.Fatalf("initial solve: got %v, want Sat", st)
+	}
+	// Simulate a lazily built circuit: a fresh selector variable that,
+	// when assumed, forbids a and b simultaneously false-free (forces ¬a).
+	sel := base.NewVar()
+	if err := base.AddClause(NegLit(sel), NegLit(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddPB([]PBTerm{{Lit: PosLit(b), Coef: 1}, {Lit: NegLit(sel), Coef: 1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(PosLit(sel)); st != Sat {
+		t.Fatalf("assumed solve: got %v, want Sat", st)
+	}
+	if !base.ModelLit(PosLit(b)) || base.ModelLit(PosLit(a)) {
+		t.Fatalf("model under assumption wrong: a=%v b=%v", base.ModelLit(PosLit(a)), base.ModelLit(PosLit(b)))
+	}
+	// Tighten to UNSAT under the assumption: every worker must have
+	// received the new clause, or some would wrongly report Sat.
+	if err := p.AddClause(NegLit(sel), NegLit(b)); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(PosLit(sel)); st != Unsat {
+		t.Fatalf("tightened assumed solve: got %v, want Unsat", st)
+	}
+	// The formula without the assumption must stay satisfiable.
+	if st := p.Solve(); st != Sat {
+		t.Fatalf("unassumed solve after tightening: got %v, want Sat", st)
+	}
+}
+
+// TestParallelSharingNeverChangesVerdict solves 50 seeded random instances
+// straddling the phase-transition density twice — portfolio with sharing
+// and plain sequential solver — and requires identical Sat/Unsat verdicts.
+func TestParallelSharingNeverChangesVerdict(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		nVars := 18 + rng.Intn(10)
+		nClauses := int(float64(nVars) * (4.0 + rng.Float64()))
+		type cls []Lit
+		var clauses []cls
+		seq := New()
+		par := New()
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = seq.NewVar()
+			par.NewVar()
+		}
+		for i := 0; i < nClauses; i++ {
+			c := make(cls, 3)
+			for j := range c {
+				c[j] = MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, c)
+			seq.AddClause(c...)
+			par.AddClause(c...)
+		}
+		want := seq.Solve()
+		p, err := NewParallel(par, ParallelOptions{Workers: 4, Seed: int64(iter)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Solve()
+		if got != want {
+			t.Fatalf("iter %d: portfolio=%v sequential=%v (nVars=%d nClauses=%d)", iter, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if par.ModelLit(l) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: portfolio model violates clause %v", iter, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWorkerPanicContained injects a panic into one worker's race
+// leg: the portfolio must still return the sound verdict, mark the worker
+// dead, and keep working on subsequent calls without it.
+func TestParallelWorkerPanicContained(t *testing.T) {
+	defer faultinject.Set(faultinject.PanicAt(faultinject.SiteSatParallelWorker, 1, "injected worker crash"))()
+	base := php(6)
+	var crashed int
+	p, err := NewParallel(base, ParallelOptions{
+		Workers: 4,
+		OnWorkerDone: func(w int, st Status, _ Stats, _ bool, recovered any) {
+			if recovered != nil {
+				crashed++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat despite injected worker panic", st)
+	}
+	if crashed != 1 {
+		t.Fatalf("crashed workers = %d, want exactly 1", crashed)
+	}
+	if d := p.Snapshot().DeadWorkers; d != 1 {
+		t.Fatalf("DeadWorkers = %d, want 1", d)
+	}
+	// The dead worker stays benched; the survivors still deliver verdicts.
+	if st := p.Solve(); st != Unsat {
+		t.Fatalf("second solve after worker loss: got %v, want Unsat", st)
+	}
+}
+
+func TestParallelStopCancelsRace(t *testing.T) {
+	base := php(9)
+	p, err := NewParallel(base, ParallelOptions{Workers: 3, Stop: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown under immediate stop", st)
+	}
+	if p.Snapshot().LastWinner != -1 {
+		t.Fatalf("a cancelled race must have no winner")
+	}
+}
+
+func TestParallelRejectsBadConfig(t *testing.T) {
+	if _, err := NewParallel(New(), ParallelOptions{Workers: 1}); err == nil {
+		t.Fatal("Workers=1 portfolio must be rejected")
+	}
+}
+
+func TestParallelCloneAtRootEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 40; iter++ {
+		nVars := 4 + rng.Intn(7)
+		s := New()
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var clauses []rndClause
+		for i := 0; i < 2+rng.Intn(22); i++ {
+			n := 1 + rng.Intn(4)
+			c := make(rndClause, n)
+			for j := range c {
+				c[j] = MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		var pbs []rndPB
+		if rng.Intn(2) == 0 {
+			terms := make([]PBTerm, 1+rng.Intn(nVars))
+			for j := range terms {
+				terms[j] = PBTerm{Lit: MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 0), Coef: int64(1 + rng.Intn(3))}
+			}
+			bound := int64(1 + rng.Intn(4))
+			pbs = append(pbs, rndPB{terms: terms, bound: bound})
+			s.AddPB(terms, bound)
+		}
+		c, err := s.CloneAtRoot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(nVars, clauses, pbs)
+		if got := c.Solve() == Sat; got != want {
+			t.Fatalf("iter %d: clone=%v brute=%v", iter, got, want)
+		}
+		if got := s.Solve() == Sat; got != want {
+			t.Fatalf("iter %d: original=%v brute=%v", iter, got, want)
+		}
+	}
+}
+
+// TestParallelSharedImportAtRoot unit-tests addSharedAtRoot's edge cases:
+// satisfied clauses are skipped, falsified literals stripped, units
+// propagated, and a fully falsified import flips the solver to Unsat.
+func TestParallelSharedImportAtRoot(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a)) // root fact: a
+	if imported, alive := s.addSharedAtRoot([]Lit{PosLit(a), PosLit(b)}, 2); imported || !alive {
+		t.Fatalf("satisfied import: imported=%v alive=%v, want false,true", imported, alive)
+	}
+	if imported, alive := s.addSharedAtRoot([]Lit{NegLit(a), PosLit(b)}, 2); !imported || !alive {
+		t.Fatalf("unit-after-strip import: imported=%v alive=%v, want true,true", imported, alive)
+	}
+	if s.litValue(PosLit(b)) != LTrue {
+		t.Fatal("stripped import did not propagate b")
+	}
+	if imported, alive := s.addSharedAtRoot([]Lit{PosLit(b), PosLit(c)}, 5); imported || !alive {
+		t.Fatalf("import satisfied by propagation: imported=%v alive=%v, want false,true", imported, alive)
+	}
+	if imported, alive := s.addSharedAtRoot([]Lit{NegLit(a), NegLit(b)}, 1); !imported || alive {
+		t.Fatalf("falsified import: imported=%v alive=%v, want true,false", imported, alive)
+	}
+	if s.Okay() {
+		t.Fatal("solver still ok after importing a root-falsified clause")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+}

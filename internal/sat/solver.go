@@ -90,13 +90,14 @@ type Solver struct {
 	heap   *varHeap
 	varInc float64
 
-	watches   [][]watcher // indexed by Lit: clauses watching this literal's falsification
-	pbOccs    [][]pbWatch // indexed by Lit: assigning Lit falsifies a term of the constraint
-	clauses   []*clause
-	learnts   []*clause
-	pbs       []*pbConstraint
-	claInc    float64
-	maxLearnt float64
+	watches    [][]watcher    // indexed by Lit: clauses watching this literal's falsification
+	binWatches [][]binWatcher // indexed by Lit: binary clauses whose other literal this falsification implies
+	pbOccs     [][]pbWatch    // indexed by Lit: assigning Lit falsifies a term of the constraint
+	clauses    []*clause
+	learnts    []*clause
+	pbs        []*pbConstraint
+	claInc     float64
+	maxLearnt  float64
 
 	trail    []Lit
 	trailLim []int32
@@ -135,16 +136,67 @@ type Solver struct {
 	// ctx.Err() != nil }.
 	Stop func() bool
 
+	// Portfolio diversification knobs, defaulted by New to the values the
+	// sequential solver has always used, so a solver with untouched knobs
+	// behaves bit-for-bit like before they existed. The parallel portfolio
+	// varies them per worker.
+	//
+	// varDecay is the VSIDS activity decay (varInc grows by 1/varDecay per
+	// conflict); restartUnit scales the Luby restart sequence (conflicts
+	// per restart = luby(i) * restartUnit).
+	varDecay    float64
+	restartUnit int64
+	// stopEveryConflicts/stopEveryDecisions are the Stop-poll intervals
+	// (defaults stopCheckConflicts/stopCheckDecisions). The portfolio
+	// tightens them on race workers: once a rival finds the verdict, every
+	// conflict a loser runs past it is pure wasted wall clock on shared
+	// cores, so losers must notice the cancellation within a few conflicts
+	// rather than within a restart.
+	stopEveryConflicts int64
+	stopEveryDecisions int64
+
+	// Clause-sharing hooks, installed only by the parallel portfolio.
+	// shareExport receives every learnt clause (asserting literal first)
+	// with its LBD right after it is recorded; the hook must copy the
+	// slice if it retains it, and must not touch the solver. shareSync is
+	// called at decision level 0 — at Solve entry and at every restart
+	// boundary — and is where the portfolio flushes exports and imports
+	// other workers' clauses into this solver; it returns false when an
+	// imported clause is falsified at the root, proving the formula
+	// unsatisfiable. Both are nil on a sequential solver, costing one nil
+	// check each.
+	shareExport func(lits []Lit, lbd int)
+	shareSync   func() bool
+
+	// journal, when non-nil, records every NewVar/AddClause/AddPB so the
+	// parallel portfolio can replay the deltas into its worker solvers
+	// (they must mirror the base solver's variable numbering and clause
+	// database exactly — assumption literals and bound circuits built
+	// between SOLVE calls land in all workers this way).
+	journal *journal
+
 	Stats
 }
+
+// The sequential solver's historical search constants; the parallel
+// portfolio varies them per worker for diversification.
+const (
+	defaultVarDecay    = 0.95
+	defaultRestartUnit = 100
+)
 
 // New returns an empty solver.
 func New() *Solver {
 	s := &Solver{
-		ok:        true,
-		varInc:    1.0,
-		claInc:    1.0,
-		maxLearnt: 4000,
+		ok:          true,
+		varInc:      1.0,
+		claInc:      1.0,
+		maxLearnt:   4000,
+		varDecay:    defaultVarDecay,
+		restartUnit: defaultRestartUnit,
+
+		stopEveryConflicts: stopCheckConflicts,
+		stopEveryDecisions: stopCheckDecisions,
 	}
 	s.heap = newVarHeap(&s.activity)
 	// Slot 0 is a sentinel so Var and Lit index directly.
@@ -156,6 +208,7 @@ func New() *Solver {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.pbOccs = append(s.pbOccs, nil, nil)
 	return s
 }
@@ -171,9 +224,11 @@ func (s *Solver) NewVar() Var {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.pbOccs = append(s.pbOccs, nil, nil)
 	s.heap.push(v)
 	s.Stats.NumVars++
+	s.journal.recordVar()
 	return v
 }
 
@@ -208,6 +263,7 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	if s.decisionLevel() != 0 {
 		return ErrNotAtRoot
 	}
+	s.journal.recordClause(lits)
 	if !s.ok {
 		return nil
 	}
@@ -257,6 +313,7 @@ func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
 	if s.decisionLevel() != 0 {
 		return ErrNotAtRoot
 	}
+	s.journal.recordPB(terms, bound)
 	if !s.ok {
 		return nil
 	}
@@ -323,6 +380,11 @@ func (s *Solver) AddAtMostOne(lits ...Lit) error {
 }
 
 func (s *Solver) attach(c *clause) {
+	if len(c.lits) == 2 {
+		s.binWatches[c.lits[0].Not()] = append(s.binWatches[c.lits[0].Not()], binWatcher{other: c.lits[1], c: c})
+		s.binWatches[c.lits[1].Not()] = append(s.binWatches[c.lits[1].Not()], binWatcher{other: c.lits[0], c: c})
+		return
+	}
 	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
 	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
 }
@@ -367,6 +429,18 @@ func (s *Solver) propagate() reason {
 				if s.litValue(t.Lit) == LUndef {
 					s.uncheckedEnqueue(t.Lit, c)
 				}
+			}
+		}
+
+		// Binary clauses first: falsifying p directly implies the other
+		// literal, with no watcher-search loop and no watch movement.
+		for _, w := range s.binWatches[p] {
+			switch s.litValue(w.other) {
+			case LTrue:
+			case LFalse:
+				return w.c
+			default:
+				s.uncheckedEnqueue(w.other, w.c)
 			}
 		}
 
@@ -593,6 +667,9 @@ func (s *Solver) recordLearnt(lits []Lit) int {
 	s.Stats.LearntAdded++
 	if len(lits) == 1 {
 		s.uncheckedEnqueue(lits[0], nil)
+		if s.shareExport != nil {
+			s.shareExport(lits, 1)
+		}
 		return 1
 	}
 	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, lbd: s.computeLBD(lits)}
@@ -600,6 +677,9 @@ func (s *Solver) recordLearnt(lits []Lit) int {
 	s.learnts = append(s.learnts, c)
 	s.bumpClause(c)
 	s.uncheckedEnqueue(lits[0], c)
+	if s.shareExport != nil {
+		s.shareExport(lits, c.lbd)
+	}
 	return c.lbd
 }
 
@@ -630,7 +710,23 @@ func (s *Solver) reduceDB() {
 	s.learnts = kept
 }
 
+// detach removes c from its watch lists by swap-delete: the matching entry
+// is overwritten with the last one and the list truncated, so removal is
+// O(list length) with no shifting, on both the binary and the long list.
 func (s *Solver) detach(c *clause) {
+	if len(c.lits) == 2 {
+		for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+			ws := s.binWatches[wl]
+			for i, w := range ws {
+				if w.c == c {
+					ws[i] = ws[len(ws)-1]
+					s.binWatches[wl] = ws[:len(ws)-1]
+					break
+				}
+			}
+		}
+		return
+	}
 	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
 		ws := s.watches[wl]
 		for i, w := range ws {
@@ -727,9 +823,15 @@ func (s *Solver) search(assumptions ...Lit) Status {
 		s.cancelUntil(0)
 		return Unknown
 	}
+	// Pull in clauses other portfolio workers shared since the last call
+	// (no-op on a sequential solver).
+	if s.shareSync != nil && !s.shareSync() {
+		s.ok = false
+		return Unsat
+	}
 	var conflictsThisCall int64
 	restartNum := int64(1)
-	conflictBudget := luby(restartNum) * 100
+	conflictBudget := luby(restartNum) * s.restartUnit
 
 	for {
 		confl := s.propagate()
@@ -747,7 +849,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 			if s.OnConflict != nil {
 				s.OnConflict(lbd, backjump, len(learnt))
 			}
-			s.varInc /= 0.95
+			s.varInc /= s.varDecay
 			s.claInc /= 0.999
 			if float64(len(s.learnts)) >= s.maxLearnt {
 				s.reduceDB()
@@ -759,14 +861,22 @@ func (s *Solver) search(assumptions ...Lit) Status {
 				// Restart.
 				s.Stats.Restarts++
 				restartNum++
-				conflictBudget = conflictsThisCall + luby(restartNum)*100
+				conflictBudget = conflictsThisCall + luby(restartNum)*s.restartUnit
 				s.cancelUntil(0)
 				faultinject.Fire(faultinject.SiteSatRestart)
 				s.fireProgress("restart")
+				// Restart boundaries are the clause-exchange points of the
+				// parallel portfolio: the solver is at level 0, so imported
+				// clauses attach safely and a falsified import is a proof
+				// of unsatisfiability.
+				if s.shareSync != nil && !s.shareSync() {
+					s.ok = false
+					return Unsat
+				}
 				if s.stopRequested() {
 					return Unknown
 				}
-			} else if conflictsThisCall%stopCheckConflicts == 0 && s.stopRequested() {
+			} else if conflictsThisCall%s.stopEveryConflicts == 0 && s.stopRequested() {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -801,7 +911,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.Stats.Decisions++
-		if s.Stats.Decisions%stopCheckDecisions == 0 && s.stopRequested() {
+		if s.Stats.Decisions%s.stopEveryDecisions == 0 && s.stopRequested() {
 			s.cancelUntil(0)
 			return Unknown
 		}

@@ -1,0 +1,141 @@
+// Command bench2json converts `go test -bench` text output into a dated
+// JSON document so the repository's performance trajectory has machine-
+// readable data points (BENCH_<date>.json). It reads the benchmark output
+// on stdin and writes one JSON object:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | go run ./internal/tools/bench2json -o BENCH_20260806.json
+//
+// Every `BenchmarkName  N  <value> <unit> ...` result line becomes an
+// entry carrying the iteration count, ns/op, and all custom metrics
+// (TRT-ticks, conflicts/op, ...). The environment block records the Go
+// version, CPU count, and GOMAXPROCS — essential context for the
+// parallel-portfolio benchmarks, whose wall clock depends directly on how
+// many workers can actually run concurrently. Non-benchmark lines (PASS,
+// ok, warm-up noise) are ignored, so the tool can sit at the end of any
+// `go test -bench` pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	// Name is the benchmark path with the trailing -GOMAXPROCS suffix
+	// stripped (it is recorded once in the environment instead).
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := document{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchmark{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine recognizes a benchmark result line:
+//
+//	BenchmarkFoo/sub-8   4   123456 ns/op   42.0 conflicts/op
+//
+// i.e. a name starting with "Benchmark", an iteration count, then
+// value/unit pairs. Anything else reports ok=false.
+func parseLine(line string) (benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: trimProcs(f[0]), Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp > 0
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo-8" → "BenchmarkFoo"), keeping names stable across
+// machines. Sub-benchmark slashes are untouched.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

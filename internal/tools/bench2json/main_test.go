@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkParallelSolve/unsat-proof/workers=4-8 \t 2\t3183067358 ns/op\t  7363 conflicts/op\t 1.000 solve-calls/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if b.Name != "BenchmarkParallelSolve/unsat-proof/workers=4" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 3183067358 {
+		t.Errorf("iterations/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["conflicts/op"] != 7363 || b.Metrics["solve-calls/op"] != 1 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tsatalloc\t12.3s",
+		"BenchmarkBroken no-iter-count ns/op",
+		"", "# some comment",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("junk line %q parsed as a result", junk)
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":              "BenchmarkFoo",
+		"BenchmarkFoo":                "BenchmarkFoo",
+		"BenchmarkFoo/sub=2-16":       "BenchmarkFoo/sub=2",
+		"BenchmarkFoo/unsat-proof":    "BenchmarkFoo/unsat-proof",
+		"BenchmarkFoo/unsat-proof-4":  "BenchmarkFoo/unsat-proof",
+		"BenchmarkTable1TokenRing-1":  "BenchmarkTable1TokenRing",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
