@@ -1,14 +1,22 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
+.PHONY: check vet lint satlint build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
 
-## check: the full CI gate — vet, build, the race-enabled test suite, and
-## a short fuzz smoke run of every parser-hardening target.
-check: vet build race fuzz
+## check: the full CI gate — vet, lint, build, the race-enabled test
+## suite, and a short fuzz smoke run of every parser-hardening target.
+check: vet lint build race fuzz
 
 vet:
 	$(GO) vet ./...
+
+## lint: all static analysis — go vet plus the repo's own satlint checks
+## (nil-safe instruments, the DESIGN.md metric registry, fault sites,
+## allocation-free hot paths, 64-bit atomic alignment).
+lint: vet satlint
+
+satlint:
+	$(GO) run ./cmd/satlint ./...
 
 build:
 	$(GO) build ./...

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"satalloc/internal/analysis"
 	"satalloc/internal/core"
 	"satalloc/internal/workload"
 )
@@ -118,6 +119,37 @@ func TestOpsEndpointSmoke(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing family %s", want)
 		}
+	}
+
+	// Every satalloc_* family the live process exposes must be documented
+	// in the DESIGN.md §8 registry table with the same kind — the runtime
+	// half of the contract satlint's metricreg check enforces statically.
+	registry, err := analysis.ParseDesignRegistry(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("parsing the DESIGN.md metric registry: %v", err)
+	}
+	scraped := 0
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+			continue
+		}
+		name, kind := fields[2], fields[3]
+		if !strings.HasPrefix(name, "satalloc_") {
+			continue
+		}
+		scraped++
+		row, ok := registry[name]
+		if !ok {
+			t.Errorf("/metrics exposes %s, which is not in the DESIGN.md registry table", name)
+			continue
+		}
+		if row.Kind != kind {
+			t.Errorf("/metrics exposes %s as a %s, but DESIGN.md documents a %s", name, kind, row.Kind)
+		}
+	}
+	if scraped == 0 {
+		t.Error("no satalloc_* TYPE lines scraped — the registry subset check ran against nothing")
 	}
 
 	var progress struct {

@@ -1,0 +1,76 @@
+// Command satlint runs the repo's project-specific static checks — the
+// cross-cutting contracts go vet cannot know about: nil-safe instrument
+// methods (nilguard), the DESIGN.md metric-name registry (metricreg),
+// the fault-injection site registry (faultsite), allocation-free hot
+// loops (hotpath), and 32-bit alignment of 64-bit atomics (atomicalign).
+//
+// Usage:
+//
+//	satlint [-json] [-checks nilguard,metricreg,...] [-design DESIGN.md] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. The
+// exit status is 0 when the tree is clean, 1 when findings exist, and 2
+// when the analysis itself failed. Suppress a finding at its line (or the
+// line above) with:
+//
+//	//satlint:ignore <check> <reason>
+//
+// It is stdlib-only by construction (go/ast + go/types + go/importer, no
+// x/tools), so it runs from a clean checkout with no downloads.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"satalloc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all of "+strings.Join(analysis.CheckNames(), ",")+")")
+	design := flag.String("design", "", "metric registry document for the metricreg check (default: <module root>/DESIGN.md)")
+	flag.Parse()
+
+	cfg := analysis.Config{
+		Patterns:   flag.Args(),
+		DesignPath: *design,
+	}
+	if *checksFlag != "" {
+		cfg.Checks = strings.Split(*checksFlag, ",")
+	}
+	findings, err := analysis.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "satlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "satlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,155 @@
+// Package analysis is the engine behind cmd/satlint: a stdlib-only
+// (go/ast, go/parser, go/token, go/types, go/importer — no x/tools)
+// multi-pass static analyzer that enforces the repo's own cross-cutting
+// contracts, the ones `go vet` cannot know about:
+//
+//   - nilguard: every exported pointer-receiver method on a type marked
+//     //satlint:nilsafe must begin with a nil-receiver guard (or delegate
+//     to a guarded method of the same type), keeping the "nil instrument
+//     is a valid disabled instrument" contract machine-checked.
+//   - metricreg: every satalloc_* metric name registered on the metrics
+//     registry is a constant, matches the naming grammar, has exactly one
+//     kind, and stays in lockstep with the DESIGN.md registry table.
+//   - faultsite: faultinject.Fire only takes declared Site* constants,
+//     every declared site is fired by production code, and every site is
+//     exercised by at least one fault-injection test.
+//   - hotpath: functions annotated //satlint:hotpath stay free of fmt,
+//     time.Now, non-nil-guarded instrument methods, and per-iteration
+//     allocation patterns (make/new, slice/map/&T{} literals, append
+//     growth of loop-local slices).
+//   - atomicalign: struct fields passed to 64-bit sync/atomic operations
+//     must be 8-byte aligned under 32-bit (GOARCH=386) struct layout.
+//
+// Findings are rendered as "file:line: [check] message" and can be
+// suppressed at the offending line (or the line above it) with
+// "//satlint:ignore <check> <reason>" — the reason is mandatory, so every
+// suppression documents itself.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one satlint diagnostic, anchored to a source position.
+type Finding struct {
+	File    string `json:"file"` // module-root-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical single-line form: file:line: [check] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// Config selects what Run loads and which checks it applies.
+type Config struct {
+	// Root is the module root (the directory holding go.mod). Empty means
+	// "derive it by walking up from the working directory".
+	Root string
+	// Patterns are package directory patterns relative to Root: "./..."
+	// (the whole module), "./dir" (one package), or "./dir/..." (a
+	// subtree). The whole module is always loaded — dependencies must
+	// type-check — but findings are only reported for matched packages.
+	// Empty means "./...".
+	Patterns []string
+	// DesignPath is the metric-registry document the metricreg check
+	// cross-references. Empty means Root/DESIGN.md.
+	DesignPath string
+	// Checks selects a subset of CheckNames; nil or empty runs them all.
+	Checks []string
+}
+
+// CheckNames lists every check in canonical run order.
+func CheckNames() []string {
+	return []string{"nilguard", "metricreg", "faultsite", "hotpath", "atomicalign"}
+}
+
+var checkFuncs = map[string]func(*World) []Finding{
+	"nilguard":    checkNilguard,
+	"metricreg":   checkMetricReg,
+	"faultsite":   checkFaultSite,
+	"hotpath":     checkHotPath,
+	"atomicalign": checkAtomicAlign,
+}
+
+// Run loads the module, applies the selected checks, filters suppressed
+// findings, and returns the rest sorted by position. A non-nil error
+// means the analysis itself could not run (unparseable source, unresolved
+// imports, bad configuration) — not that findings exist.
+func Run(cfg Config) ([]Finding, error) {
+	selected := cfg.Checks
+	if len(selected) == 0 {
+		selected = CheckNames()
+	}
+	for _, name := range selected {
+		if checkFuncs[name] == nil {
+			return nil, fmt.Errorf("analysis: unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
+		}
+	}
+	w, err := load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	findings := append([]Finding(nil), w.directiveFindings...)
+	for _, name := range selected {
+		findings = append(findings, checkFuncs[name](w)...)
+	}
+	findings = w.filterSuppressed(findings)
+	findings = w.filterSelected(findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+// filterSuppressed drops findings covered by a //satlint:ignore directive
+// on the finding's line or the line directly above it. Directive-hygiene
+// findings (check "directive") cannot be suppressed — a malformed
+// suppression must never hide itself.
+func (w *World) filterSuppressed(findings []Finding) []Finding {
+	out := findings[:0]
+	for _, f := range findings {
+		if f.Check != "directive" && (w.ignoredAt(f.File, f.Line, f.Check) || w.ignoredAt(f.File, f.Line-1, f.Check)) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func (w *World) ignoredAt(file string, line int, check string) bool {
+	for _, ig := range w.ignores[file][line] {
+		if ig.check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// filterSelected keeps findings located in packages matched by the
+// configured patterns (plus findings anchored to non-Go files, e.g. the
+// DESIGN.md registry rows, which belong to the module as a whole).
+func (w *World) filterSelected(findings []Finding) []Finding {
+	out := findings[:0]
+	for _, f := range findings {
+		if !strings.HasSuffix(f.File, ".go") || w.selectedFiles[f.File] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

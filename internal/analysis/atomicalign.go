@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomic64Funcs are the sync/atomic package-level operations that require
+// their operand to be 64-bit aligned. The atomic.Int64/Uint64 wrapper
+// types carry an alignment marker and are safe everywhere; only the
+// address-of-plain-field style can silently misalign on 32-bit platforms.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// checkAtomicAlign verifies that every struct field passed by address to
+// a 64-bit sync/atomic operation sits at an 8-byte-aligned offset under
+// 32-bit (GOARCH=386) struct layout, where int64 fields are only 4-byte
+// aligned and the classic fix is hoisting the field to the front of the
+// struct. On 64-bit platforms the layout hides the bug; this check keeps
+// the code portable without needing a 32-bit CI runner.
+func checkAtomicAlign(w *World) []Finding {
+	var fs []Finding
+	sizes := types.SizesFor("gc", "386")
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := addressedField(call.Args[0])
+				if !ok {
+					return true
+				}
+				offset, path, ok := fieldOffset(pkg.Info, sel, sizes)
+				if !ok {
+					return true
+				}
+				if offset%8 != 0 {
+					fs = append(fs, w.finding(call.Args[0].Pos(), "atomicalign",
+						"atomic.%s operand %s is at offset %d under 32-bit layout (needs 8-byte alignment); hoist the field to the front of the struct or use atomic.Int64/Uint64",
+						fn.Name(), path, offset))
+				}
+				return true
+			})
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// addressedField unwraps "&x.f" (possibly parenthesized) to the selector.
+func addressedField(e ast.Expr) (*ast.SelectorExpr, bool) {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// fieldOffset computes the byte offset of the selected field within its
+// outermost struct under the given sizes, following embedded-field
+// chains. The second result is a dotted path for the message.
+func fieldOffset(info *types.Info, sel *ast.SelectorExpr, sizes types.Sizes) (int64, string, bool) {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return 0, "", false
+	}
+	t := selection.Recv()
+	var total int64
+	var parts []string
+	if named, ok := deref(t).(*types.Named); ok {
+		parts = append(parts, named.Obj().Name())
+	}
+	for _, idx := range selection.Index() {
+		// Crossing a pointer (an embedded *S) lands in a separate
+		// allocation whose start is 8-byte aligned; the offset restarts.
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			total = 0
+		}
+		st, ok := deref(t).Underlying().(*types.Struct)
+		if !ok {
+			return 0, "", false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		total += offsets[idx]
+		parts = append(parts, st.Field(idx).Name())
+		t = st.Field(idx).Type()
+	}
+	return total, strings.Join(parts, "."), true
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// DesignMetric is one row of the DESIGN.md metric-name registry table.
+type DesignMetric struct {
+	Name string
+	Kind string // counter, gauge, histogram
+	Line int    // 1-based line in the document
+}
+
+// designRowRE matches a markdown table row whose first cell is a
+// backquoted satalloc_* family name and whose second cell is its kind:
+// "| `satalloc_sat_conflicts_total` | counter | — | sat |".
+var designRowRE = regexp.MustCompile("^\\|\\s*`(satalloc_[a-z0-9_]+)`\\s*\\|\\s*([a-z]+)\\s*\\|")
+
+// ParseDesignRegistry extracts the satalloc_* metric rows from the
+// DESIGN.md registry table (§8). It is the single source of truth that
+// both the metricreg static check and the ops-smoke runtime test compare
+// against, so the documented registry, the registered code, and the
+// scraped exposition can never drift apart silently.
+func ParseDesignRegistry(path string) (map[string]DesignMetric, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]DesignMetric{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := designRowRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, kind := m[1], m[2]
+		if prev, dup := out[name]; dup {
+			return nil, fmt.Errorf("%s:%d: metric %s already documented at line %d", path, i+1, name, prev.Line)
+		}
+		out[name] = DesignMetric{Name: name, Kind: kind, Line: i + 1}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// faultSite is one declared Site* constant of the faultinject package.
+type faultSite struct {
+	name   string
+	pos    token.Pos
+	obj    types.Object
+	fired  bool // passed to Fire by production (non-test) code
+	tested bool // referenced by a _test.go file outside the harness package
+}
+
+// checkFaultSite enforces the fault-injection registry contract: Fire
+// only takes declared Site* constants (never raw strings, so the set of
+// interruptible boundaries stays a closed registry), every declared site
+// is actually wired into production code, and every site is exercised by
+// at least one fault-injection test outside the harness package itself
+// (the test suite runs under -race in CI, so that is where injected
+// panics prove containment).
+func checkFaultSite(w *World) []Finding {
+	var fs []Finding
+	harness := w.findPackageBySuffix("internal/faultinject")
+	if harness == nil || harness.Info == nil {
+		return nil
+	}
+
+	// The registry: exported Site* string constants of the harness.
+	var sites []*faultSite
+	byObj := map[types.Object]*faultSite{}
+	for _, f := range harness.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Site") {
+						continue
+					}
+					obj := harness.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					s := &faultSite{name: name.Name, pos: name.Pos(), obj: obj}
+					sites = append(sites, s)
+					byObj[obj] = s
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+
+	// Fire call sites across production code.
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFireCall(pkg.Info, call, harness) || len(call.Args) != 1 {
+					return true
+				}
+				obj := referencedObject(pkg.Info, call.Args[0])
+				site := byObj[obj]
+				if site == nil {
+					fs = append(fs, w.finding(call.Args[0].Pos(), "faultsite",
+						"faultinject.Fire must take a declared Site* constant, not an ad-hoc value"))
+					return true
+				}
+				if pkg != harness {
+					site.fired = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Test coverage: a syntactic scan of every _test.go file outside the
+	// harness package for references to the site constants.
+	for _, pkg := range w.Pkgs {
+		if pkg == harness {
+			continue
+		}
+		for _, f := range pkg.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var name string
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					name = e.Sel.Name
+				case *ast.Ident:
+					name = e.Name
+				default:
+					return true
+				}
+				for _, s := range sites {
+					if s.name == name {
+						s.tested = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, s := range sites {
+		if !s.fired {
+			fs = append(fs, w.finding(s.pos, "faultsite",
+				"declared fault site %s is never fired by production code", s.name))
+		}
+		if !s.tested {
+			fs = append(fs, w.finding(s.pos, "faultsite",
+				"fault site %s has no fault-injection test (no _test.go outside the harness package references it)", s.name))
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func (w *World) findPackageBySuffix(suffix string) *Package {
+	for _, pkg := range w.Pkgs {
+		if strings.HasSuffix(pkg.Path, suffix) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// isFireCall reports whether call invokes the harness package's Fire.
+func isFireCall(info *types.Info, call *ast.CallExpr, harness *Package) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	return ok && fn.Name() == "Fire" && fn.Pkg() != nil && fn.Pkg().Path() == harness.Path
+}
+
+// referencedObject resolves an identifier or selector to its object.
+func referencedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satalloc/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current analyzer output")
+
+// TestCheckGoldens runs each check against its fixture mini-module under
+// testdata/ and compares the rendered findings with the check's golden
+// file. Every fixture contains both violations (each rule fires at least
+// once) and clean shapes (the allowed idioms stay silent), so a check
+// that stops finding anything — or starts over-reporting — fails here.
+func TestCheckGoldens(t *testing.T) {
+	for _, check := range analysis.CheckNames() {
+		t.Run(check, func(t *testing.T) {
+			root, err := filepath.Abs(filepath.Join("testdata", check))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := analysis.Config{Root: root, Checks: []string{check}}
+			if check == "metricreg" {
+				cfg.DesignPath = filepath.Join(root, "DESIGN.md")
+			}
+			findings, err := analysis.Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			var b strings.Builder
+			for _, f := range findings {
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			goldenPath := filepath.Join("testdata", check, "findings.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+			if len(findings) == 0 {
+				t.Errorf("fixture for %s produced no findings — the negative cases are not firing", check)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the self-check: the analyzer, run with every check
+// over the real repository, must report nothing. This is the same
+// invariant `make lint` enforces, wired into `go test ./...` so a plain
+// test run already catches drift.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	findings, err := analysis.Run(analysis.Config{Root: root})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestParseDesignRegistry pins the shared DESIGN.md parser against the
+// real registry table: the ops-smoke test and the metricreg check both
+// build on it, so its row count and kinds must track the document.
+func TestParseDesignRegistry(t *testing.T) {
+	doc, err := analysis.ParseDesignRegistry(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) == 0 {
+		t.Fatal("no registry rows parsed from DESIGN.md")
+	}
+	m, ok := doc["satalloc_core_solves_started_total"]
+	if !ok {
+		t.Fatal("satalloc_core_solves_started_total missing from the parsed registry")
+	}
+	if m.Kind != "counter" {
+		t.Fatalf("satalloc_core_solves_started_total parsed as %q, want counter", m.Kind)
+	}
+	for name, row := range doc {
+		if strings.HasSuffix(name, "_total") != (row.Kind == "counter") {
+			t.Errorf("%s: kind %s conflicts with the _total suffix convention", name, row.Kind)
+		}
+	}
+}

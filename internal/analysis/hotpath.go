@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotPath enforces the allocation-free contract on functions marked
+// //satlint:hotpath (the solver's propagation and conflict-analysis
+// inner loops). A hot function must not:
+//
+//   - call anything in package fmt, or time.Now — formatting and clock
+//     reads belong at progress boundaries, never per-propagation;
+//   - call a non-nil-guarded method of a //satlint:nilsafe instrument
+//     type (guarded methods are permitted: they cost one nil check);
+//   - allocate per loop iteration: make/new calls, slice or map literals,
+//     &composite{} literals, or append whose destination is declared
+//     inside the enclosing loop (growth of a loop-local slice allocates
+//     every iteration; append into a caller-owned field or an identifier
+//     declared outside the loop reuses capacity and stays amortized).
+//
+// Struct *value* literals (watcher{...} stored into a slice slot) do not
+// allocate and are allowed.
+func checkHotPath(w *World) []Finding {
+	var fs []Finding
+	for _, hf := range w.hotpaths {
+		fs = append(fs, w.checkHotFunc(hf)...)
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func (w *World) checkHotFunc(hf *hotFunc) []Finding {
+	var fs []Finding
+	if hf.pkg.Info == nil || hf.decl.Body == nil {
+		return nil
+	}
+	name := hf.decl.Name.Name
+
+	// The walk tracks the stack of enclosing for/range statements:
+	// ast.Inspect reports a nil node after a subtree it descended into,
+	// which is the pop signal.
+	var stack, loops []ast.Node
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isLoop(top) {
+				loops = loops[:len(loops)-1]
+			}
+			return true
+		}
+		fs = append(fs, w.checkHotNode(hf, n, name, loops)...)
+		stack = append(stack, n)
+		if isLoop(n) {
+			loops = append(loops, n)
+		}
+		return true
+	})
+	return fs
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// checkHotNode applies the hot-path rules to one node. loops holds the
+// enclosing loop statements (nil outside any loop).
+func (w *World) checkHotNode(hf *hotFunc, n ast.Node, fname string, loops []ast.Node) []Finding {
+	info := hf.pkg.Info
+	var fs []Finding
+	inLoop := len(loops) > 0
+	switch e := n.(type) {
+	case *ast.CallExpr:
+		// Banned callees apply everywhere in a hot function.
+		if callee := calleeFunc(info, e); callee != nil && callee.Pkg() != nil {
+			switch {
+			case callee.Pkg().Path() == "fmt":
+				fs = append(fs, w.finding(e.Pos(), "hotpath",
+					"hot path %s calls fmt.%s; formatting belongs at progress boundaries", fname, callee.Name()))
+			case callee.Pkg().Path() == "time" && callee.Name() == "Now":
+				fs = append(fs, w.finding(e.Pos(), "hotpath",
+					"hot path %s calls time.Now; clock reads belong at progress boundaries", fname))
+			default:
+				if tn := w.nilsafeReceiver(callee); tn != nil && !w.methodGuarded(callee) {
+					fs = append(fs, w.finding(e.Pos(), "hotpath",
+						"hot path %s calls non-nil-guarded instrument method (*%s).%s", fname, tn.Name(), callee.Name()))
+				}
+			}
+		}
+		if !inLoop {
+			return fs
+		}
+		switch builtinName(info, e) {
+		case "make", "new":
+			fs = append(fs, w.finding(e.Pos(), "hotpath",
+				"hot path %s allocates with %s inside a loop", fname, builtinName(info, e)))
+		case "append":
+			if len(e.Args) > 0 && appendGrowsLoopLocal(info, e.Args[0], loops[len(loops)-1]) {
+				fs = append(fs, w.finding(e.Pos(), "hotpath",
+					"hot path %s appends to a loop-local slice, allocating per iteration; hoist the buffer out of the loop", fname))
+			}
+		}
+	case *ast.UnaryExpr:
+		// &T{...} escapes to the heap; in a loop that is one allocation
+		// per iteration.
+		if inLoop {
+			if _, isLit := e.X.(*ast.CompositeLit); isLit && e.Op == token.AND {
+				fs = append(fs, w.finding(e.Pos(), "hotpath",
+					"hot path %s heap-allocates a composite literal (&T{...}) inside a loop", fname))
+			}
+		}
+	case *ast.CompositeLit:
+		if inLoop && allocatingLiteral(info, e) {
+			fs = append(fs, w.finding(e.Pos(), "hotpath",
+				"hot path %s builds a slice or map literal inside a loop", fname))
+		}
+	}
+	return fs
+}
+
+// calleeFunc resolves the called function or method, or nil for builtins,
+// conversions, and function-valued expressions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// appendGrowsLoopLocal reports whether an append destination is a fresh
+// slice per iteration: an identifier declared inside the enclosing loop,
+// or a non-identifier non-storage expression (e.g. []T(nil)). Field and
+// element destinations (s.watches[p]) are caller-owned storage with
+// amortized growth and are allowed.
+func appendGrowsLoopLocal(info *types.Info, dest ast.Expr, loop ast.Node) bool {
+	switch d := dest.(type) {
+	case *ast.Ident:
+		obj := info.Uses[d]
+		if obj == nil {
+			obj = info.Defs[d]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return false
+	}
+	return true
+}
+
+// allocatingLiteral reports whether a composite literal allocates backing
+// storage: slice and map literals do; struct and array values do not.
+func allocatingLiteral(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

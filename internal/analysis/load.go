@@ -1,0 +1,574 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded package of the module under analysis. Non-test
+// files are fully type-checked; _test.go files (both in-package and
+// external) are parsed but not type-checked — the checks that look at
+// tests (faultsite coverage) are syntactic by design, which keeps the
+// loader from having to type-check the testing universe.
+type Package struct {
+	Dir       string // absolute directory
+	Path      string // import path (module path + relative dir)
+	Name      string // package name from the non-test files
+	Files     []*ast.File
+	FileNames []string // parallel to Files, root-relative
+	TestFiles []*ast.File
+	TestNames []string // parallel to TestFiles, root-relative
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// ignoreDirective is one parsed //satlint:ignore comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+}
+
+// World is everything the checks see: the loaded packages in dependency
+// order plus the cross-package indexes they share.
+type World struct {
+	Root       string
+	Module     string
+	Fset       *token.FileSet
+	Pkgs       []*Package // topological order, dependencies first
+	ByPath     map[string]*Package
+	DesignPath string
+
+	selectedFiles map[string]bool // root-relative Go files matched by the patterns
+
+	// ignores maps root-relative file → line → directives on that line.
+	ignores           map[string]map[int][]ignoreDirective
+	directiveFindings []Finding
+
+	// funcDecls resolves a method or function object back to its AST.
+	funcDecls map[*types.Func]*ast.FuncDecl
+	// nilsafe holds the types marked //satlint:nilsafe.
+	nilsafe map[*types.TypeName]token.Pos
+	// hotpaths holds the functions marked //satlint:hotpath.
+	hotpaths []*hotFunc
+	// guardMemo caches nil-guard evaluation per method (see nilguard.go).
+	guardMemo map[*types.Func]int
+}
+
+type hotFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// position translates a token.Pos into a root-relative Finding anchor.
+func (w *World) position(pos token.Pos) (file string, line, col int) {
+	p := w.Fset.Position(pos)
+	name := p.Filename
+	if rel, err := filepath.Rel(w.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return name, p.Line, p.Column
+}
+
+func (w *World) finding(pos token.Pos, check, format string, args ...any) Finding {
+	file, line, col := w.position(pos)
+	return Finding{File: file, Line: line, Col: col, Check: check, Message: fmt.Sprintf(format, args...)}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module declaration of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: %s/go.mod has no module declaration", root)
+}
+
+// packageDirs walks the module tree collecting every directory holding Go
+// files, skipping testdata, hidden, underscore, and nested-module trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// matchPatterns reports whether the root-relative package directory rel
+// (with "." for the root package) is matched by one of the patterns.
+func matchPatterns(patterns []string, rel string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// stdImporter resolves non-module imports: compiled export data first
+// (fast), falling back to type-checking the dependency from source. Both
+// paths are stdlib go/importer; results are cached per path.
+type stdImporter struct {
+	fset  *token.FileSet
+	gc    types.Importer
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.cache[path]; ok {
+		return p, nil
+	}
+	p, err := si.gc.Import(path)
+	if err != nil {
+		if si.src == nil {
+			si.src = importer.ForCompiler(si.fset, "source", nil)
+		}
+		p, err = si.src.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	si.cache[path] = p
+	return p, nil
+}
+
+// worldImporter routes module-internal import paths to the packages the
+// loader type-checked itself and everything else to the std importer.
+type worldImporter struct {
+	w   *World
+	std *stdImporter
+}
+
+func (wi *worldImporter) Import(path string) (*types.Package, error) {
+	if path == wi.w.Module || strings.HasPrefix(path, wi.w.Module+"/") {
+		p := wi.w.ByPath[path]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("analysis: internal import %s not loaded", path)
+		}
+		return p.Types, nil
+	}
+	return wi.std.Import(path)
+}
+
+// load parses and type-checks the whole module rooted at cfg.Root.
+func load(cfg Config) (*World, error) {
+	root := cfg.Root
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		root, err = findModuleRoot(wd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	design := cfg.DesignPath
+	if design == "" {
+		design = filepath.Join(root, "DESIGN.md")
+	}
+
+	w := &World{
+		Root:          root,
+		Module:        module,
+		Fset:          token.NewFileSet(),
+		ByPath:        map[string]*Package{},
+		DesignPath:    design,
+		selectedFiles: map[string]bool{},
+		ignores:       map[string]map[int][]ignoreDirective{},
+		funcDecls:     map[*types.Func]*ast.FuncDecl{},
+		nilsafe:       map[*types.TypeName]token.Pos{},
+		guardMemo:     map[*types.Func]int{},
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := w.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		w.Pkgs = append(w.Pkgs, pkg)
+		w.ByPath[pkg.Path] = pkg
+	}
+	if err := w.sortTopologically(); err != nil {
+		return nil, err
+	}
+
+	imp := &worldImporter{w: w, std: &stdImporter{
+		fset:  w.Fset,
+		gc:    importer.ForCompiler(w.Fset, "gc", nil),
+		cache: map[string]*types.Package{},
+	}}
+	for _, pkg := range w.Pkgs {
+		if err := w.typeCheck(pkg, imp); err != nil {
+			return nil, err
+		}
+	}
+
+	// Mark the files the patterns select and build the shared indexes.
+	for _, pkg := range w.Pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if !matchPatterns(patterns, rel) {
+			continue
+		}
+		for _, name := range pkg.FileNames {
+			w.selectedFiles[name] = true
+		}
+		for _, name := range pkg.TestNames {
+			w.selectedFiles[name] = true
+		}
+	}
+	w.scanDirectives()
+	w.indexDecls()
+	return w, nil
+}
+
+// parseDir parses one package directory. Directories with only test
+// files still load (their tests count for faultsite coverage).
+func (w *World) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(w.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	path := w.Module
+	if rel != "." {
+		path = w.Module + "/" + rel
+	}
+	pkg := &Package{Dir: dir, Path: path}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(w.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		relFile := filepath.ToSlash(filepath.Join(rel, name))
+		if rel == "." {
+			relFile = name
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+			pkg.TestNames = append(pkg.TestNames, relFile)
+			continue
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("analysis: %s holds two packages: %s and %s", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, relFile)
+	}
+	if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// internalImports lists pkg's module-internal dependencies.
+func (w *World) internalImports(pkg *Package) []string {
+	var deps []string
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if (p == w.Module || strings.HasPrefix(p, w.Module+"/")) && !seen[p] {
+				seen[p] = true
+				deps = append(deps, p)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// sortTopologically orders Pkgs dependencies-first (Kahn's algorithm).
+func (w *World) sortTopologically() error {
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, pkg := range w.Pkgs {
+		indeg[pkg.Path] = 0
+	}
+	for _, pkg := range w.Pkgs {
+		for _, dep := range w.internalImports(pkg) {
+			if _, ok := indeg[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module tree", pkg.Path, dep)
+			}
+			indeg[pkg.Path]++
+			dependents[dep] = append(dependents[dep], pkg.Path)
+		}
+	}
+	var queue []string
+	for _, pkg := range w.Pkgs {
+		if indeg[pkg.Path] == 0 {
+			queue = append(queue, pkg.Path)
+		}
+	}
+	sort.Strings(queue)
+	var order []*Package
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		order = append(order, w.ByPath[path])
+		for _, dep := range dependents[path] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(order) != len(w.Pkgs) {
+		var stuck []string
+		for path, n := range indeg {
+			if n > 0 {
+				stuck = append(stuck, path)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("analysis: import cycle among %s", strings.Join(stuck, ", "))
+	}
+	w.Pkgs = order
+	return nil
+}
+
+// typeCheck type-checks pkg's non-test files. Type errors are hard
+// errors: satlint runs on code that builds.
+func (w *World) typeCheck(pkg *Package, imp types.Importer) error {
+	if len(pkg.Files) == 0 {
+		return nil
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tp, err := conf.Check(pkg.Path, w.Fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, typeErrs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tp
+	return nil
+}
+
+const directivePrefix = "//satlint:"
+
+// scanDirectives collects every //satlint: comment: ignore suppressions
+// (indexed by file and line), nilsafe type markers, and hotpath function
+// markers, validating the grammar as it goes.
+func (w *World) scanDirectives() {
+	for _, pkg := range w.Pkgs {
+		files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+		names := append(append([]string(nil), pkg.FileNames...), pkg.TestNames...)
+		for i, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+					if !ok {
+						continue
+					}
+					w.recordDirective(names[i], c, rest)
+				}
+			}
+		}
+	}
+}
+
+func (w *World) recordDirective(file string, c *ast.Comment, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		w.directiveFindings = append(w.directiveFindings,
+			w.finding(c.Pos(), "directive", "empty satlint directive"))
+		return
+	}
+	switch fields[0] {
+	case "ignore":
+		if len(fields) < 3 {
+			w.directiveFindings = append(w.directiveFindings,
+				w.finding(c.Pos(), "directive", "satlint:ignore needs a check name and a reason: //satlint:ignore <check> <reason>"))
+			return
+		}
+		check := fields[1]
+		if checkFuncs[check] == nil {
+			w.directiveFindings = append(w.directiveFindings,
+				w.finding(c.Pos(), "directive", "satlint:ignore names unknown check %q (have %s)", check, strings.Join(CheckNames(), ", ")))
+			return
+		}
+		line := w.Fset.Position(c.Pos()).Line
+		if w.ignores[file] == nil {
+			w.ignores[file] = map[int][]ignoreDirective{}
+		}
+		w.ignores[file][line] = append(w.ignores[file][line],
+			ignoreDirective{check: check, reason: strings.Join(fields[2:], " ")})
+	case "nilsafe", "hotpath":
+		// Attachment to a declaration is resolved in indexDecls; a bare
+		// marker floating away from any declaration is simply inert.
+	default:
+		w.directiveFindings = append(w.directiveFindings,
+			w.finding(c.Pos(), "directive", "unknown satlint directive %q (have ignore, nilsafe, hotpath)", fields[0]))
+	}
+}
+
+// docHasDirective reports whether a declaration's doc comment carries the
+// given satlint directive verb.
+func docHasDirective(doc *ast.CommentGroup, verb string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 && fields[0] == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// indexDecls builds the cross-package indexes: function-object → AST,
+// nilsafe-marked types, and hotpath-marked functions.
+func (w *World) indexDecls() {
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						w.funcDecls[fn] = d
+					}
+					if docHasDirective(d.Doc, "hotpath") {
+						w.hotpaths = append(w.hotpaths, &hotFunc{pkg: pkg, decl: d})
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if !docHasDirective(d.Doc, "nilsafe") && !docHasDirective(ts.Doc, "nilsafe") {
+							continue
+						}
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							w.nilsafe[tn] = ts.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricNameRE is the naming grammar: the satalloc_ prefix followed by
+// lowercase snake_case segments.
+var metricNameRE = regexp.MustCompile(`^satalloc(_[a-z0-9]+)+$`)
+
+// registration is one Registry.Counter/Gauge/Histogram call site.
+type registration struct {
+	name string
+	kind string // counter, gauge, histogram
+	pos  token.Pos
+}
+
+// checkMetricReg enforces the metric-name registry contract: every name
+// handed to Registry.Counter/Gauge/Histogram is a compile-time constant,
+// matches the naming grammar (counters end in _total, nothing else does),
+// is registered under exactly one kind, and appears in the DESIGN.md
+// registry table — and vice versa, every documented row is registered by
+// code, so the documentation cannot drift from the exposition.
+func checkMetricReg(w *World) []Finding {
+	var fs []Finding
+	byName := map[string]*registration{}
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryCallKind(pkg.Info, call)
+				if !ok {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				nameArg := call.Args[0]
+				tv := pkg.Info.Types[nameArg]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					fs = append(fs, w.finding(nameArg.Pos(), "metricreg",
+						"metric name must be a compile-time string constant so the registry is statically checkable"))
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				fs = append(fs, w.checkMetricName(nameArg.Pos(), name, kind)...)
+				if prev, ok := byName[name]; ok {
+					if prev.kind != kind {
+						fs = append(fs, w.finding(nameArg.Pos(), "metricreg",
+							"metric %s re-registered as %s (registered as %s at %s)",
+							name, kind, prev.kind, w.posString(prev.pos)))
+					}
+				} else {
+					byName[name] = &registration{name: name, kind: kind, pos: nameArg.Pos()}
+				}
+				return true
+			})
+		}
+	}
+
+	doc, err := ParseDesignRegistry(w.DesignPath)
+	if err != nil {
+		fs = append(fs, Finding{File: w.relPath(w.DesignPath), Line: 1, Check: "metricreg",
+			Message: "cannot read the metric registry document: " + err.Error()})
+		sortFindings(fs)
+		return fs
+	}
+	docFile := w.relPath(w.DesignPath)
+	for name, reg := range byName {
+		row, ok := doc[name]
+		if !ok {
+			fs = append(fs, w.finding(reg.pos, "metricreg",
+				"metric %s is not documented in the %s registry table", name, docFile))
+			continue
+		}
+		if row.Kind != reg.kind {
+			fs = append(fs, w.finding(reg.pos, "metricreg",
+				"metric %s is registered as a %s but documented as a %s (%s:%d)",
+				name, reg.kind, row.Kind, docFile, row.Line))
+		}
+	}
+	for name, row := range doc {
+		if _, ok := byName[name]; !ok {
+			fs = append(fs, Finding{File: docFile, Line: row.Line, Check: "metricreg",
+				Message: "documented metric " + name + " is never registered by code"})
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func (w *World) checkMetricName(pos token.Pos, name, kind string) []Finding {
+	var fs []Finding
+	if !metricNameRE.MatchString(name) {
+		fs = append(fs, w.finding(pos, "metricreg",
+			"metric name %q does not match the grammar satalloc_<segment>(_<segment>)* with lowercase [a-z0-9] segments", name))
+		return fs
+	}
+	total := strings.HasSuffix(name, "_total")
+	if kind == "counter" && !total {
+		fs = append(fs, w.finding(pos, "metricreg", "counter %s must end in _total", name))
+	}
+	if kind != "counter" && total {
+		fs = append(fs, w.finding(pos, "metricreg", "%s %s must not end in _total (the suffix is reserved for counters)", kind, name))
+	}
+	return fs
+}
+
+// registryCallKind reports whether call is Registry.Counter/Gauge/
+// Histogram on the metrics registry type, and which kind it registers.
+func registryCallKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Counter":
+		kind = "counter"
+	case "Gauge":
+		kind = "gauge"
+	case "Histogram":
+		kind = "histogram"
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	base := receiverBase(fn)
+	if base == nil || base.Name() != "Registry" || base.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(base.Pkg().Path(), "internal/metrics") {
+		return "", false
+	}
+	return kind, true
+}
+
+func (w *World) posString(pos token.Pos) string {
+	file, line, _ := w.position(pos)
+	return file + ":" + strconv.Itoa(line)
+}
+
+func (w *World) relPath(path string) string {
+	if rel, err := filepath.Rel(w.Root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

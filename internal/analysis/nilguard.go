@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// checkNilguard enforces the disabled-instrument contract on every type
+// marked //satlint:nilsafe: each exported pointer-receiver method must
+// begin with a nil-receiver guard whose body returns, or consist of a
+// single delegation to another (guarded) method of the same type — the
+// two shapes that make "a nil *T is a valid no-op instrument" true.
+func checkNilguard(w *World) []Finding {
+	var fs []Finding
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !fn.Exported() {
+					continue
+				}
+				tn := w.nilsafeReceiver(fn)
+				if tn == nil {
+					continue
+				}
+				if !w.methodGuarded(fn) {
+					fs = append(fs, w.finding(fd.Name.Pos(), "nilguard",
+						"exported method (*%s).%s must begin with a nil-receiver guard (or delegate to a guarded method of the same type)",
+						tn.Name(), fn.Name()))
+				}
+			}
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		return fs[i].Line < fs[j].Line
+	})
+}
+
+// nilsafeReceiver returns the //satlint:nilsafe type fn is a
+// pointer-receiver method of, or nil. Value-receiver methods are exempt:
+// nil-safety is a property of pointer receivers only.
+func (w *World) nilsafeReceiver(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if _, marked := w.nilsafe[tn]; !marked {
+		return nil
+	}
+	return tn
+}
+
+// Guard-evaluation states for the memo: visiting detects delegation
+// cycles (which fail — a cycle never reaches a guard).
+const (
+	guardUnknown = iota
+	guardVisiting
+	guardPass
+	guardFail
+)
+
+// methodGuarded reports whether fn (a pointer-receiver method) satisfies
+// the nil-guard contract. Results are memoized; delegation chains are
+// followed through same-type methods.
+func (w *World) methodGuarded(fn *types.Func) bool {
+	switch w.guardMemo[fn] {
+	case guardPass:
+		return true
+	case guardFail, guardVisiting:
+		return false
+	}
+	w.guardMemo[fn] = guardVisiting
+	ok := w.evalGuard(fn)
+	if ok {
+		w.guardMemo[fn] = guardPass
+	} else {
+		w.guardMemo[fn] = guardFail
+	}
+	return ok
+}
+
+func (w *World) evalGuard(fn *types.Func) bool {
+	decl := w.funcDecls[fn]
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	recv := receiverIdent(decl)
+	if recv == nil {
+		// An unnamed (or blank) receiver cannot be dereferenced, so the
+		// method is nil-safe by construction.
+		return true
+	}
+	if len(decl.Body.List) == 0 {
+		return true
+	}
+	pkg := w.pkgOf(fn)
+	if pkg == nil {
+		return false
+	}
+	recvObj := pkg.Info.Defs[recv]
+	// Shape 1: first statement is "if recv == nil { ... return }".
+	if ifStmt, ok := decl.Body.List[0].(*ast.IfStmt); ok {
+		if ifStmt.Init == nil && condChecksNil(pkg.Info, ifStmt.Cond, recvObj) && bodyReturns(ifStmt.Body) {
+			return true
+		}
+	}
+	// Shape 2: the body is a single delegation to a method of the same
+	// receiver, which must itself be guarded.
+	if len(decl.Body.List) == 1 {
+		var call *ast.CallExpr
+		switch st := decl.Body.List[0].(type) {
+		case *ast.ExprStmt:
+			call, _ = st.X.(*ast.CallExpr)
+		case *ast.ReturnStmt:
+			if len(st.Results) == 1 {
+				call, _ = st.Results[0].(*ast.CallExpr)
+			}
+		}
+		if call != nil {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pkg.Info.Uses[id] == recvObj {
+					if callee, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+						if sameReceiverBase(fn, callee) {
+							return w.methodGuarded(callee)
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *World) pkgOf(fn *types.Func) *Package {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	return w.ByPath[fn.Pkg().Path()]
+}
+
+// receiverIdent returns the receiver's identifier, or nil when the
+// receiver is unnamed or blank.
+func receiverIdent(decl *ast.FuncDecl) *ast.Ident {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := decl.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// condChecksNil reports whether cond contains "recv == nil" (either
+// operand order) at the top level or along an || chain.
+func condChecksNil(info *types.Info, cond ast.Expr, recvObj types.Object) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR {
+		return condChecksNil(info, be.X, recvObj) || condChecksNil(info, be.Y, recvObj)
+	}
+	if be.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// bodyReturns reports whether the guard body's last statement is a
+// return, so control never falls through to a dereference.
+func bodyReturns(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// sameReceiverBase reports whether two methods hang off the same named
+// type (regardless of pointerness).
+func sameReceiverBase(a, b *types.Func) bool {
+	return receiverBase(a) != nil && receiverBase(a) == receiverBase(b)
+}
+
+func receiverBase(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}

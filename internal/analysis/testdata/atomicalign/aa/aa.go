@@ -1,0 +1,40 @@
+// Package aa is the atomicalign golden fixture: 64-bit atomic operations
+// on fields whose GOARCH=386 offsets are and are not 8-byte aligned.
+package aa
+
+import "sync/atomic"
+
+// bad puts an int64 at offset 4 under 32-bit layout.
+type bad struct {
+	flag int32
+	n    int64
+}
+
+// good leads with the int64, so it sits at offset 0.
+type good struct {
+	n    int64
+	flag int32
+}
+
+// wrapped uses the atomic wrapper type, which is alignment-safe by
+// construction.
+type wrapped struct {
+	flag int32
+	n    atomic.Int64
+}
+
+// nested holds bad by value at offset 0, so inner.n inherits the
+// misaligned offset 4 — the check must walk the selection chain.
+type nested struct {
+	inner bad
+}
+
+// Touch performs one aligned and several misaligned 64-bit operations.
+func Touch(b *bad, g *good, w *wrapped, n *nested) int64 {
+	atomic.AddInt64(&b.n, 1)          // offset 4: flagged
+	atomic.StoreInt64(&n.inner.n, 2)  // offset 0+4: flagged
+	v := atomic.LoadInt64(&g.n)       // offset 0: fine
+	w.n.Add(3)                        // wrapper type: fine
+	atomic.AddInt32(&b.flag, 1)       // 32-bit op: out of scope
+	return v
+}

@@ -1,0 +1,3 @@
+module fixatomicalign
+
+go 1.22

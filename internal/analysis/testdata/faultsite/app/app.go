@@ -1,0 +1,11 @@
+// Package app is the fixture's production code calling into the harness.
+package app
+
+import "fixfaultsite/internal/faultinject"
+
+// Work fires two registered sites and one ad-hoc value.
+func Work() {
+	faultinject.Fire(faultinject.SiteGood)
+	faultinject.Fire(faultinject.SiteUntested)
+	faultinject.Fire("raw-literal")
+}

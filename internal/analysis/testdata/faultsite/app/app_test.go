@@ -1,0 +1,15 @@
+package app
+
+import (
+	"testing"
+
+	"fixfaultsite/internal/faultinject"
+)
+
+// TestGoodSite references SiteGood, satisfying the test-coverage rule for
+// that one site only.
+func TestGoodSite(t *testing.T) {
+	if faultinject.SiteGood == "" {
+		t.Fatal("empty site name")
+	}
+}

@@ -1,0 +1,3 @@
+module fixfaultsite
+
+go 1.22

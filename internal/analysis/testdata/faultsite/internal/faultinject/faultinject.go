@@ -1,0 +1,18 @@
+// Package faultinject is a miniature of the real harness: the faultsite
+// check identifies it by the internal/faultinject path suffix and
+// collects its exported Site* constants as the registry.
+package faultinject
+
+// The fixture site registry.
+const (
+	// SiteGood is fired by production code and referenced by a test.
+	SiteGood = "fixture.good"
+	// SiteUnfired is declared but never fired — two findings (unfired,
+	// untested).
+	SiteUnfired = "fixture.unfired"
+	// SiteUntested is fired but no test references it — one finding.
+	SiteUntested = "fixture.untested"
+)
+
+// Fire is the injection point.
+func Fire(site string) {}

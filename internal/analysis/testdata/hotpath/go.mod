@@ -1,0 +1,3 @@
+module fixhotpath
+
+go 1.22

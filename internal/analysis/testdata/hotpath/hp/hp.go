@@ -1,0 +1,81 @@
+// Package hp is the hotpath golden fixture: annotated functions covering
+// every rule, plus a clean one proving the allowed shapes stay silent.
+package hp
+
+import (
+	"fmt"
+	"time"
+)
+
+type item struct{ v int }
+
+// gauge is a nil-safe instrument; Set is guarded, bump is not.
+//
+//satlint:nilsafe
+type gauge struct{ v int }
+
+func (g *gauge) Set(v int) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+func (g *gauge) bump() { g.v++ }
+
+// ok uses only the allowed shapes: make before the loop, append into a
+// buffer declared outside it, struct value literals, guarded instrument
+// calls.
+//
+//satlint:hotpath
+func ok(xs []int, g *gauge) int {
+	total := 0
+	buf := make([]int, 0, len(xs))
+	for _, x := range xs {
+		buf = append(buf, x)
+		w := item{v: x}
+		total += w.v
+	}
+	g.Set(total)
+	return total
+}
+
+// badFmt formats on the hot path.
+//
+//satlint:hotpath
+func badFmt() {
+	fmt.Println("hot")
+}
+
+// badTime reads the clock on the hot path.
+//
+//satlint:hotpath
+func badTime() int64 {
+	return time.Now().UnixNano()
+}
+
+// badInstr calls a non-nil-guarded instrument method.
+//
+//satlint:hotpath
+func badInstr(g *gauge) {
+	g.bump()
+}
+
+// badAllocs allocates per loop iteration four different ways.
+//
+//satlint:hotpath
+func badAllocs(xs []int) []*item {
+	var out []*item
+	for _, x := range xs {
+		tmp := make([]int, 1)
+		tmp[0] = x
+		p := &item{v: tmp[0]}
+		vals := []int{x}
+		_ = vals
+		var scratch []*item
+		scratch = append(scratch, p)
+		_ = scratch
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+// Package app registers fixture metrics: some clean, some violating each
+// metricreg rule in turn.
+package app
+
+import "fixmetricreg/internal/metrics"
+
+// Register exercises every registration shape.
+func Register(r *metrics.Registry, dyn string) {
+	// Clean registrations, all documented in DESIGN.md.
+	r.Counter("satalloc_good_events_total", "documented counter", nil)
+	r.Gauge("satalloc_good_depth", "documented gauge", nil)
+	r.Histogram("satalloc_good_latency_us", "documented histogram", []int64{1, 10}, nil)
+
+	// Violations.
+	r.Counter("satalloc_bad_requests", "counter missing _total", nil)
+	r.Gauge("satalloc_bad_depth_total", "gauge with reserved suffix", nil)
+	r.Counter("satalloc_Bad_Name_total", "breaks the grammar", nil)
+	r.Counter(dyn, "not a compile-time constant", nil)
+	r.Counter("satalloc_missing_total", "absent from DESIGN.md", nil)
+	r.Gauge("satalloc_wrong_kind", "documented as a counter", nil)
+	r.Gauge("satalloc_good_events_total", "kind conflict with the counter above", nil)
+}

@@ -1,0 +1,3 @@
+module fixmetricreg
+
+go 1.22

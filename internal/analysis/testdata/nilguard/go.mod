@@ -1,0 +1,3 @@
+module fixnilguard
+
+go 1.22

@@ -1,0 +1,56 @@
+// Package inst is the nilguard golden fixture: one nil-safe instrument
+// type exercising every shape the check distinguishes.
+package inst
+
+// Probe is a nil-safe instrument: a nil *Probe must be a valid no-op.
+//
+//satlint:nilsafe
+type Probe struct {
+	n int
+}
+
+// Inc is the canonical guarded shape.
+func (p *Probe) Inc() {
+	if p == nil {
+		return
+	}
+	p.n++
+}
+
+// Bump delegates to a guarded method of the same type — allowed.
+func (p *Probe) Bump() { p.Inc() }
+
+// Value guards with an ||-chained condition — allowed.
+func (p *Probe) Value() int {
+	if p == nil || p.n < 0 {
+		return 0
+	}
+	return p.n
+}
+
+// Reset lacks a guard — flagged.
+func (p *Probe) Reset() {
+	p.n = 0
+}
+
+// Zero lacks a guard too, but carries a suppression — not reported.
+//
+//satlint:ignore nilguard fixture demonstrates suppression
+func (p *Probe) Zero() {
+	p.n = 0
+}
+
+// Loop delegates to itself — a delegation cycle never reaches a guard, so
+// it is flagged.
+func (p *Probe) Loop() { p.Loop() }
+
+// reset is unexported and therefore outside the contract.
+func (p *Probe) reset() { p.n = 0 }
+
+// Snapshot has a value receiver: nil-safety is a pointer-receiver
+// property, so it is exempt.
+func (p Probe) Snapshot() int { return p.n }
+
+// Kind has an unnamed receiver, which cannot be dereferenced — nil-safe
+// by construction.
+func (*Probe) Kind() string { return "probe" }

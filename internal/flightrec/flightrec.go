@@ -42,6 +42,8 @@ type Event struct {
 }
 
 // Recorder is the ring buffer. Safe for concurrent use.
+//
+//satlint:nilsafe
 type Recorder struct {
 	mu    sync.Mutex
 	epoch time.Time
@@ -116,15 +118,19 @@ type Dump struct {
 // nil recorder writes an empty dump, so callers can serve the endpoint
 // unconditionally.
 func (r *Recorder) WriteJSON(w io.Writer) error {
-	d := Dump{}
-	if r != nil {
-		d.Events = r.Snapshot()
-		r.mu.Lock()
-		d.Capacity = r.cap
-		d.Total = r.next
-		r.mu.Unlock()
-		d.Dropped = d.Total - int64(len(d.Events))
+	if r == nil {
+		return writeDump(w, Dump{})
 	}
+	d := Dump{Events: r.Snapshot()}
+	r.mu.Lock()
+	d.Capacity = r.cap
+	d.Total = r.next
+	r.mu.Unlock()
+	d.Dropped = d.Total - int64(len(d.Events))
+	return writeDump(w, d)
+}
+
+func writeDump(w io.Writer, d Dump) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)

@@ -56,6 +56,8 @@ func (k Kind) String() string {
 // maintain a cumulative count (the SAT solver's Stats), mirror them with
 // delta Adds rather than Set so that fresh solvers (which restart their
 // cumulative counters at zero) never make the exported value go backwards.
+//
+//satlint:nilsafe
 type Counter struct {
 	v atomic.Int64
 }
@@ -82,6 +84,8 @@ func (c *Counter) Value() int64 {
 // Gauge is a value that can go up and down, e.g. the current learnt-DB
 // size or the binary search's bounds. The zero value reads as 0; use Set
 // with a sentinel (conventionally -1) for "not yet known".
+//
+//satlint:nilsafe
 type Gauge struct {
 	v atomic.Int64
 }
@@ -115,6 +119,8 @@ func (g *Gauge) Value() int64 {
 // bucket layout is fixed at registration, so Observe is a binary search
 // over a small slice plus two atomic adds — cheap enough for per-conflict
 // observations like LBD.
+//
+//satlint:nilsafe
 type Histogram struct {
 	bounds []int64        // ascending upper bounds; +Inf implicit
 	counts []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
@@ -184,6 +190,8 @@ type family struct {
 // Registry holds metric families and renders them. A nil *Registry is a
 // valid disabled registry: it hands out nil collectors and renders
 // nothing.
+//
+//satlint:nilsafe
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family

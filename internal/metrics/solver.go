@@ -22,6 +22,8 @@ var (
 // is a no-op and every hook constructor returns nil, so the layers below
 // (sat, opt, core) pay one nil check when metrics are off — the same
 // contract as obs.Tracer.
+//
+//satlint:nilsafe
 type SolverMetrics struct {
 	reg *Registry
 

@@ -21,6 +21,8 @@ import (
 // Create one with NewTracer; a nil *Tracer is a valid no-op tracer. A
 // Tracer is safe for concurrent use — the portfolio records both of its
 // racing arms under one tracer.
+//
+//satlint:nilsafe
 type Tracer struct {
 	mu     sync.Mutex
 	w      io.Writer
@@ -46,6 +48,8 @@ func NewTracer(w io.Writer) *Tracer {
 // closed exactly once with End. A nil *Span is a valid no-op. A span's
 // own methods are single-goroutine; concurrent work must use distinct
 // child spans (Child itself is safe to call from any goroutine).
+//
+//satlint:nilsafe
 type Span struct {
 	t      *Tracer
 	id     int64

@@ -96,3 +96,18 @@ func TestFaultInjectionPanicAtRestartPropagates(t *testing.T) {
 	s.Solve()
 	t.Fatal("solve returned despite injected panic (no restart reached?)")
 }
+
+func TestFaultInjectionPanicAtReducePropagates(t *testing.T) {
+	defer faultinject.Set(faultinject.PanicAt(faultinject.SiteSatReduce, 1, "injected"))()
+	s := php(6)
+	// Force a tiny learnt-clause budget so the reduce boundary — and with
+	// it the fault site — is reached quickly.
+	s.maxLearnt = 16
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	s.Solve()
+	t.Fatal("solve returned despite injected panic (no reduce reached?)")
+}

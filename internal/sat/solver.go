@@ -389,6 +389,7 @@ func (s *Solver) attach(c *clause) {
 	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
 }
 
+//satlint:hotpath
 func (s *Solver) uncheckedEnqueue(l Lit, from reason) {
 	v := l.Var()
 	if l.Sign() {
@@ -405,6 +406,8 @@ func (s *Solver) uncheckedEnqueue(l Lit, from reason) {
 
 // propagate performs unit propagation over clauses and PB constraints.
 // It returns a conflicting reason, or nil.
+//
+//satlint:hotpath
 func (s *Solver) propagate() reason {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
@@ -514,6 +517,7 @@ func (s *Solver) finishPBUpdates(p Lit, at pbWatch) {
 	}
 }
 
+//satlint:hotpath
 func (s *Solver) cancelUntil(lvl int32) {
 	if s.decisionLevel() <= lvl {
 		return
@@ -561,6 +565,8 @@ func (s *Solver) bumpClause(c *clause) {
 
 // analyze performs first-UIP conflict analysis. It returns the learnt clause
 // (asserting literal first) and the backjump level.
+//
+//satlint:hotpath
 func (s *Solver) analyze(confl reason) ([]Lit, int32) {
 	learnt := []Lit{LitUndef}
 	counter := 0
@@ -739,6 +745,7 @@ func (s *Solver) detach(c *clause) {
 	}
 }
 
+//satlint:hotpath
 func (s *Solver) pickBranchLit() Lit {
 	for !s.heap.empty() {
 		v := s.heap.pop()
