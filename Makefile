@@ -1,11 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint satlint build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
+.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
 
-## check: the full CI gate — vet, lint, build, the race-enabled test
-## suite, and a short fuzz smoke run of every parser-hardening target.
-check: vet lint build race fuzz
+## check: the full CI gate — vet, lint, proof replay, build, the
+## race-enabled test suite, and a short fuzz smoke run of every
+## parser-hardening target.
+check: vet lint proof-check build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,16 @@ lint: vet satlint
 
 satlint:
 	$(GO) run ./cmd/satlint ./...
+
+## proof-check: the verdict-observability gate — the DRAT-modulo-PB
+## checker's own tests, every seeded corpus UNSAT replayed through it,
+## the core-extraction minimality checks, the solvesat DRAT round trip,
+## and the Table-1/Table-2 optimality-certificate acceptance tests.
+proof-check:
+	$(GO) test -count 1 ./internal/proof
+	$(GO) test -count 1 -run 'Proof|Certified|SeedCorpus|Explain' \
+		./internal/sat ./internal/opt ./internal/core \
+		./internal/experiments ./cmd/solvesat ./cmd/allocate
 
 build:
 	$(GO) build ./...

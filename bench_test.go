@@ -175,7 +175,10 @@ func BenchmarkLearnedClauseReuse(b *testing.B) {
 // time-multiplex and Workers=4 trades wall clock for robustness, while
 // with GOMAXPROCS ≥ 4 the race runs concurrently and ns/op tracks the
 // winning worker's conflict count — the quantity sharing drives well
-// below the sequential trajectory's.
+// below the sequential trajectory's. Each window sweeps Workers ∈
+// {1, 2, 4}; together with the num_cpu/gomaxprocs fields bench2json
+// stamps on every BENCH_*.json point, that yields a portfolio-scaling
+// curve per host.
 func BenchmarkParallelSolve(b *testing.B) {
 	windows := []struct {
 		name string
@@ -195,7 +198,7 @@ func BenchmarkParallelSolve(b *testing.B) {
 		o.SeparatedPairs = 3
 		o.MemCapacityPerECU = 14
 		sys := workload.Populate(workload.RingArchitecture(4), o)
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%s/workers=%d", w.name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					enc, err := encode.Encode(sys, encode.Options{Objective: encode.MinimizeTRT, ObjectiveMedium: -1})

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satalloc/internal/core"
+	"satalloc/internal/workload"
+)
+
+func buildAllocate(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the allocate binary")
+	}
+	bin := filepath.Join(t.TempDir(), "allocate")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestExplainRejectsExplicitPortfolio pins the fail-fast contract of the
+// verdict-observability flags on the allocator binary: an explicit
+// -workers ≥ 2 with -explain (or -proof) exits 1 with an error naming the
+// sequential-only requirement, before reading any spec.
+func TestExplainRejectsExplicitPortfolio(t *testing.T) {
+	bin := buildAllocate(t)
+	for _, flag := range []string{"-explain", "-proof"} {
+		out, err := exec.Command(bin, flag, "-workers", "3").CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("%s -workers 3: err=%v, want exit 1; output:\n%s", flag, err, out)
+		}
+		if !strings.Contains(string(out), "sequential") || !strings.Contains(string(out), flag) {
+			t.Fatalf("%s rejection does not explain itself:\n%s", flag, out)
+		}
+	}
+}
+
+// TestExplainPrintsMinimizedCore runs the binary end to end on a
+// deliberately infeasible spec: INFEASIBLE exit (3) plus the minimized
+// core line and, with -proof, the certificate line.
+func TestExplainPrintsMinimizedCore(t *testing.T) {
+	bin := buildAllocate(t)
+
+	o := workload.T43Options()
+	o.Tasks = 6
+	o.Chains = 1
+	sys := workload.Populate(workload.RingArchitecture(3), o)
+	for _, task := range sys.Tasks {
+		for p := range task.WCET {
+			task.WCET[p] = task.Period - 1
+		}
+		task.Deadline = task.Period
+	}
+	var spec bytes.Buffer
+	if err := core.WriteSpec(&spec, sys); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-explain", "-proof", "-workers", "1")
+	cmd.Stdin = bytes.NewReader(spec.Bytes())
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("err=%v, want exit 3 (INFEASIBLE); output:\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "INFEASIBLE") {
+		t.Fatalf("no INFEASIBLE verdict:\n%s", text)
+	}
+	if !strings.Contains(text, "infeasible: ") {
+		t.Fatalf("no minimized core line:\n%s", text)
+	}
+	if !strings.Contains(text, "proof: ") {
+		t.Fatalf("no certificate line:\n%s", text)
+	}
+}

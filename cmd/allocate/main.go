@@ -4,10 +4,10 @@
 // Usage:
 //
 //	allocate [-objective trt|sumtrt|busutil|maxutil] [-medium id]
-//	         [-fresh] [-workers n] [-v] [-progress 1s] [-iters]
-//	         [-trace spans.jsonl] [-ops-addr :9090] [-timeout 30s]
-//	         [-conflict-budget n] [-cpuprofile f] [-memprofile f]
-//	         [-exectrace f] [spec.json]
+//	         [-fresh] [-workers n] [-proof] [-explain] [-v]
+//	         [-progress 1s] [-iters] [-trace spans.jsonl]
+//	         [-ops-addr :9090] [-timeout 30s] [-conflict-budget n]
+//	         [-cpuprofile f] [-memprofile f] [-exectrace f] [spec.json]
 //
 // With no file argument the spec is read from stdin. The result — the
 // placement Π, priority order Φ, routes Γ, TDMA slot table, and the
@@ -22,6 +22,17 @@
 // net/http/pprof while the solve runs; -iters prints the per-SOLVE-call
 // search history; -cpuprofile/-memprofile/-exectrace write runtime/pprof
 // profiles and a go-tool-trace execution trace.
+//
+// Verdict observability: -proof logs the solver's inference trace and
+// replays it through the internal DRAT-modulo-PB checker, so every UNSAT
+// verdict — including the final optimality probe of the binary search —
+// is machine-checked before the result prints; -explain follows an
+// INFEASIBLE verdict with assumption-based unsat-core extraction over
+// selector-guarded constraint groups and prints the minimized core in
+// spec vocabulary ("infeasible: deadline(task7) + memory(ecu2)"), also
+// published on the ops listener's /explain route. Both modes require the
+// sequential solver: combining them with an explicit -workers ≥ 2 is an
+// error, and the CPU-derived default portfolio is downgraded with a note.
 //
 // Budgets: -timeout bounds the wall clock and -conflict-budget each SOLVE
 // call; Ctrl-C cancels cleanly. On any of the three the search degrades
@@ -65,7 +76,20 @@ func run() int {
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	workers := cli.AddWorkersFlag(flag.CommandLine)
 	budget := cli.AddBudgetFlags(flag.CommandLine)
+	proof := flag.Bool("proof", false, "log and machine-check a proof of every UNSAT verdict (sequential solver only)")
+	explain := flag.Bool("explain", false, "on INFEASIBLE, extract and print a minimized unsat core naming the responsible constraint families")
 	flag.Parse()
+
+	if *proof {
+		if err := cli.ReconcileSequential(flag.CommandLine, workers, "-proof"); err != nil {
+			fatal(err)
+		}
+	}
+	if *explain {
+		if err := cli.ReconcileSequential(flag.CommandLine, workers, "-explain"); err != nil {
+			fatal(err)
+		}
+	}
 
 	ctx, cancel := budget.Context()
 	defer cancel()
@@ -81,6 +105,8 @@ func run() int {
 		FreshSolverPerCall:  *fresh,
 		MaxConflictsPerCall: budget.ConflictBudget,
 		Workers:             *workers,
+		Proof:               *proof,
+		Explain:             *explain,
 	}
 	switch *objective {
 	case "trt":
@@ -148,6 +174,17 @@ func run() int {
 			return 4
 		}
 		fmt.Println("INFEASIBLE: no allocation meets all deadlines")
+		if sol.Core != nil {
+			fmt.Println(sol.Core)
+			if !sol.Core.Minimal {
+				fmt.Println("(core minimization interrupted; some families may be redundant)")
+			}
+			ops.PublishExplain(explainPayload(sol))
+		}
+		if sol.Certificate != nil {
+			fmt.Printf("proof: %d step(s), %d UNSAT probe(s) certified\n",
+				sol.Certificate.Steps, sol.Certificate.Probes)
+		}
 		return 3
 	}
 	if sol.Status == opt.Feasible {
@@ -173,6 +210,30 @@ func run() int {
 	}
 	fmt.Print(core.Explain(sys, sol))
 	return 0
+}
+
+// explainPayload shapes the core report for the ops listener's /explain
+// route: plain strings and counters, no encoder internals.
+func explainPayload(sol *core.Solution) any {
+	c := sol.Core
+	p := struct {
+		Status     string   `json:"status"`
+		Core       []string `json:"core"`
+		Minimal    bool     `json:"minimal"`
+		SolveCalls int      `json:"solve_calls"`
+		DurationMS int64    `json:"duration_ms"`
+		ProofSteps int      `json:"proof_steps,omitempty"`
+	}{
+		Status:     sol.Status.String(),
+		Core:       c.Names(),
+		Minimal:    c.Minimal,
+		SolveCalls: c.SolveCalls,
+		DurationMS: c.Duration.Milliseconds(),
+	}
+	if c.Certificate != nil {
+		p.ProofSteps = c.Certificate.Steps
+	}
+	return p
 }
 
 func fatal(err error) {

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	solvesat [-format cnf|opb] [-workers n] [-progress 1s]
-//	         [-trace spans.jsonl] [-ops-addr :9090] [-timeout 30s]
-//	         [-conflict-budget n] [-cpuprofile f] [-memprofile f]
-//	         [-exectrace f] [file]
+//	solvesat [-format cnf|opb] [-workers n] [-proof out.drat]
+//	         [-progress 1s] [-trace spans.jsonl] [-ops-addr :9090]
+//	         [-timeout 30s] [-conflict-budget n] [-cpuprofile f]
+//	         [-memprofile f] [-exectrace f] [file]
 //
 // Without -format the format is inferred from the file extension (.cnf /
 // .opb), defaulting to cnf on stdin. For OPB files with a "min:" objective
@@ -19,6 +19,14 @@
 // (one span per SOLVE call); -ops-addr serves the live metrics registry,
 // /progress, the flight recorder, and net/http/pprof while the solve
 // runs; the profile flags write runtime/pprof output.
+//
+// -proof writes the solver's derivation as a standard DRAT proof (DIMACS
+// literal numbering, "d" deletion lines): on UNSATISFIABLE the file ends
+// with the empty clause and any DRAT checker — including this repo's
+// internal one — can validate the verdict against the input CNF. DRAT is
+// CNF-only and per-solver, so -proof rejects OPB input and an explicit
+// -workers ≥ 2 (the CPU-derived default portfolio is downgraded to the
+// sequential solver with a note). Exit codes are unchanged by -proof.
 //
 // Exit codes follow the DIMACS convention: 10 SATISFIABLE, 20
 // UNSATISFIABLE, 30 OPTIMUM FOUND, 0 unknown (including budget
@@ -37,6 +45,7 @@ import (
 
 	"satalloc/internal/cli"
 	"satalloc/internal/obs"
+	"satalloc/internal/proof"
 	"satalloc/internal/sat"
 )
 
@@ -56,7 +65,14 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	budget := cli.AddBudgetFlags(flag.CommandLine)
+	proofOut := flag.String("proof", "", "write a DRAT proof of the derivation to this file (CNF input, sequential solver only)")
 	flag.Parse()
+
+	if *proofOut != "" {
+		if err := cli.ReconcileSequential(flag.CommandLine, workers, "-proof"); err != nil {
+			fatal(err)
+		}
+	}
 
 	ctx, cancel := budget.Context()
 	defer cancel()
@@ -148,7 +164,18 @@ func run() int {
 
 	switch fm {
 	case "cnf":
-		s, n, err := sat.ParseDIMACS(in)
+		// The logger must be installed before parsing so the proof covers
+		// every input clause; DIMACS variable n maps to solver Var(n), so
+		// the DRAT file's literal numbering matches the input CNF.
+		s := sat.New()
+		var plog *proof.Log
+		if *proofOut != "" {
+			plog = proof.NewLog()
+			if err := s.SetProofLogger(plog); err != nil {
+				fatal(err)
+			}
+		}
+		n, err := sat.ParseDIMACSInto(s, in)
 		if err != nil {
 			fatal(err)
 		}
@@ -156,7 +183,16 @@ func run() int {
 		s.OnConflict = ops.Metrics.ConflictHook()
 		s.Stop = func() bool { return ctx.Err() != nil }
 		s.MaxConflicts = budget.ConflictBudget
-		switch mkSolve(s)() {
+		st := mkSolve(s)()
+		if plog != nil {
+			// Written for every outcome, like other proof-logging solvers:
+			// on UNSATISFIABLE the file ends with the empty clause and
+			// checks as a refutation; otherwise it is the derivation so far.
+			if err := writeDRAT(*proofOut, plog); err != nil {
+				fatal(err)
+			}
+		}
+		switch st {
 		case sat.Sat:
 			fmt.Println("s SATISFIABLE")
 			printModel(s, n)
@@ -169,6 +205,9 @@ func run() int {
 			return 0
 		}
 	case "opb":
+		if *proofOut != "" {
+			fatal(fmt.Errorf("-proof requires CNF input: pseudo-Boolean constraints are not expressible in DRAT"))
+		}
 		s, obj, err := sat.ParseOPB(in)
 		if err != nil {
 			fatal(err)
@@ -248,6 +287,20 @@ func run() int {
 		fatal(fmt.Errorf("unknown format %q", fm))
 	}
 	return 0
+}
+
+// writeDRAT dumps the learn/delete steps of the log as a DRAT file. Input
+// steps are omitted per the format: the proof accompanies the CNF.
+func writeDRAT(path string, l *proof.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteDRAT(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printModel(s *sat.Solver, n int) {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satalloc/internal/proof"
+	"satalloc/internal/sat"
+)
+
+// buildSolvesat compiles the real binary once per test into a temp dir.
+func buildSolvesat(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the solvesat binary")
+	}
+	bin := filepath.Join(t.TempDir(), "solvesat")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// exitCode runs the command and returns its exit code with combined output.
+func exitCode(t *testing.T, cmd *exec.Cmd) (int, string) {
+	t.Helper()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+const unsatCNF = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"
+const satCNF = "p cnf 3 2\n1 -2 0\n2 3 0\n"
+
+// TestProofRoundTrip is the satellite contract of -proof: solvesat on an
+// UNSAT CNF exits 20 and writes a DRAT file that — fed back through the
+// internal parser and checker together with the input clauses — replays
+// to a root refutation. The SAT case keeps exit 10 and still writes a
+// (checkable) derivation.
+func TestProofRoundTrip(t *testing.T) {
+	bin := buildSolvesat(t)
+	dir := t.TempDir()
+
+	check := func(name, cnf string, wantExit int, wantVerdict string) *proof.Summary {
+		t.Helper()
+		in := filepath.Join(dir, name+".cnf")
+		if err := os.WriteFile(in, []byte(cnf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		drat := filepath.Join(dir, name+".drat")
+		code, out := exitCode(t, exec.Command(bin, "-proof", drat, "-workers", "1", in))
+		if code != wantExit {
+			t.Fatalf("exit %d, want %d; output:\n%s", code, wantExit, out)
+		}
+		if !strings.Contains(out, wantVerdict) {
+			t.Fatalf("no %q line:\n%s", wantVerdict, out)
+		}
+		f, err := os.Open(drat)
+		if err != nil {
+			t.Fatalf("no proof written: %v", err)
+		}
+		defer f.Close()
+		steps, err := proof.ParseDRAT(f)
+		if err != nil {
+			t.Fatalf("emitted DRAT does not parse: %v", err)
+		}
+		// DRAT accompanies the CNF: rebuild the full log from the input
+		// clauses plus the parsed derivation, then replay it.
+		s := sat.New()
+		lg := proof.NewLog()
+		if err := s.SetProofLogger(lg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sat.ParseDIMACSInto(s, strings.NewReader(cnf)); err != nil {
+			t.Fatal(err)
+		}
+		inputs := proof.NewLog()
+		for _, st := range lg.Steps() {
+			if st.Op == proof.OpInput {
+				inputs.AppendSteps(st)
+			}
+		}
+		inputs.AppendSteps(steps...)
+		sum, err := proof.Check(inputs)
+		if err != nil {
+			t.Fatalf("emitted DRAT does not replay against the input CNF: %v", err)
+		}
+		return sum
+	}
+
+	sum := check("unsat", unsatCNF, 20, "s UNSATISFIABLE")
+	if !sum.RootConflict {
+		t.Fatal("UNSAT proof lacks the empty clause")
+	}
+	check("sat", satCNF, 10, "s SATISFIABLE")
+}
+
+// TestProofFlagCombinations pins the fail-fast contracts: an explicit
+// portfolio and OPB input are both incompatible with -proof and must die
+// with exit 1 and a message naming the conflict — before any solving.
+func TestProofFlagCombinations(t *testing.T) {
+	bin := buildSolvesat(t)
+	dir := t.TempDir()
+	cnf := filepath.Join(dir, "in.cnf")
+	if err := os.WriteFile(cnf, []byte(satCNF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opb := filepath.Join(dir, "in.opb")
+	if err := os.WriteFile(opb, []byte("1 x1 1 x2 >= 1;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drat := filepath.Join(dir, "out.drat")
+
+	code, out := exitCode(t, exec.Command(bin, "-proof", drat, "-workers", "2", cnf))
+	if code != 1 {
+		t.Fatalf("-proof -workers 2: exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "sequential") {
+		t.Fatalf("portfolio rejection does not explain itself:\n%s", out)
+	}
+
+	code, out = exitCode(t, exec.Command(bin, "-proof", drat, opb))
+	if code != 1 {
+		t.Fatalf("-proof on OPB: exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "CNF") {
+		t.Fatalf("OPB rejection does not name the format limit:\n%s", out)
+	}
+}

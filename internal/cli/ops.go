@@ -31,7 +31,7 @@ type Ops struct {
 func AddOpsFlags(fs *flag.FlagSet) *Ops {
 	o := &Ops{}
 	fs.StringVar(&o.Addr, "ops-addr", "",
-		"serve /metrics, /healthz, /progress, /debug/flightrec and /debug/pprof on this host:port (empty: off)")
+		"serve /metrics, /healthz, /progress, /explain, /debug/flightrec and /debug/pprof on this host:port (empty: off)")
 	return o
 }
 
@@ -59,6 +59,15 @@ func (o *Ops) Start(component string) error {
 	o.srv = srv
 	fmt.Fprintf(os.Stderr, "%s: ops listening on http://%s\n", component, srv.Addr())
 	return nil
+}
+
+// PublishExplain exposes v on the ops listener's /explain route. A no-op
+// when the listener is off, so callers publish unconditionally.
+func (o *Ops) PublishExplain(v any) {
+	if o == nil || o.srv == nil {
+		return
+	}
+	o.srv.PublishExplain(v)
 }
 
 // Close stops the listener, reporting a serve-loop failure on stderr

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"flag"
+	"fmt"
+	"os"
 	"runtime"
 )
 
@@ -27,4 +29,31 @@ func DefaultWorkers() int {
 func AddWorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", DefaultWorkers(),
 		"CDCL portfolio size per SOLVE call: N>=2 races N clause-sharing workers, <=1 solves sequentially (default: min(GOMAXPROCS, 8))")
+}
+
+// ReconcileSequential enforces the sequential-only contract of proof
+// logging and core explanation against -workers. An explicitly requested
+// portfolio (-workers ≥ 2 on the command line) is a hard error — silently
+// downgrading would hide that certificates cannot come from a portfolio,
+// whose imported clauses are justified by another worker's derivation and
+// are not RUP in the importer's log. The CPU-derived default, which the
+// user never asked for, is quietly clamped to 1 with a stderr note.
+// reason names the flag demanding sequential solving (e.g. "-proof").
+// Call after fs.Parse.
+func ReconcileSequential(fs *flag.FlagSet, workers *int, reason string) error {
+	if *workers <= 1 {
+		return nil
+	}
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return fmt.Errorf("%s requires a sequential solver (shared portfolio clauses are not checkable in one worker's proof log); drop -workers or set -workers 1 (got %d)", reason, *workers)
+	}
+	fmt.Fprintf(os.Stderr, "note: %s forces the sequential solver; overriding default -workers %d\n", reason, *workers)
+	*workers = 1
+	return nil
 }

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// parseWorkers parses args against a fresh flag set carrying only
+// -workers, mirroring how the binaries register it.
+func parseWorkers(t *testing.T, args ...string) (*flag.FlagSet, *int) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	workers := AddWorkersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs, workers
+}
+
+func TestReconcileSequentialExplicitPortfolioFails(t *testing.T) {
+	fs, workers := parseWorkers(t, "-workers", "4")
+	err := ReconcileSequential(fs, workers, "-proof")
+	if err == nil {
+		t.Fatal("explicit -workers 4 with -proof accepted")
+	}
+	for _, want := range []string{"-proof", "sequential", "4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if *workers != 4 {
+		t.Fatalf("error path must not rewrite -workers, got %d", *workers)
+	}
+}
+
+func TestReconcileSequentialDefaultClampsQuietly(t *testing.T) {
+	fs, workers := parseWorkers(t)
+	*workers = 4 // simulate a multi-CPU default without touching GOMAXPROCS
+	if err := ReconcileSequential(fs, workers, "-explain"); err != nil {
+		t.Fatalf("CPU-derived default must clamp, not fail: %v", err)
+	}
+	if *workers != 1 {
+		t.Fatalf("default portfolio clamped to %d, want 1", *workers)
+	}
+}
+
+func TestReconcileSequentialExplicitOneIsFine(t *testing.T) {
+	fs, workers := parseWorkers(t, "-workers", "1")
+	if err := ReconcileSequential(fs, workers, "-proof"); err != nil {
+		t.Fatalf("-workers 1 rejected: %v", err)
+	}
+	if *workers != 1 {
+		t.Fatalf("workers = %d, want 1", *workers)
+	}
+}

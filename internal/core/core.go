@@ -25,6 +25,7 @@ import (
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
 	"satalloc/internal/opt"
+	"satalloc/internal/proof"
 	"satalloc/internal/rta"
 	"satalloc/internal/sat"
 )
@@ -60,6 +61,18 @@ type Config struct {
 	// sequential solver. In SolvePortfolio the exact arm becomes this
 	// parallel portfolio.
 	Workers int
+	// Proof enables DRAT-modulo-PB proof logging and checking (see
+	// opt.Options.Proof): every UNSAT verdict of the run — including the
+	// binary search's final optimality probe — is replayed through the
+	// internal checker and the certificate lands in Solution.Certificate.
+	// Sequential-only: Proof with Workers ≥ 2 is rejected.
+	Proof bool
+	// Explain, on an Infeasible verdict, re-encodes the spec with
+	// selector-guarded constraint groups and extracts a minimized unsat
+	// core naming the responsible tasks, ECUs, and messages (see
+	// opt.ExplainInfeasible); the report lands in Solution.Core. Feasible
+	// runs pay nothing. The extraction solver is always sequential.
+	Explain bool
 	// Timeout bounds the whole solve wall-clock; 0 = unlimited. On expiry
 	// the search degrades to the best incumbent found (Status Feasible
 	// with a proven [LowerBound, Cost] window) or Aborted, never an empty
@@ -129,6 +142,13 @@ type Solution struct {
 	Iters []opt.IterStats
 	// SolverStats is the SAT solver's final cumulative counter snapshot.
 	SolverStats sat.Stats
+	// Certificate is the checked proof artifact of the run when
+	// Config.Proof was set: every solver log, already replayed by the
+	// internal checker. Nil otherwise.
+	Certificate *proof.Certificate
+	// Core, set on an Infeasible verdict under Config.Explain, names the
+	// constraint families that are jointly unsatisfiable. Nil otherwise.
+	Core *opt.CoreReport
 }
 
 // Solve finds a provably cost-minimal schedulable allocation of the
@@ -180,23 +200,25 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		}
 	}()
 	var observed *bv.System
+	var observedLog *proof.Log
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
 			cfg.Metrics.RecordPanic()
 			rec.Record("core.panic", "%v", r)
-			err = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, observed, rec)
+			err = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, observed, observedLog, rec)
 		}
 	}()
 	objMedium := cfg.ObjectiveMedium
 	if objMedium == 0 {
 		objMedium = -1
 	}
-	enc, err := encode.Encode(sys, encode.Options{
+	encOpts := encode.Options{
 		Objective:       cfg.Objective,
 		ObjectiveMedium: objMedium,
 		Trace:           cfg.Trace,
-	})
+	}
+	enc, err := encode.Encode(sys, encOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding failed: %w", err)
 	}
@@ -204,6 +226,7 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		Incremental:         !cfg.FreshSolverPerCall,
 		MaxConflictsPerCall: cfg.MaxConflictsPerCall,
 		Workers:             cfg.Workers,
+		Proof:               cfg.Proof,
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
 		Progress:            cfg.Progress,
@@ -211,6 +234,7 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		Recorder:            rec,
 		Ctx:                 ctx,
 		Observe:             func(b *bv.System) { observed = b },
+		ObserveProof:        func(l *proof.Log) { observedLog = l },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization failed: %w", err)
@@ -225,9 +249,30 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		Duration:    res.Duration,
 		Iters:       res.Iters,
 		SolverStats: res.SolverStats,
+		Certificate: res.Certificate,
 	}
 	switch res.Status {
 	case opt.Infeasible:
+		if cfg.Explain {
+			report, xerr := opt.ExplainInfeasible(sys, encOpts, opt.Options{
+				MaxConflictsPerCall: cfg.MaxConflictsPerCall,
+				Proof:               cfg.Proof,
+				Logf:                cfg.Logf,
+				Trace:               cfg.Trace,
+				Progress:            cfg.Progress,
+				Metrics:             cfg.Metrics,
+				Recorder:            rec,
+				Ctx:                 ctx,
+				ObserveProof:        func(l *proof.Log) { observedLog = l },
+			})
+			if xerr != nil {
+				return nil, fmt.Errorf("core: infeasibility explanation failed: %w", xerr)
+			}
+			// Thread the report through both result shapes so the ops
+			// routes and panic bundles see it wherever they hang off.
+			res.Core = report
+			sol.Core = report
+		}
 		return sol, nil
 	case opt.Aborted, opt.Feasible:
 		sol.Aborted = true
@@ -239,6 +284,13 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		sol.Analysis = rta.Analyze(sys, res.Allocation)
 	}
 	return sol, nil
+}
+
+// certificateLine renders the one-line proof-artifact summary Explain and
+// the CLI print for certified runs.
+func certificateLine(c *proof.Certificate) string {
+	return fmt.Sprintf("proof: %d log(s) checked, %d steps, %d UNSAT probes certified in %v\n",
+		len(c.Logs), c.Steps, c.Probes, c.CheckDuration.Round(time.Millisecond))
 }
 
 // CheckFeasible answers only the decision question "is any allocation
@@ -259,7 +311,17 @@ func Explain(sys *model.System, sol *Solution) string {
 		if sol != nil && sol.Status == opt.Aborted {
 			return "budget exhausted or cancelled before any feasible allocation was found\n"
 		}
-		return "no feasible allocation exists\n"
+		out := "no feasible allocation exists\n"
+		if sol != nil && sol.Core != nil {
+			out += sol.Core.String() + "\n"
+			if !sol.Core.Minimal {
+				out += "(core not minimized to completion; some families may be redundant)\n"
+			}
+		}
+		if sol != nil && sol.Certificate != nil {
+			out += certificateLine(sol.Certificate)
+		}
+		return out
 	}
 	var out string
 	if sol.Status == opt.Feasible {
@@ -271,6 +333,9 @@ func Explain(sys *model.System, sol *Solution) string {
 	}
 	out += fmt.Sprintf("encoding: %d Boolean variables, %d literals; %d conflicts; %v\n",
 		sol.BoolVars, sol.Literals, sol.Conflicts, sol.Duration.Round(time.Millisecond))
+	if sol.Certificate != nil {
+		out += certificateLine(sol.Certificate)
+	}
 	for _, t := range sys.Tasks {
 		p := sol.Allocation.TaskECU[t.ID]
 		out += fmt.Sprintf("  task %-8s → ECU %-2d (prio %2d, response %d/%d)\n",

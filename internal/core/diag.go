@@ -9,6 +9,7 @@ import (
 	"satalloc/internal/bv"
 	"satalloc/internal/flightrec"
 	"satalloc/internal/model"
+	"satalloc/internal/proof"
 )
 
 // PanicError is the typed error a contained solver panic surfaces as: the
@@ -45,10 +46,10 @@ func DefaultDiagnosticsDir() string {
 
 // newPanicError recovers the panic value into a PanicError, writing a
 // best-effort repro bundle. bsys may be nil when the panic struck before
-// any solver was compiled; rec may be nil when no flight recorder was
-// running.
-func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys *bv.System, rec *flightrec.Recorder) *PanicError {
-	bundle, berr := writeReproBundle(dir, sys, bsys, rec, value, stack)
+// any solver was compiled; plog may be nil when proof logging was off; rec
+// may be nil when no flight recorder was running.
+func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys *bv.System, plog *proof.Log, rec *flightrec.Recorder) *PanicError {
+	bundle, berr := writeReproBundle(dir, sys, bsys, plog, rec, value, stack)
 	return &PanicError{Value: value, Stack: stack, BundleDir: bundle, BundleErr: berr}
 }
 
@@ -59,7 +60,7 @@ func newPanicError(value any, stack []byte, dir string, sys *model.System, bsys 
 // plus stack. Every file is best-effort — the first write error is
 // reported but does not stop the remaining files, so a partially
 // corrupted solver still yields a usable bundle.
-func writeReproBundle(dir string, sys *model.System, bsys *bv.System, rec *flightrec.Recorder, value any, stack []byte) (string, error) {
+func writeReproBundle(dir string, sys *model.System, bsys *bv.System, plog *proof.Log, rec *flightrec.Recorder, value any, stack []byte) (string, error) {
 	if dir == "" {
 		dir = DefaultDiagnosticsDir()
 	}
@@ -105,6 +106,12 @@ func writeReproBundle(dir string, sys *model.System, bsys *bv.System, rec *fligh
 			enc.SetIndent("", "  ")
 			return enc.Encode(bsys.S.Stats)
 		})
+	}
+	if plog != nil {
+		// The inference trace up to the panic, in the extended text format
+		// (PB inputs and probes included): replaying it through the proof
+		// checker pinpoints where the derivation went wrong.
+		write("proof.log", func(f *os.File) error { return plog.WriteText(f) })
 	}
 	if rec != nil {
 		write("flightrec.json", func(f *os.File) error { return rec.WriteJSON(f) })

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"satalloc/internal/model"
+)
+
+// infeasibleSystem is smallSystem overloaded past two ECUs' capacity.
+func infeasibleSystem() *model.System {
+	sys := smallSystem()
+	for _, task := range sys.Tasks {
+		for p := range task.WCET {
+			task.WCET[p] = task.Period - 1
+		}
+		task.Deadline = task.Period
+	}
+	return sys
+}
+
+func TestSolveProofThreadsCertificate(t *testing.T) {
+	sol, err := Solve(smallSystem(), Config{Proof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Certificate == nil {
+		t.Fatal("no certificate with Config.Proof")
+	}
+	out := Explain(smallSystem(), sol)
+	if !strings.Contains(out, "proof:") {
+		t.Fatalf("Explain omits the certificate line:\n%s", out)
+	}
+}
+
+func TestSolveExplainThreadsCore(t *testing.T) {
+	sys := infeasibleSystem()
+	sol, err := Solve(sys, Config{Explain: true, Proof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible {
+		t.Fatal("overloaded system solved")
+	}
+	if sol.Core == nil {
+		t.Fatal("no core with Config.Explain on an infeasible spec")
+	}
+	if !sol.Core.Minimal || len(sol.Core.Groups) == 0 {
+		t.Fatalf("core minimal=%v groups=%v", sol.Core.Minimal, sol.Core.Names())
+	}
+	out := Explain(sys, sol)
+	if !strings.Contains(out, "infeasible: ") {
+		t.Fatalf("Explain omits the core:\n%s", out)
+	}
+	for _, name := range sol.Core.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Explain omits core family %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestSolveExplainFeasibleLeavesCoreNil(t *testing.T) {
+	sol, err := Solve(smallSystem(), Config{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Core != nil {
+		t.Fatalf("feasible run carries a core: %v", sol.Core.Names())
+	}
+}
+
+func TestSolveProofRejectsPortfolio(t *testing.T) {
+	_, err := Solve(smallSystem(), Config{Proof: true, Workers: 2})
+	if err == nil {
+		t.Fatal("Proof with Workers=2 accepted")
+	}
+	if !strings.Contains(err.Error(), "sequential") {
+		t.Fatalf("error does not name the sequential-only contract: %v", err)
+	}
+}

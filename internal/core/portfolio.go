@@ -121,7 +121,7 @@ func SolvePortfolioContext(ctx context.Context, sys *model.System, cfg Config, s
 				sol = nil
 				cfg.Metrics.RecordArmFailure()
 				cfg.FlightRecorder.Record("portfolio.arm", "exact arm panicked: %v", r)
-				exactErr = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, nil, cfg.FlightRecorder)
+				exactErr = newPanicError(r, debug.Stack(), cfg.DiagnosticsDir, sys, nil, nil, cfg.FlightRecorder)
 			}
 		}()
 		faultinject.Fire(faultinject.SitePortfolioExact)

@@ -66,6 +66,13 @@ type Options struct {
 	// Trace, when set, is the parent span under which Encode records its
 	// work. Nil disables tracing.
 	Trace *obs.Span
+	// Groups, when set, guards every model-level constraint family behind
+	// a named selector variable (see ConstraintGroup): solving under the
+	// assumption "all selectors true" reproduces the plain encoding, and
+	// unsat-core extraction over the selectors names the families an
+	// infeasibility traces to. Off by default — the guarded formula is
+	// strictly larger, so the normal solve path never pays for it.
+	Groups bool
 }
 
 // Encoding is the result of the transformation: the formula, the cost
@@ -105,6 +112,14 @@ type Encoding struct {
 	wcetVars   map[int]*ir.IntVar
 	ceils      []ceilEntry
 	jitters    map[[2]int]*ir.IntVar
+
+	// Constraint-group bookkeeping (see groups.go): groupOf[i] is the
+	// index into groups owning F.Asserts[i], or -1 for definitional
+	// constraints outside any group; cur is where req files new asserts.
+	groups   []ConstraintGroup
+	groupIdx map[string]int
+	groupOf  []int
+	cur      int
 }
 
 // sameECULit returns the formula "Π(t1) = Π(t2)" over the one-hot
@@ -152,6 +167,9 @@ func Encode(sys *model.System, opts Options) (*Encoding, error) {
 		localDL: map[int]map[int]*ir.IntVar{},
 		slot:    map[int]map[int]*ir.IntVar{},
 		station: map[int]map[int]map[int]*ir.BoolVar{},
+
+		groupIdx: map[string]int{},
+		cur:      -1,
 	}
 	e.prioCmp = func(i, j int) int {
 		ti, tj := sys.TaskByID(i), sys.TaskByID(j)
@@ -181,8 +199,11 @@ func Encode(sys *model.System, opts Options) (*Encoding, error) {
 	if err := e.encodeObjective(); err != nil {
 		return nil, err
 	}
+	if opts.Groups {
+		e.applySelectors()
+	}
 	sp.Attr("int_vars", len(e.F.IntVars)).Attr("bool_vars", len(e.F.BoolVars)).
-		Attr("objective", opts.Objective.String())
+		Attr("objective", opts.Objective.String()).Attr("groups", len(e.groups))
 	return e, nil
 }
 
@@ -209,7 +230,10 @@ func (e *Encoding) encodeAllocation() error {
 			// formula to false — SOLVE then reports the infeasibility,
 			// which is the answer the caller asked for.
 			feasible = cands
-			e.F.Require(ir.False())
+			// The impossibility is deadline-driven (WCET vs. deadline), so
+			// the core names the task's deadline family, not its placement.
+			e.begin(GroupDeadline, t.Name)
+			e.req(ir.False())
 		}
 		vars := map[int]*ir.BoolVar{}
 		var lits []ir.BoolExpr
@@ -220,10 +244,11 @@ func (e *Encoding) encodeAllocation() error {
 		}
 		e.alloc[t.ID] = vars
 		// Exactly one ECU.
-		e.F.Require(ir.Or(lits...))
+		e.begin(GroupPlacement, t.Name)
+		e.req(ir.Or(lits...))
 		for i := 0; i < len(feasible); i++ {
 			for j := i + 1; j < len(feasible); j++ {
-				e.F.Require(ir.NotE(ir.And(vars[feasible[i]], vars[feasible[j]])))
+				e.req(ir.NotE(ir.And(vars[feasible[i]], vars[feasible[j]])))
 			}
 		}
 	}
@@ -234,9 +259,10 @@ func (e *Encoding) encodeAllocation() error {
 			if other < t.ID {
 				continue // handled once per unordered pair
 			}
+			e.begin(GroupSeparation, t.Name+"+"+e.Sys.TaskByID(other).Name)
 			for p, v1 := range e.alloc[t.ID] {
 				if v2, ok := e.alloc[other][p]; ok {
-					e.F.Require(ir.NotE(ir.And(v1, v2)))
+					e.req(ir.NotE(ir.And(v1, v2)))
 				}
 			}
 		}
@@ -262,6 +288,7 @@ func (e *Encoding) encodeAllocation() error {
 		if ecu.MemCapacity <= 0 {
 			continue
 		}
+		e.begin(GroupMemory, fmt.Sprintf("ecu%d", ecu.ID))
 		var terms []ir.IntExpr
 		for _, t := range e.Sys.Tasks {
 			if t.MemSize <= 0 {
@@ -273,16 +300,16 @@ func (e *Encoding) encodeAllocation() error {
 			}
 			if t.MemSize > ecu.MemCapacity {
 				// Can never fit: forbid the placement outright.
-				e.F.Require(ir.NotE(av))
+				e.req(ir.NotE(av))
 				continue
 			}
 			mv := e.F.Int(fmt.Sprintf("mem[%s,%d]", t.Name, ecu.ID), 0, t.MemSize)
-			e.F.Require(ir.Imply(av, ir.Eq(mv, ir.Const(t.MemSize))))
-			e.F.Require(ir.Imply(ir.NotE(av), ir.Eq(mv, ir.Const(0))))
+			e.req(ir.Imply(av, ir.Eq(mv, ir.Const(t.MemSize))))
+			e.req(ir.Imply(ir.NotE(av), ir.Eq(mv, ir.Const(0))))
 			terms = append(terms, mv)
 		}
 		if len(terms) > 0 {
-			e.F.Require(ir.Le(ir.Sum(terms...), ir.Const(ecu.MemCapacity)))
+			e.req(ir.Le(ir.Sum(terms...), ir.Const(ecu.MemCapacity)))
 		}
 	}
 
@@ -290,6 +317,7 @@ func (e *Encoding) encodeAllocation() error {
 	// equal deadlines a cyclic "priority order" would satisfy it but is not
 	// realizable by any schedule, so transitivity is enforced explicitly
 	// on equal-deadline triples.
+	e.begin(GroupPriority, "order")
 	byDeadline := map[int64][]int{}
 	for _, t := range e.Sys.Tasks {
 		byDeadline[t.Deadline] = append(byDeadline[t.Deadline], t.ID)
@@ -304,7 +332,7 @@ func (e *Encoding) encodeAllocation() error {
 					if a == b || b == c || a == c {
 						continue
 					}
-					e.F.Require(ir.Imply(
+					e.req(ir.Imply(
 						ir.And(e.higherPrio(a, b), e.higherPrio(b, c)),
 						e.higherPrio(a, c)))
 				}
@@ -318,7 +346,10 @@ func (e *Encoding) encodeAllocation() error {
 // preemption counts with the ceiling bounds, and deadline checks.
 func (e *Encoding) encodeTaskTiming() error {
 	// First pass: the wcet_i variables of eq. (5), needed by every pair's
-	// eq. (7) product.
+	// eq. (7) product. These are definitional — wcet_i merely mirrors the
+	// chosen ECU's WCET constant — so they stay outside any group: a
+	// relaxed deadline family must not free another task's wcet.
+	e.ungrouped()
 	e.wcetVars = map[int]*ir.IntVar{}
 	for _, ti := range e.Sys.Tasks {
 		var lo, hi int64
@@ -340,10 +371,11 @@ func (e *Encoding) encodeTaskTiming() error {
 		wcet := e.F.Int(fmt.Sprintf("wcet[%s]", ti.Name), lo, hi)
 		e.wcetVars[ti.ID] = wcet
 		for _, p := range sortedKeysB(e.alloc[ti.ID]) {
-			e.F.Require(ir.Imply(e.alloc[ti.ID][p], ir.Eq(wcet, ir.Const(ti.WCET[p]))))
+			e.req(ir.Imply(e.alloc[ti.ID][p], ir.Eq(wcet, ir.Const(ti.WCET[p]))))
 		}
 	}
 	for _, ti := range e.Sys.Tasks {
+		e.begin(GroupDeadline, ti.Name)
 		wcet := e.wcetVars[ti.ID]
 		// Preemption-cost and preemption-count variables per potential
 		// interferer: eq. (6)–(8), (11)–(12).
@@ -379,12 +411,12 @@ func (e *Encoding) encodeTaskTiming() error {
 
 			interferes := ir.And(e.higherPrio(tj.ID, ti.ID), e.sameECULit(ti.ID, tj.ID))
 			// eq. (8)/(12): no interference → pc = 0, I = 0.
-			e.F.Require(ir.Imply(ir.NotE(interferes), ir.And(
+			e.req(ir.Imply(ir.NotE(interferes), ir.And(
 				ir.Eq(pc, ir.Const(0)), ir.Eq(iv, ir.Const(0)))))
 			// eq. (7): pc = I^j_i · wcet_j — the paper's non-linear product
 			// of two decision variables (wcet_j is fixed by τ_j's
 			// allocation through eq. (5)).
-			e.F.Require(ir.Imply(interferes,
+			e.req(ir.Imply(interferes,
 				ir.Eq(pc, ir.Mul(iv, e.wcetVars[tj.ID]))))
 			// eq. (11) needs r_i, which is declared after this loop; defer.
 			e.deferCeil(ti.ID, tj.ID, iv, interferes)
@@ -397,7 +429,7 @@ func (e *Encoding) encodeTaskTiming() error {
 		if hiR < wcet.Lo {
 			// Trivially infeasible (see encodeAllocation); keep the range
 			// non-empty so bit-blasting stays well-formed.
-			e.F.Require(ir.False())
+			e.req(ir.False())
 			hiR = wcet.Lo
 		}
 		r := e.F.Int(fmt.Sprintf("r[%s]", ti.Name), wcet.Lo, hiR)
@@ -405,7 +437,7 @@ func (e *Encoding) encodeTaskTiming() error {
 		if ti.Blocking > 0 {
 			sum = ir.Add(sum, ir.Const(ti.Blocking))
 		}
-		e.F.Require(ir.Eq(r, sum))
+		e.req(ir.Eq(r, sum))
 		e.taskResponse(ti.ID, r)
 	}
 	// Flush the deferred ceiling constraints now that all r_i exist.
@@ -439,10 +471,11 @@ func (e *Encoding) taskResponse(id int, r *ir.IntVar) {
 //	cond → ( I·t_j ≥ r_i + J_j  ∧  (I−1)·t_j < r_i + J_j )
 func (e *Encoding) flushCeils() {
 	for _, c := range e.ceils {
+		e.begin(GroupDeadline, e.Sys.TaskByID(c.taskI).Name)
 		r := e.respByTask[c.taskI]
 		tj := e.Sys.TaskByID(c.taskJ)
 		busy := ir.Add(r, ir.Const(tj.Jitter))
-		e.F.Require(ir.Imply(c.cond, ir.And(
+		e.req(ir.Imply(c.cond, ir.And(
 			ir.Ge(ir.Mul(c.iv, ir.Const(tj.Period)), busy),
 			ir.Lt(ir.Mul(ir.Sub(c.iv, ir.Const(1)), ir.Const(tj.Period)), busy),
 		)))

@@ -47,6 +47,7 @@ func (e *Encoding) encodeRouting() error {
 			return fmt.Errorf("encode: message %q has no routable path", msg.Name)
 		}
 		e.paths[msg.ID] = cands
+		e.begin(GroupRouting, msg.Name)
 		sel := map[int]*ir.BoolVar{}
 		var lits []ir.BoolExpr
 		for idx, h := range cands {
@@ -55,16 +56,16 @@ func (e *Encoding) encodeRouting() error {
 			lits = append(lits, v)
 		}
 		e.route[msg.ID] = sel
-		e.F.Require(ir.Or(lits...))
+		e.req(ir.Or(lits...))
 		for i := range cands {
 			for j := i + 1; j < len(cands); j++ {
-				e.F.Require(ir.NotE(ir.And(sel[i], sel[j])))
+				e.req(ir.NotE(ir.And(sel[i], sel[j])))
 			}
 		}
 
 		// v(h): endpoint conditions per selected path.
 		for idx, h := range cands {
-			e.F.Require(ir.Imply(sel[idx], e.endpointCond(msg, h)))
+			e.req(ir.Imply(sel[idx], e.endpointCond(msg, h)))
 		}
 
 		// K^k_m usage bits: K ⇔ ⋁ paths through k.
@@ -93,11 +94,14 @@ func (e *Encoding) encodeRouting() error {
 					}
 				}
 			}
-			e.F.Require(ir.Iff(kv, ir.Or(through...)))
+			e.req(ir.Iff(kv, ir.Or(through...)))
 		}
 
 		// Local deadlines d^k_m with the §4 budget
-		// Σ_k d^k_m + serv_m ≤ Δ_m and d^k_m = 0 for unused media.
+		// Σ_k d^k_m + serv_m ≤ Δ_m and d^k_m = 0 for unused media. The
+		// budget splits the end-to-end deadline, so it belongs to the
+		// message's deadline family, not its routing.
+		e.begin(GroupDeadline, msg.Name)
 		var dls []ir.IntExpr
 		for _, k := range mediaIDs {
 			kv := e.used[msg.ID][k]
@@ -105,8 +109,8 @@ func (e *Encoding) encodeRouting() error {
 			rho := med.Rho(msg.Size)
 			d := e.F.Int(fmt.Sprintf("d[%s,k%d]", msg.Name, k), 0, msg.Deadline)
 			e.localDL[msg.ID][k] = d
-			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(d, ir.Const(0))))
-			e.F.Require(ir.Imply(kv, ir.Ge(d, ir.Const(rho))))
+			e.req(ir.Imply(ir.NotE(kv), ir.Eq(d, ir.Const(0))))
+			e.req(ir.Imply(kv, ir.Ge(d, ir.Const(rho))))
 			dls = append(dls, d)
 		}
 		// serv_m: gateway forwarding costs of the chosen path.
@@ -120,16 +124,17 @@ func (e *Encoding) encodeRouting() error {
 		if maxServ > 0 {
 			sv := e.F.Int(fmt.Sprintf("serv[%s]", msg.Name), 0, maxServ)
 			for idx, h := range cands {
-				e.F.Require(ir.Imply(sel[idx], ir.Eq(sv, ir.Const(e.Sys.PathServiceCost(h)))))
+				e.req(ir.Imply(sel[idx], ir.Eq(sv, ir.Const(e.Sys.PathServiceCost(h)))))
 			}
 			serv = sv
 		}
 		if len(dls) > 0 {
-			e.F.Require(ir.Le(ir.Add(ir.Sum(dls...), serv), ir.Const(msg.Deadline)))
+			e.req(ir.Le(ir.Add(ir.Sum(dls...), serv), ir.Const(msg.Deadline)))
 		}
 
 		// Stations: on which ECU does the message enter each token-ring
 		// medium (needed for slot fit, TDMA interference and blocking).
+		e.begin(GroupRouting, msg.Name)
 		e.station[msg.ID] = map[int]map[int]*ir.BoolVar{}
 		for _, k := range mediaIDs {
 			med := e.Sys.MediumByID(k)
@@ -171,7 +176,7 @@ func (e *Encoding) encodeRouting() error {
 			sort.Ints(ecus)
 			for _, p := range ecus {
 				st := e.F.Bool(fmt.Sprintf("st[%s,k%d]=%d", msg.Name, k, p))
-				e.F.Require(ir.Iff(st, ir.Or(entry[p]...)))
+				e.req(ir.Iff(st, ir.Or(entry[p]...)))
 				sts[p] = st
 			}
 			e.station[msg.ID][k] = sts
@@ -252,6 +257,13 @@ func (e *Encoding) jitterVar(msg *model.Message, k int) *ir.IntVar {
 	if v, ok := e.jitters[key]; ok {
 		return v
 	}
+	// J is built lazily from whichever message's timing loop first needs
+	// it; its defining constraints are msg's, not the caller's, and they
+	// are definitional (J mirrors the local-deadline split), so they go
+	// outside any group rather than into the caller's deadline family.
+	saved := e.cur
+	e.ungrouped()
+	defer func() { e.cur = saved }()
 	snd := e.Sys.TaskByID(msg.From)
 	maxJ := snd.Jitter + msg.Deadline
 	j := e.F.Int(fmt.Sprintf("J[%s,k%d]", msg.Name, k), 0, maxJ)
@@ -271,9 +283,9 @@ func (e *Encoding) jitterVar(msg *model.Message, k int) *ir.IntVar {
 			med := e.Sys.MediumByID(h[i])
 			terms = append(terms, ir.Sub(e.localDL[msg.ID][h[i]], ir.Const(med.Rho(msg.Size))))
 		}
-		e.F.Require(ir.Imply(e.route[msg.ID][idx], ir.Eq(j, ir.Sum(terms...))))
+		e.req(ir.Imply(e.route[msg.ID][idx], ir.Eq(j, ir.Sum(terms...))))
 	}
-	e.F.Require(ir.Imply(ir.NotE(e.used[msg.ID][k]), ir.Eq(j, ir.Const(0))))
+	e.req(ir.Imply(ir.NotE(e.used[msg.ID][k]), ir.Eq(j, ir.Const(0))))
 	e.jitters[key] = j
 	return j
 }
@@ -295,6 +307,7 @@ func (e *Encoding) msgPrioLess(a, b *model.Message) bool {
 func (e *Encoding) encodeMessageTiming() error {
 	e.jitters = map[[2]int]*ir.IntVar{}
 	for _, msg := range e.Sys.Messages {
+		e.begin(GroupDeadline, msg.Name)
 		var mediaIDs []int
 		for k := range e.used[msg.ID] {
 			mediaIDs = append(mediaIDs, k)
@@ -306,7 +319,7 @@ func (e *Encoding) encodeMessageTiming() error {
 			rho := med.Rho(msg.Size)
 
 			r := e.F.Int(fmt.Sprintf("r[%s,k%d]", msg.Name, k), 0, msg.Deadline)
-			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(r, ir.Const(0))))
+			e.req(ir.Imply(ir.NotE(kv), ir.Eq(r, ir.Const(0))))
 
 			// Interference from higher-priority messages on the medium.
 			var terms []ir.IntExpr
@@ -338,12 +351,12 @@ func (e *Encoding) encodeMessageTiming() error {
 				terms = append(terms, pc)
 				j := e.jitterVar(other, k)
 				busy := ir.Add(r, j)
-				e.F.Require(ir.Imply(cond, ir.And(
+				e.req(ir.Imply(cond, ir.And(
 					ir.Ge(ir.Mul(iv, ir.Const(oPeriod)), busy),
 					ir.Lt(ir.Mul(ir.Sub(iv, ir.Const(1)), ir.Const(oPeriod)), busy),
 					ir.Eq(pc, ir.Mul(iv, ir.Const(oRho))),
 				)))
-				e.F.Require(ir.Imply(ir.NotE(cond), ir.And(
+				e.req(ir.Imply(ir.NotE(cond), ir.And(
 					ir.Eq(iv, ir.Const(0)), ir.Eq(pc, ir.Const(0)))))
 			}
 
@@ -364,22 +377,22 @@ func (e *Encoding) encodeMessageTiming() error {
 					// Own slot length in time units; the slot must fit the
 					// frame.
 					slotQ := e.slot[med.ID][p]
-					e.F.Require(ir.Imply(st, ir.And(
+					e.req(ir.Imply(st, ir.And(
 						ir.Eq(osl, ir.Mul(slotQ, ir.Const(med.SlotQuantum))),
 						ir.Ge(slotQ, ir.Const(ceilDiv(rho, med.SlotQuantum))),
 					)))
 				}
-				e.F.Require(ir.Imply(kv, ir.And(
+				e.req(ir.Imply(kv, ir.And(
 					ir.Ge(ir.Mul(imb, roundLen), r),
 					ir.Lt(ir.Mul(ir.Sub(imb, ir.Const(1)), roundLen), r),
 					ir.Eq(blk, ir.Mul(imb, ir.Sub(roundLen, osl))),
 				)))
-				e.F.Require(ir.Imply(ir.NotE(kv), ir.And(
+				e.req(ir.Imply(ir.NotE(kv), ir.And(
 					ir.Eq(imb, ir.Const(0)), ir.Eq(blk, ir.Const(0)), ir.Eq(osl, ir.Const(0)))))
 				terms = append(terms, blk)
 			}
 
-			e.F.Require(ir.Imply(kv, ir.And(
+			e.req(ir.Imply(kv, ir.And(
 				ir.Eq(r, ir.Sum(terms...)),
 				ir.Le(r, e.localDL[msg.ID][k]),
 			)))

@@ -11,6 +11,10 @@ import (
 // encodeObjective declares the cost variable and ties it to the selected
 // objective. The binary search of §5.2 then minimizes this single integer.
 func (e *Encoding) encodeObjective() error {
+	// Objective circuits define the cost variable; they are always on —
+	// relaxing them would detach cost from the model and make any bound
+	// probe meaningless.
+	e.ungrouped()
 	switch e.Opts.Objective {
 	case MinimizeTRT:
 		med := e.pickMedium(model.TokenRing)
@@ -20,7 +24,7 @@ func (e *Encoding) encodeObjective() error {
 		hi := int64(len(med.ECUs)) * med.MaxSlots * med.SlotQuantum
 		lo := int64(len(med.ECUs)) * med.SlotQuantum
 		e.Cost = e.F.Int("cost", lo, hi)
-		e.F.Require(ir.Eq(e.Cost, e.roundLenExpr(med)))
+		e.req(ir.Eq(e.Cost, e.roundLenExpr(med)))
 
 	case MinimizeSumTRT:
 		var exprs []ir.IntExpr
@@ -37,7 +41,7 @@ func (e *Encoding) encodeObjective() error {
 			return fmt.Errorf("encode: %v needs at least one token-ring medium", e.Opts.Objective)
 		}
 		e.Cost = e.F.Int("cost", lo, hi)
-		e.F.Require(ir.Eq(e.Cost, ir.Sum(exprs...)))
+		e.req(ir.Eq(e.Cost, ir.Sum(exprs...)))
 
 	case MinimizeBusUtilization:
 		med := e.pickMedium(model.CAN)
@@ -58,13 +62,13 @@ func (e *Encoding) encodeObjective() error {
 				contrib = 1 // any routed message occupies some bandwidth
 			}
 			u := e.F.Int(fmt.Sprintf("u[%s]", msg.Name), 0, contrib)
-			e.F.Require(ir.Imply(kv, ir.Eq(u, ir.Const(contrib))))
-			e.F.Require(ir.Imply(ir.NotE(kv), ir.Eq(u, ir.Const(0))))
+			e.req(ir.Imply(kv, ir.Eq(u, ir.Const(contrib))))
+			e.req(ir.Imply(ir.NotE(kv), ir.Eq(u, ir.Const(0))))
 			exprs = append(exprs, u)
 			hi += contrib
 		}
 		e.Cost = e.F.Int("cost", 0, hi)
-		e.F.Require(ir.Eq(e.Cost, ir.Sum(exprs...)))
+		e.req(ir.Eq(e.Cost, ir.Sum(exprs...)))
 
 	case MinimizeMaxECUUtilization:
 		// cost ≥ util(p) for every ECU; minimizing cost minimizes the
@@ -79,8 +83,8 @@ func (e *Encoding) encodeObjective() error {
 				}
 				u := e.F.Int(fmt.Sprintf("u[%s,%d]", t.Name, p), 0, contrib)
 				av := e.alloc[t.ID][p]
-				e.F.Require(ir.Imply(av, ir.Eq(u, ir.Const(contrib))))
-				e.F.Require(ir.Imply(ir.NotE(av), ir.Eq(u, ir.Const(0))))
+				e.req(ir.Imply(av, ir.Eq(u, ir.Const(contrib))))
+				e.req(ir.Imply(ir.NotE(av), ir.Eq(u, ir.Const(0))))
 				perECU[p] = append(perECU[p], u)
 			}
 		}
@@ -106,7 +110,7 @@ func (e *Encoding) encodeObjective() error {
 		}
 		e.Cost = e.F.Int("cost", 0, hi)
 		for _, p := range ecus {
-			e.F.Require(ir.Ge(e.Cost, ir.Sum(perECU[p]...)))
+			e.req(ir.Ge(e.Cost, ir.Sum(perECU[p]...)))
 		}
 
 	case MinimizeUsedECUs:
@@ -125,14 +129,14 @@ func (e *Encoding) encodeObjective() error {
 		var terms []ir.IntExpr
 		for _, p := range ecus {
 			used := e.F.Bool(fmt.Sprintf("used[%d]", p))
-			e.F.Require(ir.Iff(used, ir.Or(hosts[p]...)))
+			e.req(ir.Iff(used, ir.Or(hosts[p]...)))
 			u := e.F.Int(fmt.Sprintf("usedN[%d]", p), 0, 1)
-			e.F.Require(ir.Imply(used, ir.Eq(u, ir.Const(1))))
-			e.F.Require(ir.Imply(ir.NotE(used), ir.Eq(u, ir.Const(0))))
+			e.req(ir.Imply(used, ir.Eq(u, ir.Const(1))))
+			e.req(ir.Imply(ir.NotE(used), ir.Eq(u, ir.Const(0))))
 			terms = append(terms, u)
 		}
 		e.Cost = e.F.Int("cost", 1, int64(len(ecus)))
-		e.F.Require(ir.Eq(e.Cost, ir.Sum(terms...)))
+		e.req(ir.Eq(e.Cost, ir.Sum(terms...)))
 
 	default:
 		return fmt.Errorf("encode: unknown objective %v", e.Opts.Objective)

@@ -7,7 +7,10 @@
 //	/healthz          liveness: "ok\n", 200
 //	/progress         JSON snapshot of the search (incumbent, bounds L/R,
 //	                  conflict counters and the conflict rate between
-//	                  scrapes)
+//	                  scrapes, proof-check and core-explanation counters)
+//	/explain          JSON of the last published infeasibility explanation
+//	                  (minimized unsat core); {"status":"none"} until one
+//	                  is published via Server.PublishExplain
 //	/debug/flightrec  the flight recorder's event ring as JSON
 //	/debug/pprof/*    the standard runtime profiling endpoints
 //
@@ -65,6 +68,13 @@ type Progress struct {
 	// ConflictsPerSec is the conflict rate since the previous /progress
 	// scrape (0 on the first scrape).
 	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+	// Proof-checking and core-explanation counters (0 when those modes
+	// are off).
+	ProofChecks       int64 `json:"proof_checks"`
+	ProofSteps        int64 `json:"proof_steps"`
+	ProofProbes       int64 `json:"proof_probes"`
+	CoreExplainSolves int64 `json:"core_explain_solves"`
+	CoreExplainSize   int64 `json:"core_explain_size"`
 }
 
 // Server is a running ops listener. Create with Start, stop with Close.
@@ -73,10 +83,12 @@ type Server struct {
 	srv   *http.Server
 	start time.Time
 
-	// Rate state between /progress scrapes.
+	// Rate state between /progress scrapes, and the last explanation
+	// published for /explain (nil until PublishExplain runs).
 	mu            sync.Mutex
 	lastScrape    time.Time
 	lastConflicts int64
+	explain       any
 
 	// Err receives the Serve loop's terminal error (nil on clean Close);
 	// buffered so the goroutine never blocks.
@@ -110,6 +122,19 @@ func Start(addr string, o Options) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.progress(o))
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.mu.Lock()
+		v := s.explain
+		s.mu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if v == nil {
+			enc.Encode(map[string]string{"status": "none"})
+			return
+		}
+		enc.Encode(v)
 	})
 	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -158,6 +183,11 @@ func (s *Server) progress(o Options) Progress {
 	p.SolveCalls = m.SolveCalls.Value()
 	p.BudgetHits = m.BudgetHits.Value()
 	p.LearntDB = m.LearntDB.Value()
+	p.ProofChecks = m.ProofChecks.Value()
+	p.ProofSteps = m.ProofSteps.Value()
+	p.ProofProbes = m.ProofProbes.Value()
+	p.CoreExplainSolves = m.ExplainSolves.Value()
+	p.CoreExplainSize = m.ExplainSize.Value()
 
 	s.mu.Lock()
 	now := time.Now()
@@ -170,6 +200,19 @@ func (s *Server) progress(o Options) Progress {
 	s.lastConflicts = p.Conflicts
 	s.mu.Unlock()
 	return p
+}
+
+// PublishExplain exposes v as the /explain payload, replacing any earlier
+// one. Callers publish a JSON-marshalable snapshot (the CLI uses a
+// rendered core report), typically once, after an infeasible verdict was
+// explained. Safe on nil.
+func (s *Server) PublishExplain(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.explain = v
+	s.mu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with ":0").

@@ -161,3 +161,43 @@ func TestStartRejectsBusyAddr(t *testing.T) {
 		t.Fatal("second listener on the same address must fail")
 	}
 }
+
+func TestExplainRoute(t *testing.T) {
+	s := startTestServer(t, Options{Registry: metrics.New(), Recorder: flightrec.New(4)})
+
+	code, body := get(t, s, "/explain")
+	if code != 200 {
+		t.Fatalf("/explain before publish: status %d", code)
+	}
+	var none map[string]string
+	if err := json.Unmarshal([]byte(body), &none); err != nil || none["status"] != "none" {
+		t.Fatalf("/explain before publish = %q, want {\"status\":\"none\"}", body)
+	}
+
+	s.PublishExplain(struct {
+		Status string   `json:"status"`
+		Core   []string `json:"core"`
+	}{"infeasible", []string{"deadline(task7)", "memory(ecu2)"}})
+	code, body = get(t, s, "/explain")
+	if code != 200 {
+		t.Fatalf("/explain after publish: status %d", code)
+	}
+	var pub struct {
+		Status string   `json:"status"`
+		Core   []string `json:"core"`
+	}
+	if err := json.Unmarshal([]byte(body), &pub); err != nil {
+		t.Fatalf("/explain not JSON: %v\n%s", err, body)
+	}
+	if pub.Status != "infeasible" || len(pub.Core) != 2 || pub.Core[0] != "deadline(task7)" {
+		t.Fatalf("/explain payload mangled: %+v", pub)
+	}
+
+	// Re-publishing replaces the payload; nil receiver is a no-op.
+	s.PublishExplain(map[string]string{"status": "feasible"})
+	if _, body := get(t, s, "/explain"); !strings.Contains(body, "feasible") {
+		t.Fatalf("republish not visible: %s", body)
+	}
+	var nilSrv *Server
+	nilSrv.PublishExplain("x")
+}

@@ -63,6 +63,16 @@ type SolverMetrics struct {
 	SharedImported  *Counter // shared clauses successfully integrated by other workers
 	SharedFiltered  *Counter // shared clauses dropped (LBD/length bound, overflow, satisfied)
 	WorkerDeaths    *Counter // portfolio workers lost to contained panics
+
+	// Proof checking (internal/proof) and unsat-core explanation.
+	ProofChecks    *Counter // proof-log replays completed by the checker
+	ProofSteps     *Counter // proof steps replayed (inputs, learns, deletes, probes)
+	ProofProbes    *Counter // assumption-refutation probes certified
+	ProofCheckMS   *Gauge   // wall time of the last proof check in milliseconds
+	ExplainSolves  *Counter // SAT probes spent extracting and minimizing cores
+	ExplainSize    *Gauge   // constraint families in the last reported core
+	ExplainMinimal *Gauge   // 1 when the last core was proven minimal, else 0
+	ExplainMS      *Gauge   // wall time of the last core explanation in milliseconds
 }
 
 // NewSolverMetrics registers the standard solver metric set on r. A nil
@@ -102,6 +112,15 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 		SharedImported:  r.Counter("satalloc_parallel_shared_imported_total", "shared clauses integrated by other workers", nil),
 		SharedFiltered:  r.Counter("satalloc_parallel_shared_filtered_total", "shared clauses dropped by LBD/length bound, overflow, or root subsumption", nil),
 		WorkerDeaths:    r.Counter("satalloc_parallel_worker_deaths_total", "portfolio workers lost to contained panics", nil),
+
+		ProofChecks:    r.Counter("satalloc_proof_checks_total", "proof-log replays completed by the internal checker", nil),
+		ProofSteps:     r.Counter("satalloc_proof_steps_total", "proof steps replayed by the checker", nil),
+		ProofProbes:    r.Counter("satalloc_proof_probes_total", "assumption-refutation probes certified", nil),
+		ProofCheckMS:   r.Gauge("satalloc_proof_check_ms", "wall time of the last proof check in milliseconds", nil),
+		ExplainSolves:  r.Counter("satalloc_core_explain_solves_total", "SAT probes spent on unsat-core extraction and minimization", nil),
+		ExplainSize:    r.Gauge("satalloc_core_explain_size", "constraint families in the last reported core", nil),
+		ExplainMinimal: r.Gauge("satalloc_core_explain_minimal", "1 when the last core was proven minimal, else 0", nil),
+		ExplainMS:      r.Gauge("satalloc_core_explain_ms", "wall time of the last core explanation in milliseconds", nil),
 	}
 	m.BoundLower.Set(-1)
 	m.BoundUpper.Set(-1)
@@ -269,6 +288,33 @@ func (m *SolverMetrics) RecordWorkerWin(worker int) {
 	}
 	m.reg.Counter("satalloc_parallel_worker_wins_total",
 		"races decided per portfolio worker", Labels{"worker": strconv.Itoa(worker)}).Inc()
+}
+
+// RecordProofCheck records one completed proof-certification pass: the
+// steps replayed, the assumption probes certified, and the wall time.
+func (m *SolverMetrics) RecordProofCheck(steps, probes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ProofChecks.Inc()
+	m.ProofSteps.Add(int64(steps))
+	m.ProofProbes.Add(int64(probes))
+	m.ProofCheckMS.Set(d.Milliseconds())
+}
+
+// RecordCoreExplain records one completed unsat-core explanation.
+func (m *SolverMetrics) RecordCoreExplain(size, solves int, d time.Duration, minimal bool) {
+	if m == nil {
+		return
+	}
+	m.ExplainSolves.Add(int64(solves))
+	m.ExplainSize.Set(int64(size))
+	if minimal {
+		m.ExplainMinimal.Set(1)
+	} else {
+		m.ExplainMinimal.Set(0)
+	}
+	m.ExplainMS.Set(d.Milliseconds())
 }
 
 // RecordWorkerDeath counts a portfolio worker lost to a contained panic.

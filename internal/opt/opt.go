@@ -17,6 +17,7 @@ import (
 	"satalloc/internal/metrics"
 	"satalloc/internal/model"
 	"satalloc/internal/obs"
+	"satalloc/internal/proof"
 	"satalloc/internal/rta"
 	"satalloc/internal/sat"
 )
@@ -67,6 +68,15 @@ type Options struct {
 	Incremental bool
 	// MaxConflictsPerCall bounds each SOLVE call; 0 means unlimited.
 	MaxConflictsPerCall int64
+	// Proof enables DRAT-modulo-PB proof logging: every solver the run
+	// compiles records its inference trace, and finish replays the logs
+	// through the internal checker so each UNSAT verdict — including the
+	// final optimality probe of the binary search — carries a
+	// machine-checked certificate in Result.Certificate. Proof logging is
+	// sequential-only: clauses imported from a portfolio peer are justified
+	// by the peer's derivation, which this solver's log cannot replay, so
+	// Proof with Workers ≥ 2 is rejected up front.
+	Proof bool
 	// Workers sets the clause-sharing CDCL portfolio size for each SOLVE
 	// call: Workers ≥ 2 races that many diversified workers and the first
 	// definitive verdict wins; Workers ≤ 1 (including the zero value)
@@ -111,6 +121,11 @@ type Options struct {
 	// mode). The panic-containment layer uses it to dump the formula that
 	// was being solved into the repro bundle.
 	Observe func(*bv.System)
+	// ObserveProof, when set together with Proof, receives each proof log
+	// just after its solver is created — before any step is recorded. The
+	// panic-containment layer uses it to dump the in-progress inference
+	// trace into the repro bundle.
+	ObserveProof func(*proof.Log)
 }
 
 // IterStats records one SOLVE call of the binary search — the
@@ -162,6 +177,16 @@ type Result struct {
 	// solver (the shared solver in incremental mode, the last fresh one
 	// otherwise).
 	SolverStats sat.Stats
+	// Certificate is the checked proof artifact when Options.Proof was
+	// set: every log the run produced, already replayed by the internal
+	// checker. Nil without Proof.
+	Certificate *proof.Certificate
+	// Core names the spec-level constraint families responsible for an
+	// Infeasible verdict. Minimize never fills it — core extraction needs
+	// the selector-guarded encoding — but callers that follow an
+	// Infeasible result with ExplainInfeasible (see core.SolveContext)
+	// attach the report here so it travels with the verdict.
+	Core *CoreReport
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -217,6 +242,9 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 		ctx = context.Background()
 	}
 	stop := func() bool { return ctx.Err() != nil }
+	if opts.Proof && opts.Workers >= 2 {
+		return nil, fmt.Errorf("opt: proof logging requires a sequential solver (Workers=%d): clauses shared between portfolio workers are not RUP in the importer's log", opts.Workers)
+	}
 
 	type solveOut struct {
 		status sat.Status
@@ -233,9 +261,23 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	// ordering makes it safe to read from the workers.
 	var curSolveSpan *obs.Span
 	workerSpans := make([]*obs.Span, opts.Workers)
+	// One proof log per compiled solver: incremental mode certifies the
+	// whole run with a single log, fresh mode with one log per SOLVE call.
+	var proofLogs []*proof.Log
 	compile := func() error {
+		s := sat.New()
+		if opts.Proof {
+			lg := proof.NewLog()
+			if err := s.SetProofLogger(lg); err != nil {
+				return err
+			}
+			proofLogs = append(proofLogs, lg)
+			if opts.ObserveProof != nil {
+				opts.ObserveProof(lg)
+			}
+		}
 		var err error
-		sys, err = bv.CompileWith(enc.F, bv.Options{Trace: opts.Trace})
+		sys, err = bv.CompileIntoWith(s, enc.F, bv.Options{Trace: opts.Trace})
 		if err != nil {
 			return err
 		}
@@ -391,6 +433,23 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+		if opts.Proof {
+			// Replay every log through the checker; a verdict whose proof
+			// does not replay is treated like a failed Verify — loudly.
+			sp := opts.Trace.Child("ProofCheck")
+			cert, err := proof.Certify(proofLogs...)
+			if err != nil {
+				sp.Outcome(obs.OutcomeError).Attr("error", err.Error()).End()
+				return nil, fmt.Errorf("opt: proof check failed: %w", err)
+			}
+			sp.Attr("logs", len(cert.Logs)).Attr("steps", cert.Steps).
+				Attr("probes", cert.Probes).End()
+			res.Certificate = cert
+			opts.Metrics.RecordProofCheck(cert.Steps, cert.Probes, cert.CheckDuration)
+			opts.Recorder.Record("proof.check",
+				"certified logs=%d steps=%d probes=%d root_conflicts=%d in %s",
+				len(cert.Logs), cert.Steps, cert.Probes, cert.RootConflicts, cert.CheckDuration)
 		}
 		return res, nil
 	}

@@ -1,0 +1,45 @@
+package proof
+
+import "time"
+
+// Certificate is the checked proof artifact of a solving run: every log the
+// run produced (incremental runs have exactly one; fresh-mode runs one per
+// compiled solver), each already replayed by Check. Holding a Certificate
+// therefore means the checker has re-derived every UNSAT verdict of the run
+// — formula-level refutations and assumption probes alike — by unit
+// propagation over the logged inputs.
+type Certificate struct {
+	// Logs are the proof logs in solver-creation order.
+	Logs []*Log
+	// Summaries is the checker's accounting, index-parallel to Logs.
+	Summaries []*Summary
+	// Steps, Probes and RootConflicts aggregate over all logs: total steps
+	// replayed, assumption probes certified, and root refutations derived.
+	Steps, Probes, RootConflicts int
+	// CheckDuration is the total wall time the checker spent replaying.
+	CheckDuration time.Duration
+}
+
+// Certify replays every log through Check and assembles a Certificate. The
+// first failing step aborts with the checker's error — a run whose proof
+// does not replay has no certificate at all, partial validation would only
+// invite trusting it.
+func Certify(logs ...*Log) (*Certificate, error) {
+	c := &Certificate{}
+	start := time.Now()
+	for _, l := range logs {
+		sum, err := Check(l)
+		if err != nil {
+			return nil, err
+		}
+		c.Logs = append(c.Logs, l)
+		c.Summaries = append(c.Summaries, sum)
+		c.Steps += l.Len()
+		c.Probes += sum.Probes
+		if sum.RootConflict {
+			c.RootConflicts++
+		}
+	}
+	c.CheckDuration = time.Since(start)
+	return c, nil
+}

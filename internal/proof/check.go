@@ -1,0 +1,507 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"satalloc/internal/sat"
+)
+
+// Summary reports what a successful Check traversed.
+type Summary struct {
+	// Step counts by kind.
+	Inputs   int
+	InputPBs int
+	Learns   int
+	Deletes  int
+	Probes   int
+	// MaxVar is the largest variable index any step referenced.
+	MaxVar int
+	// RootConflict reports that the log derives the empty clause: the
+	// formula itself (not just some assumption set) is refuted.
+	RootConflict bool
+}
+
+// Check replays the log through an independent unit-propagation engine and
+// verifies every learn and probe step. It returns a Summary on success and
+// an error naming the first failing step otherwise.
+//
+// The engine is deliberately separate from the solver: it has its own PB
+// normalization, its own watched-literal propagation, and no notion of
+// decision levels — only a persistent root trail plus a scratch extension
+// that each RUP or probe test unwinds. A bug in the solver's propagation
+// or conflict analysis therefore surfaces as a failed step here rather
+// than being replicated.
+func Check(l *Log) (*Summary, error) {
+	if l == nil {
+		return nil, errors.New("proof: nil log")
+	}
+	k := newChecker()
+	for i, st := range l.steps {
+		if err := k.step(st); err != nil {
+			return nil, fmt.Errorf("proof: step %d (%s %v): %w", i, st.Op, st.Lits, err)
+		}
+	}
+	sum := k.sum
+	sum.RootConflict = k.rootConflict
+	sum.MaxVar = len(k.assign) - 1
+	return &sum, nil
+}
+
+// ckClause is a checker clause. lits[0] and lits[1] are the watched
+// literals; propagation permutes the slice like the solver does.
+type ckClause struct {
+	lits []sat.Lit
+}
+
+// ckPB is a checker pseudo-Boolean constraint Σ terms ≥ bound in the same
+// normal form the solver uses: positive coefficients over distinct
+// variables, sorted descending, saturated at the bound. slack follows the
+// solver's counter rule — it is decremented when a falsifying literal is
+// *processed* (dequeued), so undo only reverses processed trail entries.
+type ckPB struct {
+	terms []sat.PBTerm
+	bound int64
+	slack int64
+}
+
+// pbOcc is an occurrence-list entry: processing lit p falsifies a term of
+// c carrying this coefficient.
+type pbOcc struct {
+	c    *ckPB
+	coef int64
+}
+
+type checker struct {
+	assign  []int8        // by Var: +1 true, -1 false, 0 unassigned
+	watches [][]*ckClause // by Lit p: clauses watching ¬p
+	pbOccs  [][]pbOcc     // by Lit p: processing p falsifies a term
+	trail   []sat.Lit
+	qhead   int
+
+	// byKey indexes live clauses by their sorted-literal key so delete
+	// steps can find them regardless of watch-swap reordering.
+	byKey map[string][]*ckClause
+
+	rootConflict bool
+	sum          Summary
+}
+
+func newChecker() *checker {
+	return &checker{
+		assign:  make([]int8, 1), // slot 0 sentinel, like the solver
+		watches: make([][]*ckClause, 2),
+		pbOccs:  make([][]pbOcc, 2),
+		byKey:   map[string][]*ckClause{},
+	}
+}
+
+func (k *checker) step(st Step) error {
+	switch st.Op {
+	case OpInput:
+		k.sum.Inputs++
+		if k.rootConflict {
+			return nil
+		}
+		k.ensureLits(st.Lits)
+		k.addClause(st.Lits)
+		return nil
+	case OpInputPB:
+		k.sum.InputPBs++
+		if k.rootConflict {
+			return nil
+		}
+		for _, t := range st.Terms {
+			k.ensureVar(t.Lit.Var())
+		}
+		k.addPB(st.Terms, st.Bound)
+		return nil
+	case OpLearn:
+		k.sum.Learns++
+		if k.rootConflict {
+			return nil
+		}
+		k.ensureLits(st.Lits)
+		if len(st.Lits) == 0 {
+			// The empty clause is RUP only if the root fixpoint already
+			// conflicts — which addClause/addPB/addLearn detect eagerly.
+			return errors.New("empty clause is not RUP (root propagation does not conflict)")
+		}
+		if !k.rup(st.Lits) {
+			return errors.New("learnt clause is not RUP")
+		}
+		k.addClause(st.Lits)
+		return nil
+	case OpDelete:
+		k.sum.Deletes++
+		if k.rootConflict {
+			return nil
+		}
+		return k.delete(st.Lits)
+	case OpProbe:
+		k.sum.Probes++
+		if k.rootConflict {
+			return nil
+		}
+		k.ensureLits(st.Lits)
+		if !k.refutes(st.Lits) {
+			return errors.New("assumptions are not refuted by propagation")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown step op %d", st.Op)
+}
+
+func (k *checker) ensureVar(v sat.Var) {
+	for sat.Var(len(k.assign)) <= v {
+		k.assign = append(k.assign, 0)
+		k.watches = append(k.watches, nil, nil)
+		k.pbOccs = append(k.pbOccs, nil, nil)
+	}
+}
+
+func (k *checker) ensureLits(lits []sat.Lit) {
+	for _, l := range lits {
+		k.ensureVar(l.Var())
+	}
+}
+
+func (k *checker) value(l sat.Lit) int8 {
+	v := k.assign[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// enqueue asserts l. It reports false when l is already false — a
+// conflict — and is a no-op when l is already true.
+func (k *checker) enqueue(l sat.Lit) bool {
+	switch k.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l.Sign() {
+		k.assign[l.Var()] = -1
+	} else {
+		k.assign[l.Var()] = 1
+	}
+	k.trail = append(k.trail, l)
+	return true
+}
+
+// propagate runs unit propagation over PB constraints and clauses to
+// fixpoint. It reports false on conflict. Like the solver, a PB conflict
+// first finishes the slack updates of the literal being processed so that
+// undoTo's uniform reversal keeps every counter consistent.
+func (k *checker) propagate() bool {
+	for k.qhead < len(k.trail) {
+		p := k.trail[k.qhead]
+		k.qhead++
+
+		occs := k.pbOccs[p]
+		for oi, o := range occs {
+			o.c.slack -= o.coef
+			if o.c.slack < 0 {
+				for _, rest := range occs[oi+1:] {
+					rest.c.slack -= rest.coef
+				}
+				return false
+			}
+			for _, t := range o.c.terms {
+				if t.Coef <= o.c.slack {
+					break // sorted descending: nothing further propagates
+				}
+				if k.value(t.Lit) == 0 {
+					k.enqueue(t.Lit)
+				}
+			}
+		}
+
+		ws := k.watches[p]
+		i, j := 0, 0
+		conflict := false
+	clauseLoop:
+		for i < len(ws) {
+			c := ws[i]
+			i++
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if k.value(c.lits[0]) == 1 {
+				ws[j] = c
+				j++
+				continue
+			}
+			for m := 2; m < len(c.lits); m++ {
+				if k.value(c.lits[m]) != -1 {
+					c.lits[1], c.lits[m] = c.lits[m], c.lits[1]
+					k.watches[c.lits[1].Not()] = append(k.watches[c.lits[1].Not()], c)
+					continue clauseLoop
+				}
+			}
+			ws[j] = c
+			j++
+			if k.value(c.lits[0]) == -1 {
+				conflict = true
+				for i < len(ws) {
+					ws[j] = ws[i]
+					j++
+					i++
+				}
+				break
+			}
+			k.enqueue(c.lits[0])
+		}
+		k.watches[p] = ws[:j]
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// undoTo unwinds the trail to mark, reversing the PB slack updates of
+// processed entries only (unprocessed entries never touched a counter).
+func (k *checker) undoTo(mark int) {
+	for i := len(k.trail) - 1; i >= mark; i-- {
+		p := k.trail[i]
+		if i < k.qhead {
+			for _, o := range k.pbOccs[p] {
+				o.c.slack += o.coef
+			}
+		}
+		k.assign[p.Var()] = 0
+	}
+	k.trail = k.trail[:mark]
+	k.qhead = mark
+}
+
+// rup reports whether lits is entailed by the database via reverse unit
+// propagation: either some literal already holds at the root, or asserting
+// all the clause's negations propagates to a conflict.
+func (k *checker) rup(lits []sat.Lit) bool {
+	mark := len(k.trail)
+	defer k.undoTo(mark)
+	for _, l := range lits {
+		switch k.value(l) {
+		case 1:
+			return true // satisfied at root (covers tautologies too)
+		case -1:
+			continue
+		}
+		k.enqueue(l.Not())
+	}
+	return !k.propagate()
+}
+
+// refutes reports whether asserting the assumptions on top of the root
+// trail propagates to a conflict.
+func (k *checker) refutes(assumptions []sat.Lit) bool {
+	mark := len(k.trail)
+	defer k.undoTo(mark)
+	for _, a := range assumptions {
+		if !k.enqueue(a) {
+			return true
+		}
+	}
+	return !k.propagate()
+}
+
+// addClause installs a clause in the database (deduplicated, with watches
+// on two non-false literals when possible) and propagates any root
+// consequence. Empty, unit, and root-falsified clauses fold into the
+// persistent root trail / root conflict instead of the watch lists.
+func (k *checker) addClause(lits []sat.Lit) {
+	ls := append([]sat.Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev sat.Lit
+	for _, l := range ls {
+		if l != prev || len(out) == 0 {
+			out = append(out, l)
+		}
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		k.rootConflict = true
+		return
+	case 1:
+		if !k.enqueue(out[0]) || !k.propagate() {
+			k.rootConflict = true
+		}
+		return
+	}
+	c := &ckClause{lits: out}
+	key := clauseKey(out)
+	k.byKey[key] = append(k.byKey[key], c)
+	// Prefer non-false literals for the watch slots.
+	w := 0
+	for i, l := range c.lits {
+		if k.value(l) != -1 {
+			c.lits[w], c.lits[i] = c.lits[i], c.lits[w]
+			w++
+			if w == 2 {
+				break
+			}
+		}
+	}
+	k.watches[c.lits[0].Not()] = append(k.watches[c.lits[0].Not()], c)
+	k.watches[c.lits[1].Not()] = append(k.watches[c.lits[1].Not()], c)
+	switch {
+	case k.value(c.lits[0]) == -1:
+		// Every literal is false under the root trail.
+		k.rootConflict = true
+	case k.value(c.lits[1]) == -1 && k.value(c.lits[0]) == 0:
+		// Unit under the root trail: assert the lone survivor. The clause
+		// is satisfied by it, so attaching first was harmless.
+		if !k.propagateLit(c.lits[0]) {
+			k.rootConflict = true
+		}
+	}
+}
+
+// propagateLit asserts l at the root and propagates to fixpoint.
+func (k *checker) propagateLit(l sat.Lit) bool {
+	if !k.enqueue(l) {
+		return false
+	}
+	return k.propagate()
+}
+
+// addPB normalizes and installs a pseudo-Boolean input, mirroring the
+// solver's counter scheme with an independent normalization.
+func (k *checker) addPB(terms []sat.PBTerm, bound int64) {
+	norm, bnd, alwaysTrue, alwaysFalse := normalizePB(terms, bound)
+	if alwaysTrue {
+		return
+	}
+	if alwaysFalse {
+		k.rootConflict = true
+		return
+	}
+	c := &ckPB{terms: norm, bound: bnd, slack: -bnd}
+	for _, t := range norm {
+		if k.value(t.Lit) != -1 {
+			c.slack += t.Coef
+		}
+		nl := t.Lit.Not()
+		k.pbOccs[nl] = append(k.pbOccs[nl], pbOcc{c: c, coef: t.Coef})
+	}
+	if c.slack < 0 {
+		k.rootConflict = true
+		return
+	}
+	for _, t := range c.terms {
+		if t.Coef <= c.slack {
+			break
+		}
+		if k.value(t.Lit) == 0 {
+			if !k.propagateLit(t.Lit) {
+				k.rootConflict = true
+				return
+			}
+		}
+	}
+	if !k.propagate() {
+		k.rootConflict = true
+	}
+}
+
+// delete removes one live clause matching lits from the database. Root
+// units the clause once implied persist: they are entailed by the inputs
+// (see the package comment), so keeping them is sound, and it matches the
+// solver, which never unassigns level-0 literals on deletion either.
+func (k *checker) delete(lits []sat.Lit) error {
+	key := clauseKey(lits)
+	list := k.byKey[key]
+	if len(list) == 0 {
+		return errors.New("deleting a clause not in the database")
+	}
+	c := list[len(list)-1]
+	if len(list) == 1 {
+		delete(k.byKey, key)
+	} else {
+		k.byKey[key] = list[:len(list)-1]
+	}
+	for _, wl := range []sat.Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := k.watches[wl]
+		for i, wc := range ws {
+			if wc == c {
+				ws[i] = ws[len(ws)-1]
+				k.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// clauseKey is an order-insensitive identity for a clause: its sorted
+// literals packed into a string. Watch swaps permute a clause's literal
+// slice, so delete steps cannot rely on literal order.
+func clauseKey(lits []sat.Lit) string {
+	ls := append([]sat.Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	b := make([]byte, 0, 4*len(ls))
+	for _, l := range ls {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// normalizePB is the checker's own copy of PB normal-form reduction:
+// merge duplicate variables, flip negative coefficients through
+// ¬l = 1 − l, detect trivial constraints, saturate coefficients at the
+// bound, and sort descending. Independent from the solver's by design —
+// the two implementations cross-check each other.
+func normalizePB(terms []sat.PBTerm, bound int64) (norm []sat.PBTerm, nbound int64, alwaysTrue, alwaysFalse bool) {
+	byVar := map[sat.Var]int64{}
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		v := t.Lit.Var()
+		if t.Lit.Sign() {
+			bound -= t.Coef
+			byVar[v] -= t.Coef
+		} else {
+			byVar[v] += t.Coef
+		}
+	}
+	vars := make([]sat.Var, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	var maxSum int64
+	for _, v := range vars {
+		c := byVar[v]
+		switch {
+		case c > 0:
+			norm = append(norm, sat.PBTerm{Coef: c, Lit: sat.PosLit(v)})
+			maxSum += c
+		case c < 0:
+			bound -= c
+			norm = append(norm, sat.PBTerm{Coef: -c, Lit: sat.NegLit(v)})
+			maxSum += -c
+		}
+	}
+	if bound <= 0 {
+		return nil, 0, true, false
+	}
+	if maxSum < bound {
+		return nil, 0, false, true
+	}
+	for i := range norm {
+		if norm[i].Coef > bound {
+			norm[i].Coef = bound
+		}
+	}
+	sort.SliceStable(norm, func(i, j int) bool { return norm[i].Coef > norm[j].Coef })
+	return norm, bound, false, false
+}

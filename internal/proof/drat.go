@@ -1,0 +1,141 @@
+package proof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"satalloc/internal/sat"
+)
+
+// WriteDRAT serializes the log's learn and delete steps in the standard
+// DRAT text format consumed by external checkers (drat-trim and friends):
+// one clause per line in DIMACS literal notation terminated by 0, deletion
+// lines prefixed with "d", and a bare "0" line for the empty clause. Input
+// steps are omitted — a DRAT file accompanies the CNF it refutes rather
+// than embedding it.
+//
+// Standard DRAT is CNF-only, so a log holding PB inputs or probe steps is
+// rejected; those certificates stay in the internal format and are checked
+// by Check. Logs produced from pure-CNF problems (solvesat -proof) always
+// serialize.
+func (l *Log) WriteDRAT(w io.Writer) error {
+	for _, st := range l.steps {
+		switch st.Op {
+		case OpInputPB:
+			return fmt.Errorf("proof: log holds a pseudo-Boolean input; not expressible in DRAT")
+		case OpProbe:
+			return fmt.Errorf("proof: log holds an assumption probe; not expressible in DRAT")
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, st := range l.steps {
+		switch st.Op {
+		case OpLearn:
+			writeDRATLits(bw, st.Lits)
+		case OpDelete:
+			bw.WriteString("d ")
+			writeDRATLits(bw, st.Lits)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeDRATLits(bw *bufio.Writer, lits []sat.Lit) {
+	for _, l := range lits {
+		bw.WriteString(l.String())
+		bw.WriteByte(' ')
+	}
+	bw.WriteString("0\n")
+}
+
+// WriteText serializes the whole log — including the PB-input and probe
+// extensions that standard DRAT cannot express — in a line-oriented
+// diagnostic format for repro bundles and debugging:
+//
+//	i  <lits> 0                   input clause
+//	ip <coef>*<lit> ... >= <k>    input pseudo-Boolean constraint
+//	l  <lits> 0                   learnt (RUP) clause; "l 0" is empty
+//	d  <lits> 0                   learnt-clause deletion
+//	p  <lits> 0                   probe: assumption set refuted
+//
+// The format is write-only; Check consumes the in-memory log directly.
+func (l *Log) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, st := range l.steps {
+		switch st.Op {
+		case OpInput:
+			bw.WriteString("i ")
+			writeDRATLits(bw, st.Lits)
+		case OpInputPB:
+			bw.WriteString("ip")
+			for _, t := range st.Terms {
+				fmt.Fprintf(bw, " %d*%s", t.Coef, t.Lit)
+			}
+			fmt.Fprintf(bw, " >= %d\n", st.Bound)
+		case OpLearn:
+			bw.WriteString("l ")
+			writeDRATLits(bw, st.Lits)
+		case OpDelete:
+			bw.WriteString("d ")
+			writeDRATLits(bw, st.Lits)
+		case OpProbe:
+			bw.WriteString("p ")
+			writeDRATLits(bw, st.Lits)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDRAT reads a DRAT text proof and returns its steps (learns and
+// deletes only — DRAT files carry no inputs; join them with the CNF's
+// clauses via Log.AppendSteps before checking). Comment lines starting
+// with "c" are ignored.
+func ParseDRAT(r io.Reader) ([]Step, error) {
+	var steps []Step
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		op := OpLearn
+		if strings.HasPrefix(line, "d ") || line == "d" {
+			op = OpDelete
+			line = strings.TrimSpace(strings.TrimPrefix(line, "d"))
+		}
+		var lits []sat.Lit
+		closed := false
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("proof: line %d: bad literal %q", lineNo, tok)
+			}
+			if v == 0 {
+				closed = true
+				break
+			}
+			abs := v
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs <= 0 || abs > 1<<22 {
+				return nil, fmt.Errorf("proof: line %d: literal %d out of range", lineNo, v)
+			}
+			lits = append(lits, sat.MkLit(sat.Var(abs), v < 0))
+		}
+		if !closed {
+			return nil, fmt.Errorf("proof: line %d: clause not terminated by 0", lineNo)
+		}
+		steps = append(steps, Step{Op: op, Lits: lits})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}

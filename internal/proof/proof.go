@@ -1,0 +1,134 @@
+// Package proof records and checks solver inference traces, turning UNSAT
+// verdicts into machine-checkable certificates.
+//
+// The Log type implements sat.ProofLogger: installed on a sequential
+// solver via SetProofLogger, it accumulates every input constraint, learnt
+// clause, deletion, and refuted assumption set in derivation order. Check
+// then replays the log with an independent unit-propagation engine and
+// verifies that each learnt clause is RUP — reverse unit propagation: the
+// clause's negation, propagated together with the database, yields a
+// conflict — and that each probe's assumption set propagates to a conflict
+// under the database of its moment.
+//
+// The format is DRAT extended in two directions the allocator needs:
+//
+//   - Pseudo-Boolean inputs. The solver propagates PB constraints
+//     natively, so its learnt clauses are RUP modulo PB propagation, not
+//     plain clause propagation. The checker therefore propagates PB
+//     constraints with the same counter/slack rule the solver uses,
+//     normalizing independently from the solver's own code. Pure-CNF
+//     inputs degenerate to standard DRAT and can be exported as such
+//     (WriteDRAT).
+//
+//   - Probe steps. Plain DRAT certifies only formula-level UNSAT. The
+//     binary-search optimizer's verdicts are "UNSAT under these assumption
+//     literals", which a probe step expresses directly: it asserts that
+//     enqueueing the assumptions on top of the root trail propagates to a
+//     conflict, mutating nothing.
+//
+// Soundness: the checker's propagation is at least as strong as the
+// solver's (same databases, same PB rule, and the checker runs every
+// constraint to fixpoint), so every step the solver emits passes; and each
+// passing step is entailed by the inputs, by induction — a RUP clause is
+// entailed by the database it was checked against, which consists of
+// inputs and previously-checked clauses. Root-level units derived along
+// the way remain entailed even after their deriving clause is deleted, so
+// keeping them across deletions preserves soundness (deletions only ever
+// shrink what the checker can re-derive, never what is entailed).
+package proof
+
+import "satalloc/internal/sat"
+
+// Op discriminates the step kinds of a proof log.
+type Op uint8
+
+// The step kinds, in the order a solver run interleaves them.
+const (
+	// OpInput is a clause added by the user of the solver.
+	OpInput Op = iota
+	// OpInputPB is a pseudo-Boolean constraint Σ terms ≥ bound added by
+	// the user of the solver.
+	OpInputPB
+	// OpLearn is a clause derived by conflict analysis; an empty literal
+	// list is the empty clause (formula refuted).
+	OpLearn
+	// OpDelete removes a previously added learnt clause from the database.
+	OpDelete
+	// OpProbe asserts that the database refutes the given assumption
+	// literals by unit propagation.
+	OpProbe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInput:
+		return "input"
+	case OpInputPB:
+		return "input-pb"
+	case OpLearn:
+		return "learn"
+	case OpDelete:
+		return "delete"
+	case OpProbe:
+		return "probe"
+	}
+	return "unknown"
+}
+
+// Step is one entry of a proof log. Lits carries the literals of clause
+// steps and the assumptions of probe steps; Terms/Bound carry PB inputs.
+type Step struct {
+	Op    Op
+	Lits  []sat.Lit
+	Terms []sat.PBTerm
+	Bound int64
+}
+
+// Log is an in-memory proof: the sequence of inference steps one solver
+// run emitted. It implements sat.ProofLogger. The zero value is ready to
+// use. A Log is single-goroutine, like the solver feeding it.
+type Log struct {
+	steps []Step
+}
+
+// NewLog returns an empty proof log.
+func NewLog() *Log { return &Log{} }
+
+// ProofInput records an input clause.
+func (l *Log) ProofInput(lits []sat.Lit) {
+	l.steps = append(l.steps, Step{Op: OpInput, Lits: append([]sat.Lit(nil), lits...)})
+}
+
+// ProofInputPB records an input pseudo-Boolean constraint.
+func (l *Log) ProofInputPB(terms []sat.PBTerm, bound int64) {
+	l.steps = append(l.steps, Step{Op: OpInputPB, Terms: append([]sat.PBTerm(nil), terms...), Bound: bound})
+}
+
+// ProofLearn records a learnt clause (nil/empty = the empty clause).
+func (l *Log) ProofLearn(lits []sat.Lit) {
+	l.steps = append(l.steps, Step{Op: OpLearn, Lits: append([]sat.Lit(nil), lits...)})
+}
+
+// ProofDelete records a learnt-clause deletion.
+func (l *Log) ProofDelete(lits []sat.Lit) {
+	l.steps = append(l.steps, Step{Op: OpDelete, Lits: append([]sat.Lit(nil), lits...)})
+}
+
+// ProofProbe records an assumption-level refutation.
+func (l *Log) ProofProbe(assumptions []sat.Lit) {
+	l.steps = append(l.steps, Step{Op: OpProbe, Lits: append([]sat.Lit(nil), assumptions...)})
+}
+
+// AppendSteps appends pre-built steps, for callers assembling a log from
+// external material (e.g. a parsed DRAT file joined with its CNF inputs).
+func (l *Log) AppendSteps(steps ...Step) {
+	l.steps = append(l.steps, steps...)
+}
+
+// Steps exposes the recorded steps. The slice is owned by the log.
+func (l *Log) Steps() []Step { return l.steps }
+
+// Len returns the number of recorded steps.
+func (l *Log) Len() int { return len(l.steps) }
+
+var _ sat.ProofLogger = (*Log)(nil)

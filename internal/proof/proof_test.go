@@ -1,0 +1,368 @@
+package proof
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"satalloc/internal/sat"
+)
+
+// newLogged returns an empty solver with a fresh log installed.
+func newLogged(t *testing.T) (*sat.Solver, *Log) {
+	t.Helper()
+	s := sat.New()
+	l := NewLog()
+	if err := s.SetProofLogger(l); err != nil {
+		t.Fatalf("SetProofLogger: %v", err)
+	}
+	return s, l
+}
+
+func mustCheck(t *testing.T, l *Log) *Summary {
+	t.Helper()
+	sum, err := Check(l)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return sum
+}
+
+func TestCheckTinyUnsat(t *testing.T) {
+	s, l := newLogged(t)
+	x, y := s.NewVar(), s.NewVar()
+	for _, cl := range [][]sat.Lit{
+		{sat.PosLit(x), sat.PosLit(y)},
+		{sat.NegLit(x), sat.PosLit(y)},
+		{sat.PosLit(x), sat.NegLit(y)},
+		{sat.NegLit(x), sat.NegLit(y)},
+	} {
+		if err := s.AddClause(cl...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", st)
+	}
+	sum := mustCheck(t, l)
+	if !sum.RootConflict {
+		t.Fatalf("summary = %+v, want RootConflict", sum)
+	}
+	if sum.Inputs != 4 {
+		t.Fatalf("Inputs = %d, want 4", sum.Inputs)
+	}
+}
+
+// pigeonhole builds PHP(n+1, n): n+1 pigeons into n holes, UNSAT.
+func pigeonhole(t *testing.T, s *sat.Solver, n int) {
+	t.Helper()
+	p := make([][]sat.Var, n+1)
+	for i := range p {
+		p[i] = make([]sat.Var, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]sat.Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = sat.PosLit(p[i][j])
+		}
+		if err := s.AddClause(lits...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for i2 := i + 1; i2 <= n; i2++ {
+				if err := s.AddClause(sat.NegLit(p[i][j]), sat.NegLit(p[i2][j])); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckPigeonhole(t *testing.T) {
+	s, l := newLogged(t)
+	pigeonhole(t, s, 5)
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", st)
+	}
+	sum := mustCheck(t, l)
+	if !sum.RootConflict {
+		t.Fatal("want RootConflict")
+	}
+	if sum.Learns == 0 {
+		t.Fatal("expected learnt clauses in a pigeonhole proof")
+	}
+}
+
+func TestCheckPBUnsat(t *testing.T) {
+	s, l := newLogged(t)
+	x, y := s.NewVar(), s.NewVar()
+	// x + y ≥ 2 forces both; at-most-one contradicts.
+	if err := s.AddPB([]sat.PBTerm{{Coef: 1, Lit: sat.PosLit(x)}, {Coef: 1, Lit: sat.PosLit(y)}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAtMostOne(sat.PosLit(x), sat.PosLit(y)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", st)
+	}
+	sum := mustCheck(t, l)
+	if !sum.RootConflict {
+		t.Fatal("want RootConflict")
+	}
+	if sum.InputPBs != 2 {
+		t.Fatalf("InputPBs = %d, want 2", sum.InputPBs)
+	}
+}
+
+func TestProbeCertifiesAssumptionUnsat(t *testing.T) {
+	s, l := newLogged(t)
+	a, b := s.NewVar(), s.NewVar()
+	if err := s.AddClause(sat.NegLit(a), sat.NegLit(b)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(sat.PosLit(a), sat.PosLit(b)); st != sat.Unsat {
+		t.Fatalf("Solve under assumptions = %v, want UNSAT", st)
+	}
+	// The formula itself is satisfiable; only the probe is refuted.
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("Solve = %v, want SAT", st)
+	}
+	sum := mustCheck(t, l)
+	if sum.RootConflict {
+		t.Fatal("RootConflict set for an assumption-level refutation")
+	}
+	if sum.Probes != 1 {
+		t.Fatalf("Probes = %d, want 1", sum.Probes)
+	}
+}
+
+func TestCoreTracesAssumptions(t *testing.T) {
+	s, _ := newLogged(t)
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	if err := s.AddClause(sat.NegLit(a), sat.NegLit(b)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(sat.PosLit(c), sat.PosLit(a), sat.PosLit(b)); st != sat.Unsat {
+		t.Fatal("want UNSAT under {c, a, b}")
+	}
+	core := s.Core()
+	if core == nil {
+		t.Fatal("Core() = nil after assumption-level UNSAT")
+	}
+	seen := map[sat.Lit]bool{}
+	for _, l := range core {
+		seen[l] = true
+	}
+	if seen[sat.PosLit(c)] {
+		t.Fatalf("core %v contains irrelevant assumption c", core)
+	}
+	if !seen[sat.PosLit(a)] || !seen[sat.PosLit(b)] {
+		t.Fatalf("core %v misses a or b", core)
+	}
+	// The core must itself be unsatisfiable with the formula.
+	if st := s.Solve(core...); st != sat.Unsat {
+		t.Fatalf("Solve(core) = %v, want UNSAT", st)
+	}
+	// A formula-level UNSAT clears the core.
+	if err := s.AddClause(sat.PosLit(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(sat.NegLit(a)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(sat.PosLit(c)); st != sat.Unsat {
+		t.Fatal("want formula-level UNSAT")
+	}
+	if s.Core() != nil {
+		t.Fatalf("Core() = %v after formula-level UNSAT, want nil", s.Core())
+	}
+}
+
+func TestCheckRejectsBogusLearn(t *testing.T) {
+	l := NewLog()
+	// x1 ∨ x2 as only input; learning ¬x1 is not RUP.
+	l.ProofInput([]sat.Lit{sat.PosLit(1), sat.PosLit(2)})
+	l.ProofLearn([]sat.Lit{sat.NegLit(1)})
+	if _, err := Check(l); err == nil {
+		t.Fatal("Check accepted a non-RUP learn")
+	}
+}
+
+func TestCheckRejectsBogusProbe(t *testing.T) {
+	l := NewLog()
+	l.ProofInput([]sat.Lit{sat.PosLit(1), sat.PosLit(2)})
+	l.ProofProbe([]sat.Lit{sat.PosLit(1)})
+	if _, err := Check(l); err == nil {
+		t.Fatal("Check accepted an unrefuted probe")
+	}
+}
+
+func TestCheckRejectsUnknownDelete(t *testing.T) {
+	l := NewLog()
+	l.ProofInput([]sat.Lit{sat.PosLit(1), sat.PosLit(2)})
+	l.ProofDelete([]sat.Lit{sat.PosLit(1), sat.PosLit(3)})
+	if _, err := Check(l); err == nil {
+		t.Fatal("Check accepted deleting an unknown clause")
+	}
+}
+
+// randomCNF adds a random 3-CNF at clause/variable ratio ~5 (comfortably
+// past the phase transition, so most instances are UNSAT).
+func randomCNF(t *testing.T, s *sat.Solver, rng *rand.Rand, nvars int) {
+	t.Helper()
+	vars := make([]sat.Var, nvars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i < 5*nvars; i++ {
+		a, b, c := rng.Intn(nvars), rng.Intn(nvars), rng.Intn(nvars)
+		if err := s.AddClause(
+			sat.MkLit(vars[a], rng.Intn(2) == 0),
+			sat.MkLit(vars[b], rng.Intn(2) == 0),
+			sat.MkLit(vars[c], rng.Intn(2) == 0),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckRandomUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	unsat := 0
+	for trial := 0; trial < 30; trial++ {
+		s, l := newLogged(t)
+		randomCNF(t, s, rng, 40)
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		unsat++
+		mustCheck(t, l)
+	}
+	if unsat == 0 {
+		t.Fatal("no UNSAT instances generated; adjust the ratio")
+	}
+}
+
+func TestCheckRandomUnsatWithDeletions(t *testing.T) {
+	// Larger instances cross the reduceDB threshold, exercising delete
+	// steps in the proof.
+	rng := rand.New(rand.NewSource(7))
+	unsat, deletes := 0, 0
+	for trial := 0; trial < 6; trial++ {
+		s, l := newLogged(t)
+		randomCNF(t, s, rng, 120)
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		unsat++
+		sum := mustCheck(t, l)
+		deletes += sum.Deletes
+	}
+	if unsat == 0 {
+		t.Fatal("no UNSAT instances generated")
+	}
+	t.Logf("checked %d instances, %d delete steps", unsat, deletes)
+}
+
+func TestDRATRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	done := false
+	for trial := 0; trial < 20 && !done; trial++ {
+		s, l := newLogged(t)
+		randomCNF(t, s, rng, 40)
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		done = true
+		var buf bytes.Buffer
+		if err := l.WriteDRAT(&buf); err != nil {
+			t.Fatalf("WriteDRAT: %v", err)
+		}
+		steps, err := ParseDRAT(&buf)
+		if err != nil {
+			t.Fatalf("ParseDRAT: %v", err)
+		}
+		// Rebuild a full log: the original inputs followed by the
+		// round-tripped derivation.
+		rt := NewLog()
+		for _, st := range l.Steps() {
+			if st.Op == OpInput {
+				rt.ProofInput(st.Lits)
+			}
+		}
+		rt.AppendSteps(steps...)
+		sum := mustCheck(t, rt)
+		if !sum.RootConflict {
+			t.Fatal("round-tripped proof lost the refutation")
+		}
+	}
+	if !done {
+		t.Fatal("no UNSAT instance generated")
+	}
+}
+
+func TestWriteDRATRejectsExtendedSteps(t *testing.T) {
+	l := NewLog()
+	l.ProofInputPB([]sat.PBTerm{{Coef: 1, Lit: sat.PosLit(1)}}, 1)
+	if err := l.WriteDRAT(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteDRAT accepted a PB step")
+	}
+	l2 := NewLog()
+	l2.ProofProbe([]sat.Lit{sat.PosLit(1)})
+	if err := l2.WriteDRAT(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteDRAT accepted a probe step")
+	}
+}
+
+func TestSetProofLoggerGuards(t *testing.T) {
+	s := sat.New()
+	s.NewVar()
+	if err := s.SetProofLogger(NewLog()); err == nil {
+		t.Fatal("SetProofLogger accepted a non-empty solver")
+	}
+
+	s2, _ := newLogged(t)
+	v := s2.NewVar()
+	if err := s2.AddClause(sat.PosLit(v)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sat.NewParallel(s2, sat.ParallelOptions{Workers: 2}); err == nil {
+		t.Fatal("NewParallel accepted a proof-logged base")
+	}
+}
+
+func TestIncrementalAssumptionProbes(t *testing.T) {
+	// The optimizer's pattern: one solver, repeated Solve calls under
+	// different assumption sets, bound clauses added between calls. Every
+	// Unsat call must leave a checkable probe (or refutation) behind.
+	s, l := newLogged(t)
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	if err := s.AddClause(sat.NegLit(a), sat.NegLit(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(sat.PosLit(c), sat.PosLit(a)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(sat.PosLit(a), sat.PosLit(b)); st != sat.Unsat {
+		t.Fatal("want UNSAT under {a,b}")
+	}
+	if st := s.Solve(sat.NegLit(c)); st != sat.Sat {
+		t.Fatal("want SAT under {¬c}")
+	}
+	if err := s.AddClause(sat.NegLit(a)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(sat.NegLit(c), sat.NegLit(b)); st != sat.Unsat {
+		t.Fatal("want UNSAT under {¬c,¬b} after ¬a")
+	}
+	sum := mustCheck(t, l)
+	if sum.Probes == 0 {
+		t.Fatal("expected probe steps")
+	}
+}

@@ -25,6 +25,19 @@ const maxParseVars = 1 << 22
 // in the header.
 func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 	s := New()
+	n, err := ParseDIMACSInto(s, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, n, nil
+}
+
+// ParseDIMACSInto reads a DIMACS CNF problem into s, which must be a fresh
+// solver with no variables allocated. The split from ParseDIMACS exists so
+// callers can install hooks that only an empty solver accepts — notably a
+// proof logger, which must observe every clause — before parsing begins.
+// It returns the number of variables declared in the header.
+func ParseDIMACSInto(s *Solver, r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	declared := 0
@@ -43,14 +56,14 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 		if strings.HasPrefix(line, "p") {
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
-				return nil, 0, fmt.Errorf("sat: malformed DIMACS header %q", line)
+				return 0, fmt.Errorf("sat: malformed DIMACS header %q", line)
 			}
 			n, err := strconv.Atoi(fields[2])
 			if err != nil {
-				return nil, 0, fmt.Errorf("sat: bad variable count: %v", err)
+				return 0, fmt.Errorf("sat: bad variable count: %v", err)
 			}
 			if n < 0 || n > maxParseVars {
-				return nil, 0, fmt.Errorf("sat: variable count %d out of range [0,%d]", n, maxParseVars)
+				return 0, fmt.Errorf("sat: variable count %d out of range [0,%d]", n, maxParseVars)
 			}
 			declared = n
 			ensure(n)
@@ -59,11 +72,11 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 		for _, tok := range strings.Fields(line) {
 			v, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, 0, fmt.Errorf("sat: bad literal %q", tok)
+				return 0, fmt.Errorf("sat: bad literal %q", tok)
 			}
 			if v == 0 {
 				if err := s.AddClause(clause...); err != nil {
-					return nil, 0, err
+					return 0, err
 				}
 				clause = clause[:0]
 				continue
@@ -75,24 +88,24 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 			// abs stays negative when v is the minimum int (negation
 			// overflows), so the range check also rejects that case.
 			if abs <= 0 || abs > maxParseVars {
-				return nil, 0, fmt.Errorf("sat: literal %d out of range [1,%d]", v, maxParseVars)
+				return 0, fmt.Errorf("sat: literal %d out of range [1,%d]", v, maxParseVars)
 			}
 			ensure(abs)
 			clause = append(clause, MkLit(vars[abs-1], v < 0))
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	if len(clause) > 0 {
 		if err := s.AddClause(clause...); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 	}
 	if declared == 0 {
 		declared = len(vars)
 	}
-	return s, declared, nil
+	return declared, nil
 }
 
 // ParseOPB reads a (linear, big-M-free) OPB pseudo-Boolean problem:

@@ -314,6 +314,9 @@ func NewParallel(base *Solver, opts ParallelOptions) (*ParallelSolver, error) {
 	if base.decisionLevel() != 0 {
 		return nil, ErrNotAtRoot
 	}
+	if base.proof != nil {
+		return nil, errors.New("sat: proof logging is incompatible with the parallel portfolio (shared clauses are not RUP in the importer's log); use a sequential solver")
+	}
 	if opts.ShareLBDMax <= 0 {
 		opts.ShareLBDMax = 4
 	}

@@ -175,6 +175,17 @@ type Solver struct {
 	// between SOLVE calls land in all workers this way).
 	journal *journal
 
+	// proof, when non-nil, receives the solver's inference trace — inputs,
+	// learnt clauses, deletions, and refuted assumption sets — so an
+	// independent checker can certify every Unsat verdict. Installed via
+	// SetProofLogger on an empty sequential solver only.
+	proof ProofLogger
+
+	// lastCore holds the assumption core of the most recent Solve call
+	// that returned Unsat under assumptions; nil when the last Unsat was
+	// formula-level. See Core.
+	lastCore []Lit
+
 	Stats
 }
 
@@ -260,6 +271,16 @@ var ErrNotAtRoot = errors.New("sat: constraints must be added at decision level 
 // falsified) clause makes the formula unsatisfiable. The literal slice is
 // not retained.
 func (s *Solver) AddClause(lits ...Lit) error {
+	if s.proof != nil {
+		s.proof.ProofInput(lits)
+	}
+	return s.addClause(lits...)
+}
+
+// addClause is AddClause without the proof-input record, for internal
+// paths (PB-to-clause conversion) whose originating constraint is already
+// logged in another form.
+func (s *Solver) addClause(lits ...Lit) error {
 	if s.decisionLevel() != 0 {
 		return ErrNotAtRoot
 	}
@@ -289,12 +310,12 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	}
 	switch len(out) {
 	case 0:
-		s.ok = false
+		s.markRefuted()
 		return nil
 	case 1:
 		s.uncheckedEnqueue(out[0], nil)
 		if s.propagate() != nil {
-			s.ok = false
+			s.markRefuted()
 		}
 		return nil
 	}
@@ -322,21 +343,27 @@ func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
 			return errors.New("sat: PB term references unallocated variable")
 		}
 	}
+	if s.proof != nil {
+		s.proof.ProofInputPB(terms, bound)
+	}
 	norm, bnd, alwaysTrue, alwaysFalse := normalizePB(terms, bound)
 	if alwaysTrue {
 		return nil
 	}
 	if alwaysFalse {
-		s.ok = false
+		s.markRefuted()
 		return nil
 	}
 	// A PB constraint whose coefficients are all ≥ bound is just a clause.
+	// addClause skips the proof-input record: the constraint is already
+	// logged in PB form, and the checker's propagation over it is exactly
+	// clause propagation.
 	if norm[len(norm)-1].Coef >= bnd {
 		ls := make([]Lit, len(norm))
 		for i, t := range norm {
 			ls[i] = t.Lit
 		}
-		return s.AddClause(ls...)
+		return s.addClause(ls...)
 	}
 	c := &pbConstraint{terms: norm, bound: bnd}
 	// Compute initial slack under the current (root-level) assignment and
@@ -354,7 +381,7 @@ func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
 	s.Stats.NumPB++
 	s.Stats.NumLiterals += int64(len(norm))
 	if c.slack < 0 {
-		s.ok = false
+		s.markRefuted()
 		return nil
 	}
 	// Propagate any literal already forced at root level.
@@ -364,7 +391,7 @@ func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
 		}
 	}
 	if s.propagate() != nil {
-		s.ok = false
+		s.markRefuted()
 	}
 	return nil
 }
@@ -671,6 +698,9 @@ func (s *Solver) computeLBD(lits []Lit) int {
 // clauses, which assert at the root).
 func (s *Solver) recordLearnt(lits []Lit) int {
 	s.Stats.LearntAdded++
+	if s.proof != nil {
+		s.proof.ProofLearn(lits)
+	}
 	if len(lits) == 1 {
 		s.uncheckedEnqueue(lits[0], nil)
 		if s.shareExport != nil {
@@ -709,6 +739,9 @@ func (s *Solver) reduceDB() {
 		if i < limit && len(c.lits) > 2 && !isReason(c) {
 			s.detach(c)
 			s.Stats.LearntPruned++
+			if s.proof != nil {
+				s.proof.ProofDelete(c.lits)
+			}
 			continue
 		}
 		kept = append(kept, c)
@@ -815,12 +848,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 }
 
 func (s *Solver) search(assumptions ...Lit) Status {
+	s.lastCore = nil
 	if !s.ok {
 		return Unsat
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
-		s.ok = false
+		s.markRefuted()
 		return Unsat
 	}
 
@@ -846,7 +880,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 			s.Stats.Conflicts++
 			conflictsThisCall++
 			if s.decisionLevel() == 0 {
-				s.ok = false
+				s.markRefuted()
 				return Unsat
 			}
 			learnt, bt := s.analyze(confl)
@@ -902,6 +936,14 @@ func (s *Solver) search(assumptions ...Lit) Status {
 				s.trailLim = append(s.trailLim, int32(len(s.trail)))
 				continue
 			case LFalse:
+				// The conflict is assumption-level: record which
+				// assumptions it traces back to, and — when logging — a
+				// probe step certifying that the database plus the
+				// assumption units propagate to a conflict.
+				s.lastCore = s.analyzeFinal(p)
+				if s.proof != nil {
+					s.proof.ProofProbe(assumptions)
+				}
 				s.cancelUntil(0)
 				return Unsat
 			}
