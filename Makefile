@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke
+.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke serve-smoke race-serve
 
 ## check: the full CI gate — vet, lint, proof replay, build, the
 ## race-enabled test suite, and a short fuzz smoke run of every
@@ -71,3 +71,17 @@ bench-smoke:
 ## live process, and validates the Prometheus exposition.
 ops-smoke:
 	$(GO) test -run 'TestOps' -count 1 -v ./cmd/allocate
+
+## serve-smoke: end-to-end crash-recovery check of the allocation daemon —
+## builds the real allocd and workgen binaries, submits a workgen -count
+## corpus over HTTP, kill -9s the daemon mid-flight, restarts it on the
+## same data dir, and asserts the journal replay finishes every job, the
+## cache survives, and SIGTERM drains cleanly.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count 1 -v ./cmd/allocd
+
+## race-serve: the allocation service's concurrency suite under the race
+## detector — including the chaos test (hundreds of concurrent jobs with
+## faults firing at every serve site) and the two-stage signal handler.
+race-serve:
+	$(GO) test -race -count 1 ./internal/serve ./internal/cli

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	workgen [-kind t43|t43can|ring|archA|archB|archC|automotive]
-//	        [-ecus n] [-tasks n] [-seed n] [-timeout 30s]
+//	        [-ecus n] [-tasks n] [-seed n] [-count n] [-timeout 30s]
 //
 // Kinds:
 //
@@ -14,9 +14,17 @@
 //	archA/B/C — the Figure 2 hierarchical architectures with the T43 set
 //	automotive — the examples/automotive instance (arch C, upper bus CAN,
 //	        14-task partition)
+//
+// With -count 1 (the default) a single indented spec goes to stdout.
+// -count N > 1 switches to batch mode: a JSONL corpus of N compact
+// specs, one per line — the input format of load drivers like the
+// allocd smoke test. For -kind ring the i-th instance uses seed+i, so
+// the corpus holds N distinct instances; the fixed kinds are
+// deterministic, so their N lines differ only in the meta stamp (index).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +40,7 @@ func main() {
 	ecus := flag.Int("ecus", 8, "ECU count for -kind ring")
 	tasks := flag.Int("tasks", 20, "task count for -kind ring")
 	seed := flag.Int64("seed", 43, "generator seed for -kind ring")
+	count := flag.Int("count", 1, "instances to emit; >1 emits a JSONL corpus (seed+i per ring instance)")
 	describe := flag.Bool("describe", false, "print a topology overview to stderr")
 	// Generation is fast; the shared budget flags are accepted for CLI
 	// uniformity and bound the (already quick) generate+validate+emit path.
@@ -41,58 +50,91 @@ func main() {
 	ctx, cancel := budget.Context()
 	defer cancel()
 
-	var sys *model.System
-	switch *kind {
+	if *count < 1 {
+		fmt.Fprintf(os.Stderr, "workgen: -count must be >= 1, got %d\n", *count)
+		os.Exit(2)
+	}
+	for i := 0; i < *count; i++ {
+		sys, err := generate(*kind, *ecus, *tasks, *seed+int64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+			os.Exit(2)
+		}
+		if err := sys.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "workgen: generated system invalid: %v\n", err)
+			os.Exit(1)
+		}
+		// Stamp provenance so a spec on disk records how to regenerate it
+		// bit-for-bit (the seed only drives -kind ring; the fixed kinds are
+		// deterministic regardless, and the version pins their shape too).
+		sys.Meta = map[string]string{
+			"generator":        "workgen",
+			"generatorVersion": workload.GeneratorVersion,
+			"kind":             *kind,
+			"seed":             fmt.Sprint(*seed + int64(i)),
+		}
+		if *count > 1 {
+			sys.Meta["index"] = fmt.Sprint(i)
+			sys.Meta["count"] = fmt.Sprint(*count)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "workgen: budget exhausted or cancelled before the corpus was emitted")
+			os.Exit(4)
+		}
+		if *describe && i == 0 {
+			fmt.Fprint(os.Stderr, sys.Describe())
+		}
+		if err := emit(sys, *count > 1); err != nil {
+			fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// generate builds one instance of the named kind. The seed only varies
+// the ring kind; the fixed kinds ignore it by design.
+func generate(kind string, ecus, tasks int, seed int64) (*model.System, error) {
+	switch kind {
 	case "t43":
-		sys = workload.T43()
+		return workload.T43(), nil
 	case "t43can":
-		sys = workload.T43CAN()
+		return workload.T43CAN(), nil
 	case "ring":
 		o := workload.T43Options()
-		o.Seed = *seed
-		o.Tasks = *tasks
-		o.Chains = *tasks / 4
-		o.Restricted = *tasks / 8
-		o.SeparatedPairs = *tasks / 16
+		o.Seed = seed
+		o.Tasks = tasks
+		o.Chains = tasks / 4
+		o.Restricted = tasks / 8
+		o.SeparatedPairs = tasks / 16
 		o.ForcedRemoteChains = o.Chains / 2
-		sys = workload.Populate(workload.RingArchitecture(*ecus), o)
+		return workload.Populate(workload.RingArchitecture(ecus), o), nil
 	case "archA":
-		sys = workload.HierarchicalT43(workload.ArchitectureA())
+		return workload.HierarchicalT43(workload.ArchitectureA()), nil
 	case "archB":
-		sys = workload.HierarchicalT43(workload.ArchitectureB())
+		return workload.HierarchicalT43(workload.ArchitectureB()), nil
 	case "archC":
-		sys = workload.HierarchicalT43(workload.ArchitectureC())
+		return workload.HierarchicalT43(workload.ArchitectureC()), nil
 	case "automotive":
 		// The examples/automotive instance: architecture C with the upper
 		// bus swapped to CAN (§6), 14-task partition of the [5] set.
 		arch := workload.SwapMediumToCAN(workload.ArchitectureC(), 1)
-		sys = workload.Partition(workload.HierarchicalT43(arch), 14)
+		return workload.Partition(workload.HierarchicalT43(arch), 14), nil
 	default:
-		fmt.Fprintf(os.Stderr, "workgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
-	if err := sys.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "workgen: generated system invalid: %v\n", err)
-		os.Exit(1)
+}
+
+// emit writes one spec: indented JSON for single-instance mode, one
+// compact JSONL line for batch mode.
+func emit(sys *model.System, batch bool) error {
+	if !batch {
+		return core.WriteSpec(os.Stdout, sys)
 	}
-	// Stamp provenance so a spec on disk records how to regenerate it
-	// bit-for-bit (the seed only drives -kind ring; the fixed kinds are
-	// deterministic regardless, and the version pins their shape too).
-	sys.Meta = map[string]string{
-		"generator":        "workgen",
-		"generatorVersion": workload.GeneratorVersion,
-		"kind":             *kind,
-		"seed":             fmt.Sprint(*seed),
+	b, err := json.Marshal(core.ToSpec(sys))
+	if err != nil {
+		return err
 	}
-	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "workgen: budget exhausted or cancelled before the spec was emitted")
-		os.Exit(4)
-	}
-	if *describe {
-		fmt.Fprint(os.Stderr, sys.Describe())
-	}
-	if err := core.WriteSpec(os.Stdout, sys); err != nil {
-		fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
-		os.Exit(1)
-	}
+	b = append(b, '\n')
+	_, err = os.Stdout.Write(b)
+	return err
 }

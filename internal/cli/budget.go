@@ -7,8 +7,6 @@ package cli
 import (
 	"context"
 	"flag"
-	"os/signal"
-	"syscall"
 	"time"
 )
 
@@ -35,12 +33,14 @@ func AddBudgetFlags(fs *flag.FlagSet) *Budget {
 }
 
 // Context returns a context honouring the budget's timeout and the
-// process's interrupt signals: SIGINT/SIGTERM cancel it, so a Ctrl-C
-// degrades the solve to its best incumbent instead of killing the
-// process mid-search (a second Ctrl-C falls back to the default abrupt
-// termination). Callers must call the returned cancel.
+// process's interrupt signals: the first SIGINT/SIGTERM cancels it, so a
+// Ctrl-C degrades the solve to its best incumbent instead of killing the
+// process mid-search, and a second signal forces an immediate exit with
+// code 128+signum (see ShutdownContext — the old NotifyContext plumbing
+// swallowed the second Ctrl-C, leaving a stuck drain unkillable from its
+// own terminal). Callers must call the returned cancel.
 func (b *Budget) Context() (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop := ShutdownContext(context.Background())
 	if b.Timeout <= 0 {
 		return ctx, stop
 	}

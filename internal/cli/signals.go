@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// ShutdownContext returns a context cancelled by the first SIGINT or
+// SIGTERM, so the process can drain gracefully: finish (or budget-halt)
+// in-flight work, flush journals, and exit on its own terms. A second
+// signal during that drain forces an immediate process exit with the
+// conventional code 128+signum (130 for SIGINT, 143 for SIGTERM) — the
+// escape hatch for a drain that hangs.
+//
+// This replaces the signal.NotifyContext plumbing the binaries used
+// before, which kept the handler registered after the first signal and
+// therefore swallowed every subsequent Ctrl-C: a stuck drain could only
+// be killed from another terminal. Callers must call the returned cancel
+// to release the handler.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return shutdownContext(parent, osExit, syscall.SIGINT, syscall.SIGTERM)
+}
+
+// osExit is the production exit path; shutdownContext takes it as a
+// parameter so tests can observe the hard-stop code instead of dying.
+func osExit(code int) { os.Exit(code) }
+
+// hardStopCode maps a delivered signal to the exit code of the forced
+// stop: the shell convention 128+signum, falling back to 1 for signals
+// without a number (should not happen for the registered set).
+func hardStopCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}
+
+func shutdownContext(parent context.Context, exit func(int), sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case <-ch: // first signal: graceful cancel, keep listening
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch: // second signal: hard stop, nonzero exit
+			fmt.Fprintf(os.Stderr, "second %v: forcing immediate exit\n", sig)
+			exit(hardStopCode(sig))
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() { close(done) })
+		cancel()
+	}
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise delivers sig to the test process itself. The signals under test
+// are registered with signal.Notify first, so the runtime routes them to
+// the handler channel instead of applying the default (terminating)
+// disposition.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatalf("kill(self, %v): %v", sig, err)
+	}
+}
+
+// TestFirstSignalCancelsSecondForcesExit pins the drain contract of the
+// binaries: the first signal cancels the context (graceful drain), and a
+// second signal during the drain forces an immediate exit with a nonzero
+// code. SIGUSR1 stands in for SIGINT/SIGTERM so a bug cannot kill the
+// test binary.
+func TestFirstSignalCancelsSecondForcesExit(t *testing.T) {
+	var code atomic.Int64
+	code.Store(-1)
+	exited := make(chan struct{})
+	exit := func(c int) {
+		code.Store(int64(c))
+		close(exited)
+	}
+	ctx, cancel := shutdownContext(context.Background(), exit, syscall.SIGUSR1)
+	defer cancel()
+
+	raise(t, syscall.SIGUSR1)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case <-exited:
+		t.Fatal("first signal must drain gracefully, not exit")
+	default:
+	}
+
+	raise(t, syscall.SIGUSR1)
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal during drain did not force an exit")
+	}
+	if got, want := code.Load(), int64(128+int(syscall.SIGUSR1)); got != want {
+		t.Fatalf("hard-stop exit code = %d, want %d (128+signum)", got, want)
+	}
+}
+
+// TestShutdownCancelReleasesHandler: the caller's cancel is idempotent
+// (the context.CancelFunc contract) and retires the watcher without ever
+// touching the hard-exit path.
+func TestShutdownCancelReleasesHandler(t *testing.T) {
+	var exits atomic.Int64
+	exit := func(int) { exits.Add(1) }
+	ctx, cancel := shutdownContext(context.Background(), exit, syscall.SIGUSR2)
+	cancel()
+	cancel() // must not panic on the second call
+	if ctx.Err() == nil {
+		t.Fatal("cancel did not cancel the context")
+	}
+	if exits.Load() != 0 {
+		t.Fatalf("exit path fired %d time(s) without any signal", exits.Load())
+	}
+}
+
+// TestBudgetContextUsesTwoStageShutdown: Budget.Context must keep its
+// timeout semantics on top of the two-stage signal handler.
+func TestBudgetContextUsesTwoStageShutdown(t *testing.T) {
+	b := &Budget{Timeout: time.Millisecond}
+	ctx, cancel := b.Context()
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("budget timeout did not expire")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// Progress, when set, becomes the SAT solver's OnProgress hook (see
 	// sat.Solver.OnProgress and obs.NewProgressPrinter).
 	Progress func(sat.Progress)
+	// OnImprove, when set, receives the binary search's proven window
+	// [lower, upper] after the initial model and every subsequent window
+	// move (see opt.Options.OnImprove); upper is always the cost of a model
+	// already in hand, so this is the anytime incumbent stream the
+	// allocation service forwards to job watchers.
+	OnImprove func(lower, upper int64)
 	// Metrics, when set, receives the live counter/gauge/histogram series
 	// of the whole pipeline (search counters, LBD, bounds, incumbents,
 	// phase outcomes) — typically the instrument behind an ophttp ops
@@ -230,6 +236,7 @@ func SolveContext(ctx context.Context, sys *model.System, cfg Config) (sol *Solu
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
 		Progress:            cfg.Progress,
+		OnImprove:           cfg.OnImprove,
 		Metrics:             cfg.Metrics,
 		Recorder:            rec,
 		Ctx:                 ctx,

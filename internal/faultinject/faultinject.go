@@ -30,6 +30,17 @@ const (
 	SitePortfolioExact = "portfolio.exact"
 	// SitePortfolioSA fires at the start of the portfolio's heuristic arm.
 	SitePortfolioSA = "portfolio.sa"
+	// SiteServeAdmit fires in the allocation daemon's admission path, after
+	// the spec parsed but before the job is registered and enqueued.
+	SiteServeAdmit = "serve.admit"
+	// SiteServeWorker fires on a serve worker goroutine as it picks a job
+	// up, before the solve pipeline is entered.
+	SiteServeWorker = "serve.worker"
+	// SiteServeJournal fires inside every job-journal append, before the
+	// record is written to disk.
+	SiteServeJournal = "serve.journal"
+	// SiteServeCache fires on every result-cache access (lookup and store).
+	SiteServeCache = "serve.cache"
 )
 
 var (

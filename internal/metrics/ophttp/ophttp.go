@@ -4,7 +4,8 @@
 //
 //	/metrics          Prometheus text exposition of the metrics registry
 //	/debug/vars       the same registry as JSON (expvar-style)
-//	/healthz          liveness: "ok\n", 200
+//	/healthz          liveness: "ok\n", 200 — or, when Options.Health
+//	                  reports a problem, "degraded: <reason>\n", 503
 //	/progress         JSON snapshot of the search (incumbent, bounds L/R,
 //	                  conflict counters and the conflict rate between
 //	                  scrapes, proof-check and core-explanation counters)
@@ -15,8 +16,11 @@
 //	/debug/pprof/*    the standard runtime profiling endpoints
 //
 // The long-running commands (allocate, solvesat, benchtab) start one via
-// -ops-addr; see internal/cli. Handlers only read atomics and snapshot
-// under short locks, so scraping mid-solve does not perturb the search.
+// -ops-addr; see internal/cli. The allocation daemon (cmd/allocd) instead
+// embeds the routes into its own job-API mux via NewHandlers/Register, so
+// one listener serves both the API and the ops surface. Handlers only
+// read atomics and snapshot under short locks, so scraping mid-solve does
+// not perturb the search.
 package ophttp
 
 import (
@@ -32,9 +36,9 @@ import (
 	"satalloc/internal/metrics"
 )
 
-// Options configures a Server. All fields are optional: endpoints whose
-// source is absent serve empty-but-valid payloads, so a partially wired
-// caller still gets a scrapeable server.
+// Options configures the ops routes. All fields are optional: endpoints
+// whose source is absent serve empty-but-valid payloads, so a partially
+// wired caller still gets a scrapeable server.
 type Options struct {
 	// Registry backs /metrics and /debug/vars.
 	Registry *metrics.Registry
@@ -44,6 +48,12 @@ type Options struct {
 	Recorder *flightrec.Recorder
 	// Component names the process in /progress (e.g. "allocate").
 	Component string
+	// Health, when set, is consulted by /healthz: nil means healthy
+	// ("ok\n", 200), an error degrades the endpoint to
+	// "degraded: <error>\n" with status 503 — how the allocation daemon
+	// surfaces journal or cache write failures to its load balancer
+	// instead of only logging them. Unset keeps the always-ok behaviour.
+	Health func() error
 }
 
 // Progress is the JSON payload of /progress: the live view of the search
@@ -77,10 +87,12 @@ type Progress struct {
 	CoreExplainSize   int64 `json:"core_explain_size"`
 }
 
-// Server is a running ops listener. Create with Start, stop with Close.
-type Server struct {
-	ln    net.Listener
-	srv   *http.Server
+// Handlers is the ops route set, decoupled from any particular listener
+// so it can be mounted either on a dedicated server (Start) or into a
+// larger mux (the allocation daemon's API server). Create with
+// NewHandlers, mount with Register.
+type Handlers struct {
+	o     Options
 	start time.Time
 
 	// Rate state between /progress scrapes, and the last explanation
@@ -89,45 +101,48 @@ type Server struct {
 	lastScrape    time.Time
 	lastConflicts int64
 	explain       any
-
-	// Err receives the Serve loop's terminal error (nil on clean Close);
-	// buffered so the goroutine never blocks.
-	err chan error
 }
 
-// Start listens on addr (host:port; ":0" picks a free port) and serves
-// the ops routes in a background goroutine.
-func Start(addr string, o Options) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ophttp: listen %s: %w", addr, err)
-	}
-	s := &Server{ln: ln, start: time.Now(), err: make(chan error, 1)}
+// NewHandlers builds the ops route set over the given sources.
+func NewHandlers(o Options) *Handlers {
+	return &Handlers{o: o, start: time.Now()}
+}
 
-	mux := http.NewServeMux()
+// Register mounts every ops route on the mux. The route set includes
+// /healthz; callers embedding the handlers next to their own API must
+// leave that path to Register (and steer it via Options.Health) rather
+// than registering their own.
+func (h *Handlers) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.o.Health != nil {
+			if err := h.o.Health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "degraded: %v\n", err)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		o.Registry.WritePrometheus(w)
+		h.o.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		o.Registry.WriteJSON(w)
+		h.o.Registry.WriteJSON(w)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.progress(o))
+		enc.Encode(h.progress())
 	})
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		s.mu.Lock()
-		v := s.explain
-		s.mu.Unlock()
+		h.mu.Lock()
+		v := h.explain
+		h.mu.Unlock()
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if v == nil {
@@ -138,32 +153,22 @@ func Start(addr string, o Options) (*Server, error) {
 	})
 	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		o.Recorder.WriteJSON(w)
+		h.o.Recorder.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s.srv = &http.Server{Handler: mux}
-	go func() {
-		err := s.srv.Serve(ln)
-		if err == http.ErrServerClosed {
-			err = nil
-		}
-		s.err <- err
-	}()
-	return s, nil
 }
 
 // progress builds the /progress snapshot, computing the conflict rate
 // from the delta since the previous scrape.
-func (s *Server) progress(o Options) Progress {
-	m := o.Solver
+func (h *Handlers) progress() Progress {
+	m := h.o.Solver
 	p := Progress{
-		Component:     o.Component,
-		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Component:     h.o.Component,
+		UptimeMS:      time.Since(h.start).Milliseconds(),
 		IncumbentCost: -1,
 		BoundLower:    -1,
 		BoundUpper:    -1,
@@ -189,16 +194,16 @@ func (s *Server) progress(o Options) Progress {
 	p.CoreExplainSolves = m.ExplainSolves.Value()
 	p.CoreExplainSize = m.ExplainSize.Value()
 
-	s.mu.Lock()
+	h.mu.Lock()
 	now := time.Now()
-	if !s.lastScrape.IsZero() {
-		if dt := now.Sub(s.lastScrape).Seconds(); dt > 0 && p.Conflicts >= s.lastConflicts {
-			p.ConflictsPerSec = float64(p.Conflicts-s.lastConflicts) / dt
+	if !h.lastScrape.IsZero() {
+		if dt := now.Sub(h.lastScrape).Seconds(); dt > 0 && p.Conflicts >= h.lastConflicts {
+			p.ConflictsPerSec = float64(p.Conflicts-h.lastConflicts) / dt
 		}
 	}
-	s.lastScrape = now
-	s.lastConflicts = p.Conflicts
-	s.mu.Unlock()
+	h.lastScrape = now
+	h.lastConflicts = p.Conflicts
+	h.mu.Unlock()
 	return p
 }
 
@@ -206,13 +211,54 @@ func (s *Server) progress(o Options) Progress {
 // one. Callers publish a JSON-marshalable snapshot (the CLI uses a
 // rendered core report), typically once, after an infeasible verdict was
 // explained. Safe on nil.
+func (h *Handlers) PublishExplain(v any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.explain = v
+	h.mu.Unlock()
+}
+
+// Server is a running ops listener. Create with Start, stop with Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	h   *Handlers
+
+	// Err receives the Serve loop's terminal error (nil on clean Close);
+	// buffered so the goroutine never blocks.
+	err chan error
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// the ops routes in a background goroutine.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ophttp: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, h: NewHandlers(o), err: make(chan error, 1)}
+	mux := http.NewServeMux()
+	s.h.Register(mux)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.err <- err
+	}()
+	return s, nil
+}
+
+// PublishExplain exposes v on the server's /explain route (see
+// Handlers.PublishExplain). Safe on nil.
 func (s *Server) PublishExplain(v any) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.explain = v
-	s.mu.Unlock()
+	s.h.PublishExplain(v)
 }
 
 // Addr returns the bound listen address (useful with ":0").

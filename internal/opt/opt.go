@@ -110,6 +110,13 @@ type Options struct {
 	// reduction, iteration, bounds, incumbent, and budget events. Nil
 	// disables it.
 	Recorder *flightrec.Recorder
+	// OnImprove, when set, is invoked from the search goroutine whenever
+	// the binary search's view of the answer improves: after the initial
+	// model and after every window move, with the proven bounds [lower,
+	// upper]. The incumbent's cost is always upper (R is by construction
+	// the cost of a model already in hand). The allocation service streams
+	// these to job watchers; keep the callback fast and non-blocking.
+	OnImprove func(lower, upper int64)
 	// Ctx, when set, makes the whole binary search cancellable: its
 	// cancellation or deadline is polled by the SAT solver at restart and
 	// conflict-batch boundaries, and the search degrades to a Feasible
@@ -477,6 +484,9 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	publishWindow := func() {
 		opts.Metrics.RecordBounds(L, R)
 		opts.Recorder.Record("opt.bounds", "L=%d R=%d gap=%d", L, R, R-L)
+		if opts.OnImprove != nil {
+			opts.OnImprove(L, R)
+		}
 	}
 	opts.Metrics.RecordIncumbent(R)
 	opts.Recorder.Record("opt.incumbent", "cost=%d (initial model)", R)

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"satalloc/internal/faultinject"
+	"satalloc/internal/metrics"
+)
+
+// TestChaosEveryJobTerminates is the tentpole proof: hundreds of
+// concurrent jobs through a small pool while deterministic faults fire
+// at all four serve sites — admission panics, worker panics, journal
+// write failures, cache failures — plus a burst of client cancellations.
+// The service's contract must hold throughout: no accepted job is lost
+// (every one reaches done/cancelled/failed), no worker wedges, the drain
+// completes within its grace, the degradation is visible on Health, and
+// a fresh process over the same data dir recovers whatever the faulty
+// journal managed to record. Run under -race in CI (make race-serve).
+func TestChaosEveryJobTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is heavy; skipped with -short")
+	}
+	dir := t.TempDir()
+	m := NewMetrics(metrics.New())
+	s, err := New(Options{
+		DataDir:     dir,
+		Pool:        4,
+		QueueCap:    512,
+		JobTimeout:  30 * time.Second,
+		MaxAttempts: 3,
+		RetryBase:   2 * time.Millisecond,
+		RetryMax:    20 * time.Millisecond,
+		Metrics:     m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	s.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Deterministic chaos: every N-th fire of each site panics. Primes
+	// keep the four fault streams out of phase with each other.
+	var admitN, workerN, journalN, cacheN atomic.Int64
+	restore := faultinject.Set(func(site string) {
+		switch site {
+		case faultinject.SiteServeAdmit:
+			if admitN.Add(1)%29 == 0 {
+				panic("chaos: admission fault")
+			}
+		case faultinject.SiteServeWorker:
+			if workerN.Add(1)%17 == 0 {
+				panic("chaos: worker fault")
+			}
+		case faultinject.SiteServeJournal:
+			if journalN.Add(1)%23 == 0 {
+				panic("chaos: journal fault")
+			}
+		case faultinject.SiteServeCache:
+			if cacheN.Add(1)%13 == 0 {
+				panic("chaos: cache fault")
+			}
+		}
+	})
+	defer restore()
+
+	// 220 jobs: 200 distinct instances plus 20 duplicates that exercise
+	// the cache under fault fire.
+	const jobs = 220
+	specs := make([][]byte, jobs)
+	for i := range specs {
+		seed := int64(1000 + i)
+		if i >= 200 {
+			seed = 1000 + int64(i-200) // duplicate of an earlier spec
+		}
+		b, err := json.Marshal(tinySpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = b
+	}
+
+	// 16 concurrent submitters; 429/500 are retryable by contract
+	// (Retry-After, handler panic containment), so the client loop
+	// retries them and every spec ends up either accepted or cache-hit.
+	var mu sync.Mutex
+	var accepted []string
+	work := make(chan []byte, jobs)
+	for _, b := range specs {
+		work <- b
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				for try := 0; ; try++ {
+					resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(b))
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					code := resp.StatusCode
+					var st Status
+					if code == http.StatusAccepted || code == http.StatusOK {
+						json.NewDecoder(resp.Body).Decode(&st)
+					}
+					resp.Body.Close()
+					switch {
+					case code == http.StatusAccepted:
+						mu.Lock()
+						accepted = append(accepted, st.ID)
+						mu.Unlock()
+					case code == http.StatusOK && st.CacheHit:
+						// Answered without a job; nothing to track.
+					case code == http.StatusTooManyRequests || code == http.StatusInternalServerError:
+						if try > 500 {
+							t.Errorf("spec never admitted after %d tries (last %d)", try, code)
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+						continue
+					default:
+						t.Errorf("submit: unexpected status %d", code)
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(accepted) == 0 {
+		t.Fatal("no jobs accepted")
+	}
+
+	// Cancel a slice of them mid-flight, concurrently with the solving.
+	for i, id := range accepted {
+		if i%20 != 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs/"+id+"/cancel", "", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// Every accepted job must reach a terminal state on its own.
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range accepted {
+		for {
+			st := getStatus(t, ts, id)
+			if st.State.Terminal() {
+				if st.State == StateDone && st.Result == nil {
+					t.Errorf("job %s done without a result", id)
+				}
+				if st.State == StateFailed && st.Error == "" {
+					t.Errorf("job %s failed without an error", id)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s: the pool wedged", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The journal faults must have surfaced as a degraded Health — that
+	// is satellite 6's end of the bargain.
+	if journalN.Load() >= 23 && s.Health() == nil {
+		t.Error("journal faults fired but Health still reports ok")
+	}
+	if m.HandlerPanics.Value() == 0 && admitN.Load() >= 29 {
+		t.Error("admission faults fired but no handler panic was contained")
+	}
+	if m.Retried.Value() == 0 && workerN.Load() >= 17 {
+		t.Error("worker faults fired but no retry happened")
+	}
+
+	// Graceful drain completes within its grace despite the chaos.
+	start := time.Now()
+	if err := s.Drain(20 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if d := time.Since(start); d > 25*time.Second {
+		t.Fatalf("drain took %v, past its grace", d)
+	}
+	restore()
+
+	// A fresh process over the same (fault-battered) data dir starts and
+	// finishes whatever the journal says is still owed.
+	s2, err := New(Options{DataDir: dir, Pool: 4, RetryBase: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	defer s2.Close()
+	for time.Now().Before(deadline) && s2.pending.Load() > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := s2.pending.Load(); n > 0 {
+		t.Fatalf("%d replayed jobs still pending after restart", n)
+	}
+
+	t.Logf("chaos summary: accepted=%d faults(admit=%d worker=%d journal=%d cache=%d) retries=%d panics=%d replayed=%d",
+		len(accepted), admitN.Load()/29, workerN.Load()/17, journalN.Load()/23, cacheN.Load()/13,
+		m.Retried.Value(), m.HandlerPanics.Value(), s2.m.Replayed.Value())
+}

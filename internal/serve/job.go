@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"satalloc/internal/core"
+)
+
+// State is a job's position in its lifecycle. Queued and Running are
+// transient; Done, Cancelled and Failed are terminal — every accepted job
+// reaches exactly one of them, which is the service's core promise under
+// faults, drains, and restarts.
+type State string
+
+// The job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"      // solve returned a verdict (optimal, feasible, infeasible, or aborted)
+	StateCancelled State = "cancelled" // caller cancelled; Result may still carry a partial incumbent
+	StateFailed    State = "failed"    // solve errored, or died to contained panics past the retry cap
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Result is the JSON wire form of a finished solve: the verdict, the
+// (possibly budget-halted) incumbent, and the effort behind it.
+type Result struct {
+	// Status is the optimizer's verdict: "optimal", "feasible" (anytime
+	// incumbent with a proven gap), "infeasible", or "aborted".
+	Status     string               `json:"status"`
+	Feasible   bool                 `json:"feasible"`
+	Aborted    bool                 `json:"aborted,omitempty"`
+	Cost       int64                `json:"cost"`
+	LowerBound int64                `json:"lowerBound"`
+	Allocation *core.AllocationSpec `json:"allocation,omitempty"`
+	SolveCalls int                  `json:"solveCalls"`
+	Conflicts  int64                `json:"conflicts"`
+	DurationMS int64                `json:"durationMs"`
+}
+
+// exact reports whether the result is a deterministic terminal verdict —
+// the only kind the spec-hash cache may serve to future submissions
+// (budget-halted incumbents depend on the budget that halted them).
+func (r *Result) exact() bool {
+	return r != nil && (r.Status == "optimal" || r.Status == "infeasible")
+}
+
+// Job is one tracked solve. All mutable fields are guarded by mu; the
+// identity fields (ID, Hash, Spec) are written once before the job is
+// published and never change.
+type Job struct {
+	ID   string
+	Hash string
+	Spec *core.Spec
+
+	mu        sync.Mutex
+	state     State
+	attempts  int
+	cancelReq bool
+	cancel    func() // cancels the in-flight solve context; nil unless running
+	result    *Result
+	errmsg    string
+	// Live anytime window, streamed to watchers: incumbent cost is upper.
+	lower, upper int64
+	version      int64 // bumped on every observable change; pollers diff it
+	submitted    time.Time
+	done         chan struct{} // closed on entering a terminal state
+}
+
+func newJob(id, hash string, spec *core.Spec) *Job {
+	return &Job{
+		ID: id, Hash: hash, Spec: spec,
+		state: StateQueued, lower: -1, upper: -1,
+		submitted: time.Now(), done: make(chan struct{}),
+	}
+}
+
+// Status is the JSON wire form of a job snapshot.
+type Status struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	SpecHash string `json:"specHash"`
+	Attempts int    `json:"attempts"`
+	// The live anytime window while running: upper is the best incumbent's
+	// cost, lower the proven bound; -1 until known.
+	BoundLower int64 `json:"boundLower"`
+	BoundUpper int64 `json:"boundUpper"`
+	// Version increases on every observable change; streaming clients use
+	// it to dedupe.
+	Version int64   `json:"version"`
+	Error   string  `json:"error,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	// CacheHit marks a submission answered from the result cache without
+	// spawning a job (ID is then the hash, not a job ID).
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// snapshot captures the job under its lock.
+func (j *Job) snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, State: j.state, SpecHash: j.Hash, Attempts: j.attempts,
+		BoundLower: j.lower, BoundUpper: j.upper, Version: j.version,
+		Error: j.errmsg, Result: j.result,
+	}
+}
+
+// improve publishes a new anytime window to watchers.
+func (j *Job) improve(lower, upper int64) {
+	j.mu.Lock()
+	j.lower, j.upper = lower, upper
+	j.version++
+	j.mu.Unlock()
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// SpecHash is the result-cache key: the SHA-256 of the spec's canonical
+// JSON with the free-form Meta stripped, since provenance does not
+// influence solving — two workgen runs of the same instance hash alike
+// even when their seed/version stamps differ.
+func SpecHash(sp *core.Spec) string {
+	shallow := *sp
+	shallow.Meta = nil
+	b, err := json.Marshal(&shallow)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on one. Keep a
+		// distinguishable key rather than panicking in the admission path.
+		return fmt.Sprintf("unhashable:%v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"satalloc/internal/core"
+	"satalloc/internal/faultinject"
+)
+
+// The journal is the daemon's crash-safety spine: an append-only JSONL
+// file under the data dir recording every job's admission and terminal
+// verdict. Each append is fsynced before the HTTP response that depends
+// on it, so after a kill -9 the file tells the restarted daemon exactly
+// which accepted jobs still owe the caller an answer (replayed back into
+// the queue) and which deterministic verdicts are safe to serve from
+// cache. A failed append degrades the service (visible on /healthz) but
+// never blocks the job itself — losing durability is better than losing
+// the solve.
+//
+// Record stream grammar: a "submit" opens a job; exactly one of "done",
+// "cancel" or "fail" closes it. A job with no closing record at replay
+// time is pending and gets re-enqueued. Only the final line can be torn
+// (fsync-per-record), and a torn tail is skipped, which at worst demotes
+// one completed job back to pending — replay then solves it again, which
+// is safe because solving is idempotent.
+const journalName = "journal.jsonl"
+
+// record is one journal line.
+type record struct {
+	T    string     `json:"t"` // "submit" | "done" | "cancel" | "fail"
+	ID   string     `json:"id"`
+	Hash string     `json:"hash,omitempty"`
+	Spec *core.Spec `json:"spec,omitempty"` // submit only
+	// Result rides on "done" (the verdict) and on "cancel" when the solve
+	// had already produced a partial incumbent worth keeping.
+	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"err,omitempty"` // fail only
+}
+
+// journal is the append side. All methods are safe for concurrent use.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	m      *Metrics
+	sticky error // first append failure, surfaced via Health until restart
+}
+
+// replayState is what a journal scan recovers: the jobs the previous
+// process accepted but never finished, the cacheable verdicts it did
+// finish, and where the job-ID sequence left off.
+type replayState struct {
+	pending []*Job
+	cache   map[string]*Result // spec hash → exact verdict
+	nextSeq int64
+}
+
+// openJournal scans dir's journal (if any), compacts it down to the
+// records that still matter — submits of pending jobs plus exact
+// verdicts for the cache — and returns the append handle and the
+// recovered state. The compacted file is written to a temp name and
+// renamed into place, so a crash mid-compaction leaves the old journal
+// intact.
+func openJournal(dir string, m *Metrics) (*journal, *replayState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	st, keep, err := scanJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactJournal(path, keep); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal open: %w", err)
+	}
+	return &journal{f: f, path: path, m: m}, st, nil
+}
+
+// scanJournal replays path into a replayState plus the compacted record
+// list. A missing file is an empty journal. Unparsable lines (the torn
+// tail of a crash) are skipped.
+func scanJournal(path string) (*replayState, []record, error) {
+	st := &replayState{cache: map[string]*Result{}, nextSeq: 1}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return st, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	defer f.Close()
+
+	open := map[string]*record{} // id → submit record awaiting a close
+	var done []record            // terminal "done" records worth keeping for the cache
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if json.Unmarshal(line, &r) != nil {
+			continue // torn tail (or garbage) — drop, never fail recovery
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(r.ID, "j%d", &seq); err == nil && seq >= st.nextSeq {
+			st.nextSeq = seq + 1
+		}
+		switch r.T {
+		case "submit":
+			rc := r
+			open[r.ID] = &rc
+		case "done":
+			delete(open, r.ID)
+			if r.Result.exact() {
+				st.cache[r.Hash] = r.Result
+				done = append(done, r)
+			}
+		case "cancel", "fail":
+			delete(open, r.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("serve: journal scan: %w", err)
+	}
+
+	keep := make([]record, 0, len(open)+len(done))
+	for _, r := range open {
+		if r.Spec == nil {
+			continue // a submit without its spec cannot be replayed
+		}
+		st.pending = append(st.pending, newJob(r.ID, r.Hash, r.Spec))
+		keep = append(keep, *r)
+	}
+	for _, r := range done {
+		r.Spec = nil
+		keep = append(keep, r)
+	}
+	return st, keep, nil
+}
+
+// compactJournal atomically replaces path with just the kept records.
+func compactJournal(path string, keep []record) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, r := range keep {
+		if err := enc.Encode(&r); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: journal compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	return nil
+}
+
+// append durably writes one record: marshal, write, fsync. Failures
+// (including an injected panic at the serve.journal fault site) are
+// contained to an error return and remembered for Health — the caller's
+// job proceeds either way.
+func (j *journal) append(r record) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: journal append panicked: %v", p)
+		}
+		if err != nil {
+			j.m.JournalErrors.Inc()
+			j.mu.Lock()
+			if j.sticky == nil {
+				j.sticky = err
+			}
+			j.mu.Unlock()
+		}
+	}()
+	faultinject.Fire(faultinject.SiteServeJournal)
+	b, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("serve: journal marshal: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("serve: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	j.m.JournalRecords.Inc()
+	return nil
+}
+
+// health returns the first append failure seen since open, or nil.
+func (j *journal) health() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sticky
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"time"
+
+	"satalloc/internal/metrics"
+)
+
+// Metrics bundles the allocation daemon's service-level series, all
+// registered under the satalloc_serve_ prefix (the solve pipeline's own
+// satalloc_sat_/opt_/core_ series ride along on the same registry via
+// the shared *metrics.SolverMetrics). A nil *Metrics is a valid disabled
+// instrument: every Record method is a no-op, the same contract as
+// metrics.SolverMetrics.
+//
+//satlint:nilsafe
+type Metrics struct {
+	reg *metrics.Registry
+
+	// Job lifecycle.
+	Submitted *metrics.Counter // jobs accepted into the queue
+	Retried   *metrics.Counter // requeues after a contained panic
+	Replayed  *metrics.Counter // pending jobs re-enqueued from the journal
+	// Point-in-time service state.
+	QueueDepth  *metrics.Gauge // jobs waiting in the admission queue
+	WorkersBusy *metrics.Gauge // pool workers currently solving
+	JobsPending *metrics.Gauge // accepted jobs not yet terminal
+	Draining    *metrics.Gauge // 1 while a graceful drain is in progress
+	// Result cache and journal.
+	CacheHits      *metrics.Counter
+	CacheMisses    *metrics.Counter
+	JournalRecords *metrics.Counter
+	JournalErrors  *metrics.Counter
+	// Containment.
+	HandlerPanics *metrics.Counter // panics recovered at the HTTP handler boundary
+	// Per-attempt solve wall time.
+	AttemptMS *metrics.Histogram
+}
+
+// NewMetrics registers the service metric set on r. A nil registry
+// yields a nil (disabled) *Metrics.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:       r,
+		Submitted: r.Counter("satalloc_serve_jobs_submitted_total", "jobs accepted into the queue", nil),
+		Retried:   r.Counter("satalloc_serve_jobs_retried_total", "job requeues after a contained panic", nil),
+		Replayed:  r.Counter("satalloc_serve_jobs_replayed_total", "pending jobs re-enqueued from the journal on startup", nil),
+
+		QueueDepth:  r.Gauge("satalloc_serve_queue_depth", "jobs waiting in the admission queue", nil),
+		WorkersBusy: r.Gauge("satalloc_serve_workers_busy", "pool workers currently solving", nil),
+		JobsPending: r.Gauge("satalloc_serve_jobs_pending", "accepted jobs not yet in a terminal state", nil),
+		Draining:    r.Gauge("satalloc_serve_draining", "1 while a graceful drain is in progress", nil),
+
+		CacheHits:      r.Counter("satalloc_serve_cache_hits_total", "submissions answered from the spec-hash result cache", nil),
+		CacheMisses:    r.Counter("satalloc_serve_cache_misses_total", "submissions that missed the result cache", nil),
+		JournalRecords: r.Counter("satalloc_serve_journal_records_total", "records appended to the job journal", nil),
+		JournalErrors:  r.Counter("satalloc_serve_journal_errors_total", "journal appends that failed (service degrades, jobs continue)", nil),
+
+		HandlerPanics: r.Counter("satalloc_serve_handler_panics_total", "panics recovered at the HTTP handler boundary", nil),
+		AttemptMS:     r.Histogram("satalloc_serve_job_attempt_duration_ms", "wall time per job solve attempt in milliseconds", metrics.SolveCallMSBuckets, nil),
+	}
+}
+
+// RecordRequest counts one HTTP request against the named route.
+func (m *Metrics) RecordRequest(route string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_serve_requests_total",
+		"HTTP requests served, by route", metrics.Labels{"route": route}).Inc()
+}
+
+// RecordRejected counts one rejected submission by reason ("queue_full",
+// "draining", "bad_spec", "too_large").
+func (m *Metrics) RecordRejected(reason string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_serve_jobs_rejected_total",
+		"submissions rejected by admission control, by reason", metrics.Labels{"reason": reason}).Inc()
+}
+
+// RecordCompleted counts one job reaching a terminal state, by outcome
+// ("optimal", "feasible", "infeasible", "aborted", "cancelled",
+// "failed").
+func (m *Metrics) RecordCompleted(outcome string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("satalloc_serve_jobs_completed_total",
+		"jobs reaching a terminal state, by outcome", metrics.Labels{"outcome": outcome}).Inc()
+}
+
+// RecordAttempt records one solve attempt's wall time.
+func (m *Metrics) RecordAttempt(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.AttemptMS.Observe(d.Milliseconds())
+}

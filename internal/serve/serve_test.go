@@ -1,0 +1,568 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"satalloc/internal/core"
+	"satalloc/internal/faultinject"
+	"satalloc/internal/metrics"
+	"satalloc/internal/workload"
+)
+
+// tinySpec builds a small-but-real instance (4 tasks on a 2-ECU ring)
+// that solves in milliseconds; distinct seeds give distinct spec hashes.
+func tinySpec(seed int64) *core.Spec {
+	o := workload.T43Options()
+	o.Seed = seed
+	o.Tasks = 4
+	o.Chains = 1
+	o.Restricted = 0
+	o.SeparatedPairs = 0
+	o.ForcedRemoteChains = 0
+	o.MemCapacityPerECU = 0
+	o.JitteredTasks = 0
+	o.BlockingTasks = 0
+	return core.ToSpec(workload.Populate(workload.RingArchitecture(2), o))
+}
+
+// testServer builds a Server on a temp data dir plus an httptest front
+// end. mutate tweaks the options before New.
+func testServer(t *testing.T, mutate func(*Options)) (*Server, *httptest.Server) {
+	t.Helper()
+	o := Options{
+		DataDir:    t.TempDir(),
+		Pool:       2,
+		JobTimeout: 30 * time.Second,
+		RetryBase:  2 * time.Millisecond,
+		RetryMax:   20 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	s.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, sp *core.Spec) (Status, int) {
+	t.Helper()
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: %d", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Status{}
+}
+
+func TestSubmitSolveCacheRoundTrip(t *testing.T) {
+	_, ts := testServer(t, nil)
+	sp := tinySpec(7)
+
+	st, code := submit(t, ts, sp)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d, want 202", code)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("fresh job snapshot wrong: %+v", st)
+	}
+	st = waitTerminal(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Status != "optimal" {
+		t.Fatalf("result %+v, want optimal", st.Result)
+	}
+	if st.Result.Allocation == nil {
+		t.Fatal("done job lost its allocation")
+	}
+
+	// Same spec again: answered from the cache, no second job. A different
+	// Meta must not defeat the hash — provenance does not influence solving.
+	sp2 := tinySpec(7)
+	sp2.Meta = map[string]string{"generator": "elsewhere"}
+	st2, code := submit(t, ts, sp2)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit: code %d cacheHit %v, want 200/true", code, st2.CacheHit)
+	}
+	if st2.Result == nil || st2.Result.Cost != st.Result.Cost {
+		t.Fatalf("cached result diverges: %+v vs %+v", st2.Result, st.Result)
+	}
+}
+
+func TestAdmissionBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	restore := faultinject.Set(func(site string) {
+		if site == faultinject.SiteServeWorker {
+			<-block
+		}
+	})
+	defer restore()
+	defer close(block)
+
+	_, ts := testServer(t, func(o *Options) { o.Pool = 1; o.QueueCap = 1 })
+
+	// First job occupies the single worker; second fills the queue.
+	first, code := submit(t, ts, tinySpec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	// The worker may not have dequeued the first job yet, so admit until
+	// the queue is genuinely full.
+	var rejected *http.Response
+	for i := int64(2); i < 10; i++ {
+		b, _ := json.Marshal(tinySpec(i))
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected = resp
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: unexpected %d", i, resp.StatusCode)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("queue never filled: no 429 seen")
+	}
+	defer rejected.Body.Close()
+	if rejected.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	_ = first
+
+	// Malformed and invalid specs are 400, not 500.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"name":"empty"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	block := make(chan struct{})
+	restore := faultinject.Set(func(site string) {
+		if site == faultinject.SiteServeWorker {
+			<-block
+		}
+	})
+	defer restore()
+
+	_, ts := testServer(t, func(o *Options) { o.Pool = 1; o.QueueCap = 8 })
+
+	running, _ := submit(t, ts, tinySpec(11))
+	queued, _ := submit(t, ts, tinySpec(12))
+
+	// Cancelling the queued job terminates it without a worker.
+	resp, err := http.Post(ts.URL+"/jobs/"+queued.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitTerminal(t, ts, queued.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("queued job state %s, want cancelled", st.State)
+	}
+
+	// Release the worker and cancel the running job; tiny instances may
+	// finish before the cancel lands, so accept done too — the invariant
+	// is termination, not which terminal state wins the race.
+	close(block)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st = waitTerminal(t, ts, running.ID)
+	if st.State != StateCancelled && st.State != StateDone {
+		t.Fatalf("running job state %s, want cancelled or done", st.State)
+	}
+
+	// Unknown IDs are 404s.
+	resp, err = http.Post(ts.URL+"/jobs/j99999999/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterWorkerPanic(t *testing.T) {
+	restore := faultinject.Set(faultinject.PanicAt(faultinject.SiteServeWorker, 1, "injected worker fault"))
+	defer restore()
+
+	_, ts := testServer(t, func(o *Options) { o.Pool = 1; o.MaxAttempts = 3 })
+	st, _ := submit(t, ts, tinySpec(21))
+	st = waitTerminal(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state %s (%s), want done after retry", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2 (one panic, one success)", st.Attempts)
+	}
+}
+
+func TestFailAfterExhaustedRetries(t *testing.T) {
+	restore := faultinject.Set(func(site string) {
+		if site == faultinject.SiteServeWorker {
+			panic("injected persistent fault")
+		}
+	})
+	defer restore()
+
+	s, ts := testServer(t, func(o *Options) { o.Pool = 1; o.MaxAttempts = 2 })
+	st, _ := submit(t, ts, tinySpec(22))
+	st = waitTerminal(t, ts, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("state %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "failed after 2 attempts") {
+		t.Fatalf("error %q does not name the exhausted retry budget", st.Error)
+	}
+	if got := s.m.Retried.Value(); got != 1 {
+		t.Fatalf("retried counter %d, want 1", got)
+	}
+}
+
+func TestStreamDeliversTerminalSnapshot(t *testing.T) {
+	_, ts := testServer(t, nil)
+	st, _ := submit(t, ts, tinySpec(31))
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var last Status
+	n := 0
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("stream emitted no snapshots")
+	}
+	if !last.State.Terminal() {
+		t.Fatalf("stream ended on non-terminal state %s", last.State)
+	}
+}
+
+func TestDrainStopsAdmissionAndSettles(t *testing.T) {
+	s, ts := testServer(t, nil)
+	var ids []string
+	for i := int64(41); i < 45; i++ {
+		st, code := submit(t, ts, tinySpec(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+		ids = append(ids, st.ID)
+	}
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		if st := getStatus(t, ts, id); !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after drain: %s", id, st.State)
+		}
+	}
+	// Post-drain submissions are refused with 503.
+	_, code := submit(t, ts, tinySpec(45))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", code)
+	}
+}
+
+func TestJournalReplayCompletesInterruptedJobs(t *testing.T) {
+	dir := t.TempDir()
+
+	// Phase 1: finish one job (seeds the durable cache), leave two more
+	// mid-flight forever — the worker wedged inside the fault hook stands
+	// in for a process that was kill -9'd with the journal still open.
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s1, err := New(Options{DataDir: dir, Pool: 1, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); s1.Close() }()
+	mux := http.NewServeMux()
+	s1.Register(mux)
+	ts1 := httptest.NewServer(mux)
+	defer ts1.Close()
+	done, code := submit(t, ts1, tinySpec(51))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	doneSt := waitTerminal(t, ts1, done.ID)
+	if doneSt.State != StateDone {
+		t.Fatalf("warmup job: %s", doneSt.State)
+	}
+
+	restore := faultinject.Set(func(site string) {
+		if site == faultinject.SiteServeWorker {
+			entered <- struct{}{}
+			<-block
+		}
+	})
+	defer restore()
+	j1, _ := submit(t, ts1, tinySpec(52))
+	<-entered // the single worker is now wedged on j1
+	j2, _ := submit(t, ts1, tinySpec(53))
+	// Clear the global hook before the second server starts, or its
+	// workers would wedge on the same channel. s1's worker stays wedged
+	// inside the old closure.
+	restore()
+
+	// Phase 2: a fresh process over the same data dir replays them.
+	s2, err := New(Options{DataDir: dir, Pool: 2, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	mux2 := http.NewServeMux()
+	s2.Register(mux2)
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+
+	if got := s2.m.Replayed.Value(); got != 2 {
+		t.Fatalf("replayed %d jobs, want 2 (%s, %s)", got, j1.ID, j2.ID)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		if st := waitTerminal(t, ts2, id); st.State != StateDone {
+			t.Fatalf("replayed job %s: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	// The finished verdict from the previous life serves from cache.
+	st, code := submit(t, ts2, tinySpec(51))
+	if code != http.StatusOK || !st.CacheHit {
+		t.Fatalf("pre-crash verdict not cached: code %d cacheHit %v", code, st.CacheHit)
+	}
+	if st.Result == nil || st.Result.Cost != doneSt.Result.Cost {
+		t.Fatalf("cached cost diverges across restart: %+v vs %+v", st.Result, doneSt.Result)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sp := tinySpec(61)
+	rec := record{T: "submit", ID: "j00000009", Hash: SpecHash(sp), Spec: sp}
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full record followed by a torn half-written line, as a crash
+	// mid-append leaves behind.
+	content := append(b, '\n')
+	content = append(content, []byte(`{"t":"done","id":"j00000009","res`)...)
+	if err := os.WriteFile(filepath.Join(dir, journalName), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _, err := scanJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatalf("torn tail must not fail recovery: %v", err)
+	}
+	if len(st.pending) != 1 || st.pending[0].ID != "j00000009" {
+		t.Fatalf("pending after torn tail: %+v", st.pending)
+	}
+	if st.nextSeq != 10 {
+		t.Fatalf("nextSeq %d, want 10", st.nextSeq)
+	}
+}
+
+func TestHealthDegradesOnJournalAndCacheFaults(t *testing.T) {
+	s, ts := testServer(t, nil)
+	if err := s.Health(); err != nil {
+		t.Fatalf("fresh server unhealthy: %v", err)
+	}
+
+	restore := faultinject.Set(func(site string) {
+		switch site {
+		case faultinject.SiteServeJournal:
+			panic("injected journal fault")
+		case faultinject.SiteServeCache:
+			panic("injected cache fault")
+		}
+	})
+	defer restore()
+
+	st, code := submit(t, ts, tinySpec(71))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with degraded journal must still admit: %d", code)
+	}
+	if got := waitTerminal(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("job under journal faults: %s (%s)", got.State, got.Error)
+	}
+	err := s.Health()
+	if err == nil {
+		t.Fatal("health still ok after journal and cache faults")
+	}
+	for _, want := range []string{"journal", "cache"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("health error %q does not mention the %s fault", err, want)
+		}
+	}
+	if s.m.JournalErrors.Value() == 0 {
+		t.Fatal("journal error counter never moved")
+	}
+}
+
+func TestSpecHashIgnoresMeta(t *testing.T) {
+	a := tinySpec(81)
+	b := tinySpec(81)
+	b.Meta = map[string]string{"seed": "different-story"}
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatal("Meta leaked into the spec hash")
+	}
+	if SpecHash(a) == SpecHash(tinySpec(82)) {
+		t.Fatal("distinct instances collided")
+	}
+}
+
+func TestNewRequiresDataDir(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without DataDir must fail")
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.RecordRequest("submit")
+	m.RecordRejected("queue_full")
+	m.RecordCompleted("optimal")
+	m.RecordAttempt(time.Second)
+	if NewMetrics(nil) != nil {
+		t.Fatal("NewMetrics(nil) must be nil")
+	}
+}
+
+// TestJournalCompactionDropsSettledRecords: reopening a journal rewrites
+// it down to pending submits plus cacheable verdicts.
+func TestJournalCompactionDropsSettledRecords(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics(metrics.New())
+	j, _, err := openJournal(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec(91)
+	h := SpecHash(sp)
+	recs := []record{
+		{T: "submit", ID: "j00000001", Hash: h, Spec: sp},
+		{T: "done", ID: "j00000001", Hash: h, Result: &Result{Status: "optimal", Feasible: true, Cost: 42}},
+		{T: "submit", ID: "j00000002", Hash: "h2", Spec: sp},
+		{T: "cancel", ID: "j00000002", Hash: "h2"},
+		{T: "submit", ID: "j00000003", Hash: "h3", Spec: sp},
+	}
+	for _, r := range recs {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st, err := func() (*journal, *replayState, error) { return openJournal(dir, m) }()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.pending) != 1 || st.pending[0].ID != "j00000003" {
+		t.Fatalf("pending %+v, want just j00000003", st.pending)
+	}
+	if got := st.cache[h]; got == nil || got.Cost != 42 {
+		t.Fatalf("cache after compaction: %+v", got)
+	}
+	if st.nextSeq != 4 {
+		t.Fatalf("nextSeq %d, want 4", st.nextSeq)
+	}
+	// The rewritten file holds exactly the two surviving records.
+	b, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(b, []byte{'\n'}); n != 2 {
+		t.Fatalf("compacted journal has %d records, want 2:\n%s", n, b)
+	}
+}
+
+func ExampleSpecHash() {
+	sp := tinySpec(1)
+	fmt.Println(len(SpecHash(sp)))
+	// Output: 64
+}
