@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke serve-smoke race-serve
+.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke serve-smoke load-smoke race-serve
 
 ## check: the full CI gate — vet, lint, proof replay, build, the
 ## race-enabled test suite, and a short fuzz smoke run of every
@@ -79,6 +79,14 @@ ops-smoke:
 ## cache survives, and SIGTERM drains cleanly.
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -count 1 -v ./cmd/allocd
+
+## load-smoke: end-to-end check of the load generator and the tenant
+## observability surface — builds the real allocd, drives ~100 jobs
+## across two tenants through loadgen's open loop, and asserts the
+## report's per-tenant percentiles plus the daemon's tenant-labeled
+## /metrics series and /jobs/summary view.
+load-smoke:
+	$(GO) test -run 'TestLoadSmoke' -count 1 -v ./cmd/loadgen
 
 ## race-serve: the allocation service's concurrency suite under the race
 ## detector — including the chaos test (hundreds of concurrent jobs with

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the load generator's end-to-end proof, run as
+// `make load-smoke` in CI: build the real allocd binary, boot it on a
+// free port, fire ~100 jobs across two tenants through run() at an
+// open-loop rate, and assert the report carries sane per-tenant
+// percentiles, near-zero errors, and that the daemon's /metrics
+// exposition gained tenant-labeled serve series.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the allocd binary")
+	}
+	tmp := t.TempDir()
+	allocd := filepath.Join(tmp, "allocd")
+	build := exec.Command("go", "build", "-o", allocd, "../allocd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ../allocd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(allocd, "-addr", "127.0.0.1:0",
+		"-data-dir", filepath.Join(tmp, "data"), "-pool", "4", "-queue", "256")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	addr := ""
+	var tail strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		tail.WriteString(line + "\n")
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on http://"):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen announcement on stderr:\n%s", tail.String())
+	}
+	go io.Copy(io.Discard, stderr)
+
+	mix, err := parseTenantMix("acme:3,globex:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(config{
+		addr: "http://" + addr, jobs: 100, rate: 200,
+		mix: mix, kind: "ring", ecus: 2, tasks: 4, seed: 1,
+		jobTimeout: 60 * time.Second,
+		logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The report must be serializable — it is the committed artifact.
+	if b, err := json.MarshalIndent(rep, "", "  "); err != nil {
+		t.Fatalf("report not marshalable: %v", err)
+	} else {
+		t.Logf("report:\n%s", b)
+	}
+
+	// Sanity: everything fired, (almost) everything finished. Shed is
+	// legal under open loop but this load is far below the queue cap.
+	if got := rep.Completed + rep.Shed + rep.Errors; got != 100 {
+		t.Fatalf("completed %d + shed %d + errors %d = %d, want 100",
+			rep.Completed, rep.Shed, rep.Errors, got)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d errors against a healthy daemon", rep.Errors)
+	}
+	if rep.Completed < 90 {
+		t.Fatalf("only %d/100 completed (shed %d)", rep.Completed, rep.Shed)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v, want > 0", rep.Throughput)
+	}
+
+	// Both tenants appear, with the 3:1 mix and ordered percentiles.
+	acme, globex := rep.Tenants["acme"], rep.Tenants["globex"]
+	if acme == nil || globex == nil {
+		t.Fatalf("tenants missing from report: %+v", rep.Tenants)
+	}
+	if acme.Jobs != 75 || globex.Jobs != 25 {
+		t.Fatalf("tenant mix %d:%d, want 75:25", acme.Jobs, globex.Jobs)
+	}
+	for name, tr := range rep.Tenants {
+		s := tr.Latency
+		if s == nil || s.Count == 0 {
+			t.Fatalf("tenant %s has no latency summary", name)
+		}
+		if !(s.P50MS <= s.P95MS && s.P95MS <= s.P99MS && s.P99MS <= s.P999MS) {
+			t.Fatalf("tenant %s percentiles unordered: %+v", name, s)
+		}
+		if s.MinMS < 0 || s.MaxMS < s.MinMS || s.MeanMS <= 0 {
+			t.Fatalf("tenant %s raw stats wrong: %+v", name, s)
+		}
+		if tr.FirstFeasible == nil || tr.FirstFeasible.Count == 0 {
+			t.Fatalf("tenant %s has no first-feasible curve", name)
+		}
+	}
+
+	// The daemon's exposition gained tenant-labeled serve series.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`satalloc_serve_jobs_submitted_total{tenant="acme"}`,
+		`satalloc_serve_jobs_submitted_total{tenant="globex"}`,
+		`satalloc_serve_job_total_duration_ms_count{tenant="acme"}`,
+		`satalloc_serve_job_first_feasible_ms_count{tenant="globex"}`,
+		`satalloc_serve_queue_depth{tenant="-"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A job trace is live on the daemon for a completed job.
+	resp, err = http.Get("http://" + addr + "/jobs/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		States map[string]int `json:"states"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.States["done"] == 0 {
+		t.Fatalf("summary shows no done jobs: %+v", sum.States)
+	}
+}

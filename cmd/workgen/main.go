@@ -21,6 +21,12 @@
 // allocd smoke test. For -kind ring the i-th instance uses seed+i, so
 // the corpus holds N distinct instances; the fixed kinds are
 // deterministic, so their N lines differ only in the meta stamp (index).
+//
+// -tenant stamps every emitted spec's meta with a tenant name, which the
+// allocation daemon turns into the tenant label on its metrics and
+// traces. -tenant-mix "a:3,b:1" instead cycles a weighted round-robin of
+// tenants across a -count batch (here: 3 specs for a, then 1 for b,
+// repeating), for multi-tenant load corpora.
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"satalloc/internal/cli"
 	"satalloc/internal/core"
@@ -41,6 +49,8 @@ func main() {
 	tasks := flag.Int("tasks", 20, "task count for -kind ring")
 	seed := flag.Int64("seed", 43, "generator seed for -kind ring")
 	count := flag.Int("count", 1, "instances to emit; >1 emits a JSONL corpus (seed+i per ring instance)")
+	tenant := flag.String("tenant", "", "stamp meta.tenant on every emitted spec")
+	tenantMix := flag.String("tenant-mix", "", `weighted tenant rotation for a -count batch, e.g. "acme:3,globex:1"`)
 	describe := flag.Bool("describe", false, "print a topology overview to stderr")
 	// Generation is fast; the shared budget flags are accepted for CLI
 	// uniformity and bound the (already quick) generate+validate+emit path.
@@ -52,6 +62,15 @@ func main() {
 
 	if *count < 1 {
 		fmt.Fprintf(os.Stderr, "workgen: -count must be >= 1, got %d\n", *count)
+		os.Exit(2)
+	}
+	if *tenant != "" && *tenantMix != "" {
+		fmt.Fprintln(os.Stderr, "workgen: -tenant and -tenant-mix are mutually exclusive")
+		os.Exit(2)
+	}
+	mix, err := parseTenantMix(*tenantMix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
 		os.Exit(2)
 	}
 	for i := 0; i < *count; i++ {
@@ -77,6 +96,11 @@ func main() {
 			sys.Meta["index"] = fmt.Sprint(i)
 			sys.Meta["count"] = fmt.Sprint(*count)
 		}
+		if *tenant != "" {
+			sys.Meta["tenant"] = *tenant
+		} else if len(mix) > 0 {
+			sys.Meta["tenant"] = mix[i%len(mix)]
+		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "workgen: budget exhausted or cancelled before the corpus was emitted")
 			os.Exit(4)
@@ -89,6 +113,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseTenantMix expands a "name:weight,name:weight" spec into the flat
+// rotation batch generation cycles through: "acme:3,globex:1" becomes
+// [acme acme acme globex], so every window of 4 instances holds the
+// exact 3:1 ratio deterministically (no sampling noise in small runs).
+// An empty spec yields a nil rotation; a bare "name" means weight 1.
+func parseTenantMix(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var mix []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("-tenant-mix %q has an empty entry", spec)
+		}
+		name, weight := part, 1
+		if j := strings.LastIndexByte(part, ':'); j >= 0 {
+			w, err := strconv.Atoi(part[j+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("-tenant-mix entry %q: weight must be a positive integer", part)
+			}
+			name, weight = part[:j], w
+		}
+		if name == "" {
+			return nil, fmt.Errorf("-tenant-mix entry %q has an empty tenant name", part)
+		}
+		for k := 0; k < weight; k++ {
+			mix = append(mix, name)
+		}
+	}
+	return mix, nil
 }
 
 // generate builds one instance of the named kind. The seed only varies

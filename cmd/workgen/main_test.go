@@ -35,6 +35,45 @@ func TestGenerateUnknownKind(t *testing.T) {
 	}
 }
 
+// TestParseTenantMix: the weighted spec expands into a deterministic
+// rotation — exact ratios in every window, not sampled ones.
+func TestParseTenantMix(t *testing.T) {
+	mix, err := parseTenantMix("acme:3,globex:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"acme", "acme", "acme", "globex"}
+	if len(mix) != len(want) {
+		t.Fatalf("mix %v, want %v", mix, want)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Fatalf("mix %v, want %v", mix, want)
+		}
+	}
+	// A -count batch cycles the rotation: index 4 wraps back to acme.
+	if mix[4%len(mix)] != "acme" {
+		t.Fatal("rotation must wrap")
+	}
+
+	// A bare name means weight 1.
+	mix, err = parseTenantMix("solo")
+	if err != nil || len(mix) != 1 || mix[0] != "solo" {
+		t.Fatalf("bare name: %v err=%v", mix, err)
+	}
+
+	// Empty spec is no rotation at all.
+	if mix, err := parseTenantMix(""); err != nil || mix != nil {
+		t.Fatalf("empty spec: %v err=%v", mix, err)
+	}
+
+	for _, bad := range []string{"a:0", "a:-1", "a:x", ":3", "a:3,,b:1"} {
+		if _, err := parseTenantMix(bad); err == nil {
+			t.Errorf("spec %q must be rejected", bad)
+		}
+	}
+}
+
 // TestGenerateFixedKindsAreSeedInsensitive pins the documented batch-mode
 // behaviour for the deterministic kinds: the seed does not change them.
 func TestGenerateFixedKindsAreSeedInsensitive(t *testing.T) {

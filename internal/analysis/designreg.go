@@ -4,20 +4,23 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 // DesignMetric is one row of the DESIGN.md metric-name registry table.
 type DesignMetric struct {
-	Name string
-	Kind string // counter, gauge, histogram
-	Line int    // 1-based line in the document
+	Name   string
+	Kind   string   // counter, gauge, histogram
+	Labels []string // documented label keys, sorted; empty for unlabeled series
+	Line   int      // 1-based line in the document
 }
 
 // designRowRE matches a markdown table row whose first cell is a
-// backquoted satalloc_* family name and whose second cell is its kind:
-// "| `satalloc_sat_conflicts_total` | counter | — | sat |".
-var designRowRE = regexp.MustCompile("^\\|\\s*`(satalloc_[a-z0-9_]+)`\\s*\\|\\s*([a-z]+)\\s*\\|")
+// backquoted satalloc_* family name, whose second cell is its kind, and
+// whose third cell is its label keys ("—" for none, comma-separated
+// otherwise): "| `satalloc_serve_requests_total` | counter | route, tenant | serve |".
+var designRowRE = regexp.MustCompile("^\\|\\s*`(satalloc_[a-z0-9_]+)`\\s*\\|\\s*([a-z]+)\\s*\\|([^|]*)\\|")
 
 // ParseDesignRegistry extracts the satalloc_* metric rows from the
 // DESIGN.md registry table (§8). It is the single source of truth that
@@ -39,7 +42,28 @@ func ParseDesignRegistry(path string) (map[string]DesignMetric, error) {
 		if prev, dup := out[name]; dup {
 			return nil, fmt.Errorf("%s:%d: metric %s already documented at line %d", path, i+1, name, prev.Line)
 		}
-		out[name] = DesignMetric{Name: name, Kind: kind, Line: i + 1}
+		out[name] = DesignMetric{Name: name, Kind: kind, Labels: parseLabelCell(m[3]), Line: i + 1}
 	}
 	return out, nil
+}
+
+// parseLabelCell splits a registry row's label cell into sorted keys.
+// "—" (or "-", or blank) documents an unlabeled family; keys may be
+// backquoted. The implicit per-bucket "le" of histogram exposition is
+// not a registered key, so it is skipped rather than compared.
+func parseLabelCell(cell string) []string {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || cell == "—" || cell == "-" {
+		return nil
+	}
+	var keys []string
+	for _, k := range strings.Split(cell, ",") {
+		k = strings.Trim(strings.TrimSpace(k), "`")
+		if k == "" || k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

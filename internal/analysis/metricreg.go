@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -17,17 +18,20 @@ var metricNameRE = regexp.MustCompile(`^satalloc(_[a-z0-9]+)+$`)
 
 // registration is one Registry.Counter/Gauge/Histogram call site.
 type registration struct {
-	name string
-	kind string // counter, gauge, histogram
-	pos  token.Pos
+	name        string
+	kind        string   // counter, gauge, histogram
+	labels      []string // sorted label keys, when statically known
+	labelsKnown bool     // false when the labels arg was not a nil/literal
+	pos         token.Pos
 }
 
 // checkMetricReg enforces the metric-name registry contract: every name
 // handed to Registry.Counter/Gauge/Histogram is a compile-time constant,
 // matches the naming grammar (counters end in _total, nothing else does),
-// is registered under exactly one kind, and appears in the DESIGN.md
-// registry table — and vice versa, every documented row is registered by
-// code, so the documentation cannot drift from the exposition.
+// is registered under exactly one kind with one label-key set, and
+// appears in the DESIGN.md registry table with that kind and those label
+// keys — and vice versa, every documented row is registered by code, so
+// the documentation cannot drift from the exposition.
 func checkMetricReg(w *World) []Finding {
 	var fs []Finding
 	byName := map[string]*registration{}
@@ -57,14 +61,32 @@ func checkMetricReg(w *World) []Finding {
 				}
 				name := constant.StringVal(tv.Value)
 				fs = append(fs, w.checkMetricName(nameArg.Pos(), name, kind)...)
+				var keys []string
+				keysKnown := false
+				if len(call.Args) >= 2 {
+					labelsArg := call.Args[len(call.Args)-1]
+					keys, keysKnown = labelKeys(pkg.Info, labelsArg)
+					if !keysKnown {
+						fs = append(fs, w.finding(labelsArg.Pos(), "metricreg",
+							"metric %s labels must be nil or a Labels literal with constant keys so the label set is statically checkable", name))
+					}
+				}
 				if prev, ok := byName[name]; ok {
 					if prev.kind != kind {
 						fs = append(fs, w.finding(nameArg.Pos(), "metricreg",
 							"metric %s re-registered as %s (registered as %s at %s)",
 							name, kind, prev.kind, w.posString(prev.pos)))
 					}
+					if keysKnown && prev.labelsKnown && !equalKeySets(prev.labels, keys) {
+						fs = append(fs, w.finding(nameArg.Pos(), "metricreg",
+							"metric %s re-registered with labels %s (registered with %s at %s)",
+							name, labelSet(keys), labelSet(prev.labels), w.posString(prev.pos)))
+					}
+					if keysKnown && !prev.labelsKnown {
+						prev.labels, prev.labelsKnown = keys, true
+					}
 				} else {
-					byName[name] = &registration{name: name, kind: kind, pos: nameArg.Pos()}
+					byName[name] = &registration{name: name, kind: kind, labels: keys, labelsKnown: keysKnown, pos: nameArg.Pos()}
 				}
 				return true
 			})
@@ -90,6 +112,11 @@ func checkMetricReg(w *World) []Finding {
 			fs = append(fs, w.finding(reg.pos, "metricreg",
 				"metric %s is registered as a %s but documented as a %s (%s:%d)",
 				name, reg.kind, row.Kind, docFile, row.Line))
+		}
+		if reg.labelsKnown && !equalKeySets(reg.labels, row.Labels) {
+			fs = append(fs, w.finding(reg.pos, "metricreg",
+				"metric %s is registered with labels %s but documented with %s (%s:%d)",
+				name, labelSet(reg.labels), labelSet(row.Labels), docFile, row.Line))
 		}
 	}
 	for name, row := range doc {
@@ -117,6 +144,53 @@ func (w *World) checkMetricName(pos token.Pos, name, kind string) []Finding {
 		fs = append(fs, w.finding(pos, "metricreg", "%s %s must not end in _total (the suffix is reserved for counters)", kind, name))
 	}
 	return fs
+}
+
+// labelKeys extracts the statically-known label-key set from the labels
+// argument (always last) of a Registry call. ok is false when the
+// argument is neither nil nor a composite literal with compile-time-
+// constant string keys — such a site hides its label set from static
+// checking and gets its own finding. Label *values* may be dynamic
+// (that is the whole point of a label); only the keys must be literal.
+func labelKeys(info *types.Info, arg ast.Expr) (keys []string, ok bool) {
+	if tv, found := info.Types[arg]; found && tv.IsNil() {
+		return nil, true
+	}
+	lit, isLit := arg.(*ast.CompositeLit)
+	if !isLit {
+		return nil, false
+	}
+	for _, elt := range lit.Elts {
+		kv, isKV := elt.(*ast.KeyValueExpr)
+		if !isKV {
+			return nil, false
+		}
+		tv := info.Types[kv.Key]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			return nil, false
+		}
+		keys = append(keys, constant.StringVal(tv.Value))
+	}
+	sort.Strings(keys)
+	return keys, true
+}
+
+func equalKeySets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelSet renders a sorted key set for findings: "{route, tenant}",
+// or "{}" for an unlabeled family.
+func labelSet(keys []string) string {
+	return "{" + strings.Join(keys, ", ") + "}"
 }
 
 // registryCallKind reports whether call is Registry.Counter/Gauge/

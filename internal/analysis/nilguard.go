@@ -49,7 +49,12 @@ func sortFindings(fs []Finding) {
 		if fs[i].File != fs[j].File {
 			return fs[i].File < fs[j].File
 		}
-		return fs[i].Line < fs[j].Line
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		// Message tie-break: some findings are emitted while ranging over
+		// a map, so without it same-line output order is nondeterministic.
+		return fs[i].Message < fs[j].Message
 	})
 }
 

@@ -19,4 +19,14 @@ func Register(r *metrics.Registry, dyn string) {
 	r.Counter("satalloc_missing_total", "absent from DESIGN.md", nil)
 	r.Gauge("satalloc_wrong_kind", "documented as a counter", nil)
 	r.Gauge("satalloc_good_events_total", "kind conflict with the counter above", nil)
+
+	// Labeled registrations: one clean, then one per label rule. Label
+	// values may be dynamic; only the keys must be literal.
+	r.Counter("satalloc_good_labeled_total", "documented with the tenant key", metrics.Labels{"tenant": dyn})
+	r.Gauge("satalloc_label_mismatch", "registered route, documented tenant", metrics.Labels{"route": dyn})
+	vars := metrics.Labels{"tenant": dyn}
+	r.Counter("satalloc_label_var_total", "labels hidden behind a variable", vars)
+	r.Counter("satalloc_label_conflict_total", "first site: tenant", metrics.Labels{"tenant": dyn})
+	r.Counter("satalloc_label_conflict_total", "second site: route", metrics.Labels{"route": dyn})
+	r.Gauge("satalloc_doc_label_drift", "registered unlabeled, documented labeled", nil)
 }

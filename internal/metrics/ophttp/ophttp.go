@@ -78,6 +78,13 @@ type Progress struct {
 	// ConflictsPerSec is the conflict rate since the previous /progress
 	// scrape (0 on the first scrape).
 	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+	// SOLVE-call latency percentiles in milliseconds, estimated from the
+	// satalloc_opt_solve_call_duration_ms histogram with the same
+	// interpolating estimator the load generator uses (metrics
+	// HistogramSnapshot.Quantile); -1 until a SOLVE call has completed.
+	SolveCallP50MS float64 `json:"solve_call_p50_ms"`
+	SolveCallP90MS float64 `json:"solve_call_p90_ms"`
+	SolveCallP99MS float64 `json:"solve_call_p99_ms"`
 	// Proof-checking and core-explanation counters (0 when those modes
 	// are off).
 	ProofChecks       int64 `json:"proof_checks"`
@@ -169,10 +176,13 @@ func (h *Handlers) progress() Progress {
 	p := Progress{
 		Component:     h.o.Component,
 		UptimeMS:      time.Since(h.start).Milliseconds(),
-		IncumbentCost: -1,
-		BoundLower:    -1,
-		BoundUpper:    -1,
-		BoundGap:      -1,
+		IncumbentCost:  -1,
+		BoundLower:     -1,
+		BoundUpper:     -1,
+		BoundGap:       -1,
+		SolveCallP50MS: -1,
+		SolveCallP90MS: -1,
+		SolveCallP99MS: -1,
 	}
 	if m == nil {
 		return p
@@ -193,6 +203,11 @@ func (h *Handlers) progress() Progress {
 	p.ProofProbes = m.ProofProbes.Value()
 	p.CoreExplainSolves = m.ExplainSolves.Value()
 	p.CoreExplainSize = m.ExplainSize.Value()
+	if snap := m.SolveCallMS.Snapshot(); snap.Count > 0 {
+		p.SolveCallP50MS = snap.Quantile(0.50)
+		p.SolveCallP90MS = snap.Quantile(0.90)
+		p.SolveCallP99MS = snap.Quantile(0.99)
+	}
 
 	h.mu.Lock()
 	now := time.Now()

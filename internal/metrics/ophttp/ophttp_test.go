@@ -95,6 +95,11 @@ func TestEndpoints(t *testing.T) {
 	if p.Component != "test" || p.Conflicts != 1200 || p.IncumbentCost != 25 || p.BoundGap != 15 {
 		t.Fatalf("/progress payload wrong: %+v", p)
 	}
+	// One 40ms SOLVE call was recorded, so the latency percentiles are
+	// live and ordered.
+	if p.SolveCallP50MS <= 0 || p.SolveCallP50MS > p.SolveCallP99MS {
+		t.Fatalf("/progress solve-call percentiles wrong: %+v", p)
+	}
 
 	// A second scrape after more conflicts reports a positive rate.
 	hook(2400, 600, 180000, 9, 500, 120, 280, 30)
@@ -147,6 +152,9 @@ func TestEmptyOptions(t *testing.T) {
 	var p Progress
 	if err := json.Unmarshal([]byte(body), &p); err != nil || p.IncumbentCost != -1 {
 		t.Fatalf("empty progress wrong: %+v err=%v", p, err)
+	}
+	if p.SolveCallP99MS != -1 {
+		t.Fatalf("no SOLVE calls yet, p99 must be -1: %+v", p)
 	}
 	_, body = get(t, s, "/debug/flightrec")
 	var d flightrec.Dump

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// DefaultSpanRingCapacity bounds a per-job span buffer. A solve pipeline
+// emits O(SOLVE calls + portfolio workers) spans — typically 20-60 — so
+// 256 keeps whole jobs intact while capping a pathological retry storm.
+const DefaultSpanRingCapacity = 256
+
+// SpanRing is a bounded in-memory sink for a Tracer: each finished span's
+// JSONL record is retained in a ring that evicts the oldest record when
+// full, so a job's trace is always available for the /jobs/{id}/trace
+// timeline without unbounded growth. It implements io.Writer (the
+// Tracer's sink contract: one complete record per Write call) and is safe
+// for concurrent use — retries and portfolio workers may end spans from
+// several goroutines at once. A nil *SpanRing discards writes and
+// snapshots empty, the package's usual disabled-instrument contract.
+//
+//satlint:nilsafe
+type SpanRing struct {
+	mu      sync.Mutex
+	recs    []json.RawMessage
+	start   int // index of the oldest record
+	n       int // records currently held
+	dropped int64
+}
+
+// NewSpanRing returns a ring retaining the most recent capacity records
+// (capacity <= 0 uses DefaultSpanRingCapacity).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity <= 0 {
+		capacity = DefaultSpanRingCapacity
+	}
+	return &SpanRing{recs: make([]json.RawMessage, capacity)}
+}
+
+// Write retains one span record, evicting the oldest when the ring is
+// full. The Tracer hands each record as a single Write of one JSONL line;
+// the trailing newline is stripped so snapshots are clean JSON values.
+// Write never fails (it satisfies io.Writer for the Tracer sink).
+func (r *SpanRing) Write(p []byte) (int, error) {
+	if r == nil {
+		return len(p), nil
+	}
+	rec := make([]byte, len(p))
+	copy(rec, p)
+	if len(rec) > 0 && rec[len(rec)-1] == '\n' {
+		rec = rec[:len(rec)-1]
+	}
+	r.mu.Lock()
+	if r.n == len(r.recs) {
+		r.start = (r.start + 1) % len(r.recs)
+		r.n--
+		r.dropped++
+	}
+	r.recs[(r.start+r.n)%len(r.recs)] = rec
+	r.n++
+	r.mu.Unlock()
+	return len(p), nil
+}
+
+// Snapshot returns the retained records oldest-first plus the count of
+// records evicted so far. The returned slice is a copy; the raw messages
+// are immutable once written.
+func (r *SpanRing) Snapshot() ([]json.RawMessage, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]json.RawMessage, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.recs[(r.start+i)%len(r.recs)]
+	}
+	return out, r.dropped
+}
+
+// Len reports the records currently retained.
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

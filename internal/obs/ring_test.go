@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanRingNilIsNoOp(t *testing.T) {
+	var r *SpanRing
+	if n, err := r.Write([]byte("x\n")); n != 2 || err != nil {
+		t.Fatalf("nil ring Write = (%d, %v)", n, err)
+	}
+	if recs, dropped := r.Snapshot(); recs != nil || dropped != 0 {
+		t.Fatalf("nil ring Snapshot = (%v, %d)", recs, dropped)
+	}
+	if r.Len() != 0 {
+		t.Fatal("nil ring Len != 0")
+	}
+}
+
+func TestSpanRingEvictsOldestFirst(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(r, "{\"i\":%d}\n", i)
+	}
+	recs, dropped := r.Snapshot()
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		var v struct{ I int }
+		if err := json.Unmarshal(rec, &v); err != nil {
+			t.Fatalf("record %d not valid JSON: %v (%q)", i, err, rec)
+		}
+		if v.I != i+2 {
+			t.Fatalf("record %d holds i=%d, want %d (oldest-first order)", i, v.I, i+2)
+		}
+	}
+}
+
+// TestSpanRingConcurrentEviction hammers a small ring from many
+// goroutines (the retry/portfolio shape: spans ending concurrently) and
+// checks the accounting invariant retained + dropped == written. Run
+// under -race this is also the data-race proof for the per-job trace
+// buffer.
+func TestSpanRingConcurrentEviction(t *testing.T) {
+	const writers, each = 8, 500
+	r := NewSpanRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				fmt.Fprintf(r, "{\"w\":%d,\"i\":%d}\n", w, i)
+				if i%64 == 0 {
+					r.Snapshot() // readers race the writers too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs, dropped := r.Snapshot()
+	if got := int64(len(recs)) + dropped; got != writers*each {
+		t.Fatalf("retained %d + dropped %d = %d, want %d", len(recs), dropped, got, writers*each)
+	}
+	if len(recs) != 16 {
+		t.Fatalf("retained %d, want full ring of 16", len(recs))
+	}
+	for _, rec := range recs {
+		if !json.Valid(rec) {
+			t.Fatalf("torn record in ring: %q", rec)
+		}
+	}
+}
+
+// TestTracerBaseAttrsOnEveryRecord: SetBase values appear in every span
+// record — the job-identity contract — and a span's own attr with the
+// same key wins.
+func TestTracerBaseAttrsOnEveryRecord(t *testing.T) {
+	ring := NewSpanRing(8)
+	tr := NewTracer(ring).SetBase("job", "j42").SetBase("tenant", "acme")
+	root := tr.Start("Job")
+	child := root.Child("Solve[1]").Attr("tenant", "override")
+	child.End()
+	root.End()
+
+	recs, _ := ring.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for i, rec := range recs {
+		var v struct {
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal(rec, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Attrs["job"] != "j42" {
+			t.Fatalf("record %d missing base attr job: %s", i, rec)
+		}
+	}
+	var child0 struct {
+		Attrs map[string]any `json:"attrs"`
+	}
+	json.Unmarshal(recs[0], &child0)
+	if child0.Attrs["tenant"] != "override" {
+		t.Fatalf("span attr must win over base attr: %v", child0.Attrs)
+	}
+
+	// Nil tracer: SetBase chains as a no-op.
+	var nt *Tracer
+	if nt.SetBase("k", 1) != nil {
+		t.Fatal("nil tracer SetBase must return nil")
+	}
+}

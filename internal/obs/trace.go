@@ -31,6 +31,7 @@ type Tracer struct {
 	err    error
 	agg    map[string]*phaseAgg
 	order  []string
+	base   map[string]any
 }
 
 type phaseAgg struct {
@@ -57,6 +58,25 @@ type Span struct {
 	name   string
 	start  time.Time
 	attrs  map[string]any
+}
+
+// SetBase attaches a key/value pair stamped onto every span record this
+// tracer emits (a span's own Attr with the same key wins). The allocation
+// service uses it to carry job identity — job ID, tenant, spec hash —
+// on every Encode/Solve[i]/Decode span of a job-scoped trace, so a span
+// plucked from any timeline still names the job it belongs to. Call
+// before the first span ends; it returns t so calls chain.
+func (t *Tracer) SetBase(key string, value any) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if t.base == nil {
+		t.base = map[string]any{}
+	}
+	t.base[key] = value
+	t.mu.Unlock()
+	return t
 }
 
 // Start opens a root span.
@@ -150,13 +170,23 @@ func (s *Span) End() {
 	if t.w == nil {
 		return
 	}
+	attrs := s.attrs
+	if len(t.base) > 0 {
+		attrs = make(map[string]any, len(t.base)+len(s.attrs))
+		for k, v := range t.base {
+			attrs[k] = v
+		}
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+	}
 	b, err := json.Marshal(spanRecord{
 		Span:    s.name,
 		ID:      s.id,
 		Parent:  s.parent,
 		StartUS: s.start.Sub(t.epoch).Microseconds(),
 		DurUS:   dur.Microseconds(),
-		Attrs:   s.attrs,
+		Attrs:   attrs,
 	})
 	if err == nil {
 		b = append(b, '\n')

@@ -189,7 +189,7 @@ func TestChaosEveryJobTerminates(t *testing.T) {
 	if m.HandlerPanics.Value() == 0 && admitN.Load() >= 29 {
 		t.Error("admission faults fired but no handler panic was contained")
 	}
-	if m.Retried.Value() == 0 && workerN.Load() >= 17 {
+	if m.retried("-").Value() == 0 && workerN.Load() >= 17 {
 		t.Error("worker faults fired but no retry happened")
 	}
 
@@ -219,5 +219,5 @@ func TestChaosEveryJobTerminates(t *testing.T) {
 
 	t.Logf("chaos summary: accepted=%d faults(admit=%d worker=%d journal=%d cache=%d) retries=%d panics=%d replayed=%d",
 		len(accepted), admitN.Load()/29, workerN.Load()/17, journalN.Load()/23, cacheN.Load()/13,
-		m.Retried.Value(), m.HandlerPanics.Value(), s2.m.Replayed.Value())
+		m.retried("-").Value(), m.HandlerPanics.Value(), s2.m.replayed("-").Value())
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"satalloc/internal/core"
+	"satalloc/internal/obs"
 )
 
 // State is a job's position in its lifecycle. Queued and Running are
@@ -55,12 +56,17 @@ func (r *Result) exact() bool {
 }
 
 // Job is one tracked solve. All mutable fields are guarded by mu; the
-// identity fields (ID, Hash, Spec) are written once before the job is
-// published and never change.
+// identity fields (ID, Hash, Spec, Tenant) are written once before the
+// job is published and never change. Every job carries its own trace:
+// a job-scoped Tracer stamping job identity onto every span, sinking
+// into a bounded ring served by GET /jobs/{id}/trace.
 type Job struct {
-	ID   string
-	Hash string
-	Spec *core.Spec
+	ID     string
+	Hash   string
+	Tenant string
+	Spec   *core.Spec
+	trace  *obs.SpanRing
+	tracer *obs.Tracer
 
 	mu        sync.Mutex
 	state     State
@@ -73,15 +79,33 @@ type Job struct {
 	lower, upper int64
 	version      int64 // bumped on every observable change; pollers diff it
 	submitted    time.Time
+	firstBound   time.Duration // submit → first anytime incumbent; 0 until one lands
 	done         chan struct{} // closed on entering a terminal state
 }
 
+// tenantOf reads the submission's tenant from the spec's free-form Meta,
+// "-" when absent — the unknown-tenant marker throughout the service's
+// metrics and traces. (Meta is stripped from the spec hash, so tenancy
+// never splits the result cache.)
+func tenantOf(sp *core.Spec) string {
+	if sp != nil && sp.Meta["tenant"] != "" {
+		return sp.Meta["tenant"]
+	}
+	return "-"
+}
+
 func newJob(id, hash string, spec *core.Spec) *Job {
-	return &Job{
-		ID: id, Hash: hash, Spec: spec,
+	j := &Job{
+		ID: id, Hash: hash, Tenant: tenantOf(spec), Spec: spec,
+		trace: obs.NewSpanRing(0),
 		state: StateQueued, lower: -1, upper: -1,
 		submitted: time.Now(), done: make(chan struct{}),
 	}
+	// Replayed jobs get the same ring + tracer as fresh ones: a trace
+	// queried before any attempt ran is empty, never an error.
+	j.tracer = obs.NewTracer(j.trace).
+		SetBase("job", id).SetBase("tenant", j.Tenant).SetBase("spec", hash)
+	return j
 }
 
 // Status is the JSON wire form of a job snapshot.
@@ -89,6 +113,7 @@ type Status struct {
 	ID       string `json:"id"`
 	State    State  `json:"state"`
 	SpecHash string `json:"specHash"`
+	Tenant   string `json:"tenant,omitempty"`
 	Attempts int    `json:"attempts"`
 	// The live anytime window while running: upper is the best incumbent's
 	// cost, lower the proven bound; -1 until known.
@@ -109,16 +134,21 @@ func (j *Job) snapshot() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Status{
-		ID: j.ID, State: j.state, SpecHash: j.Hash, Attempts: j.attempts,
+		ID: j.ID, State: j.state, SpecHash: j.Hash, Tenant: j.Tenant,
+		Attempts: j.attempts,
 		BoundLower: j.lower, BoundUpper: j.upper, Version: j.version,
 		Error: j.errmsg, Result: j.result,
 	}
 }
 
-// improve publishes a new anytime window to watchers.
+// improve publishes a new anytime window to watchers and stamps the
+// time-to-first-feasible clock the first time an incumbent lands.
 func (j *Job) improve(lower, upper int64) {
 	j.mu.Lock()
 	j.lower, j.upper = lower, upper
+	if j.firstBound == 0 {
+		j.firstBound = time.Since(j.submitted)
+	}
 	j.version++
 	j.mu.Unlock()
 }

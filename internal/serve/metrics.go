@@ -6,35 +6,37 @@ import (
 	"satalloc/internal/metrics"
 )
 
+// TenantLabelCap bounds how many distinct tenant values the service will
+// mint metric series for; tenants past the cap collapse into the "other"
+// label value so a misbehaving client cannot grow the registry without
+// bound. The "-" value (no tenant in the spec's Meta) and "other" itself
+// are reserved and never consume cap slots.
+const TenantLabelCap = 32
+
 // Metrics bundles the allocation daemon's service-level series, all
 // registered under the satalloc_serve_ prefix (the solve pipeline's own
 // satalloc_sat_/opt_/core_ series ride along on the same registry via
-// the shared *metrics.SolverMetrics). A nil *Metrics is a valid disabled
+// the shared *metrics.SolverMetrics). Every serve series carries a
+// tenant label: service-global series (queue depth, journal, panics)
+// carry the constant "-" since they aggregate across tenants, while job
+// lifecycle series are dimensioned by the submitting tenant, capped at
+// TenantLabelCap distinct values. A nil *Metrics is a valid disabled
 // instrument: every Record method is a no-op, the same contract as
 // metrics.SolverMetrics.
 //
 //satlint:nilsafe
 type Metrics struct {
-	reg *metrics.Registry
+	reg     *metrics.Registry
+	tenants *metrics.LabelCap
 
-	// Job lifecycle.
-	Submitted *metrics.Counter // jobs accepted into the queue
-	Retried   *metrics.Counter // requeues after a contained panic
-	Replayed  *metrics.Counter // pending jobs re-enqueued from the journal
-	// Point-in-time service state.
+	// Point-in-time service state, aggregated across tenants.
 	QueueDepth  *metrics.Gauge // jobs waiting in the admission queue
 	WorkersBusy *metrics.Gauge // pool workers currently solving
-	JobsPending *metrics.Gauge // accepted jobs not yet terminal
 	Draining    *metrics.Gauge // 1 while a graceful drain is in progress
-	// Result cache and journal.
-	CacheHits      *metrics.Counter
-	CacheMisses    *metrics.Counter
+	// Journal durability and containment, likewise service-global.
 	JournalRecords *metrics.Counter
 	JournalErrors  *metrics.Counter
-	// Containment.
-	HandlerPanics *metrics.Counter // panics recovered at the HTTP handler boundary
-	// Per-attempt solve wall time.
-	AttemptMS *metrics.Histogram
+	HandlerPanics  *metrics.Counter // panics recovered at the HTTP handler boundary
 }
 
 // NewMetrics registers the service metric set on r. A nil registry
@@ -43,61 +45,237 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 	if r == nil {
 		return nil
 	}
-	return &Metrics{
-		reg:       r,
-		Submitted: r.Counter("satalloc_serve_jobs_submitted_total", "jobs accepted into the queue", nil),
-		Retried:   r.Counter("satalloc_serve_jobs_retried_total", "job requeues after a contained panic", nil),
-		Replayed:  r.Counter("satalloc_serve_jobs_replayed_total", "pending jobs re-enqueued from the journal on startup", nil),
+	// Service-global series carry the constant tenant="-" so every
+	// satalloc_serve_* family has the same label schema. The literal is
+	// repeated at each site because satlint verifies label keys statically.
+	m := &Metrics{
+		reg:     r,
+		tenants: metrics.NewLabelCap(TenantLabelCap, "other", "-"),
 
-		QueueDepth:  r.Gauge("satalloc_serve_queue_depth", "jobs waiting in the admission queue", nil),
-		WorkersBusy: r.Gauge("satalloc_serve_workers_busy", "pool workers currently solving", nil),
-		JobsPending: r.Gauge("satalloc_serve_jobs_pending", "accepted jobs not yet in a terminal state", nil),
-		Draining:    r.Gauge("satalloc_serve_draining", "1 while a graceful drain is in progress", nil),
+		QueueDepth:  r.Gauge("satalloc_serve_queue_depth", "jobs waiting in the admission queue", metrics.Labels{"tenant": "-"}),
+		WorkersBusy: r.Gauge("satalloc_serve_workers_busy", "pool workers currently solving", metrics.Labels{"tenant": "-"}),
+		Draining:    r.Gauge("satalloc_serve_draining", "1 while a graceful drain is in progress", metrics.Labels{"tenant": "-"}),
 
-		CacheHits:      r.Counter("satalloc_serve_cache_hits_total", "submissions answered from the spec-hash result cache", nil),
-		CacheMisses:    r.Counter("satalloc_serve_cache_misses_total", "submissions that missed the result cache", nil),
-		JournalRecords: r.Counter("satalloc_serve_journal_records_total", "records appended to the job journal", nil),
-		JournalErrors:  r.Counter("satalloc_serve_journal_errors_total", "journal appends that failed (service degrades, jobs continue)", nil),
-
-		HandlerPanics: r.Counter("satalloc_serve_handler_panics_total", "panics recovered at the HTTP handler boundary", nil),
-		AttemptMS:     r.Histogram("satalloc_serve_job_attempt_duration_ms", "wall time per job solve attempt in milliseconds", metrics.SolveCallMSBuckets, nil),
+		JournalRecords: r.Counter("satalloc_serve_journal_records_total", "records appended to the job journal", metrics.Labels{"tenant": "-"}),
+		JournalErrors:  r.Counter("satalloc_serve_journal_errors_total", "journal appends that failed (service degrades, jobs continue)", metrics.Labels{"tenant": "-"}),
+		HandlerPanics:  r.Counter("satalloc_serve_handler_panics_total", "panics recovered at the HTTP handler boundary", metrics.Labels{"tenant": "-"}),
 	}
+	// Per-tenant families register lazily as tenants appear, but every
+	// family is pre-registered under the unknown tenant so the exposition
+	// carries the complete §8 serve registry from the first scrape, even
+	// before the first job (zero-valued series are load-balancer- and
+	// dashboard-visible state, not noise).
+	m.submitted("-")
+	m.retried("-")
+	m.replayed("-")
+	m.pendingGauge("-")
+	m.cacheHits("-")
+	m.cacheMisses("-")
+	m.attemptMS("-")
+	m.queueWaitMS("-")
+	m.totalMS("-")
+	m.firstFeasibleMS("-")
+	m.optimalMS("-")
+	return m
 }
 
-// RecordRequest counts one HTTP request against the named route.
+// tenant normalizes a tenant value for use as a label: empty becomes the
+// "-" unknown marker, and values beyond the cardinality cap collapse to
+// "other".
+func (m *Metrics) tenant(t string) string {
+	if t == "" {
+		t = "-"
+	}
+	return m.tenants.Normalize(t)
+}
+
+// The tenant-dimensioned collector families. Each unexported accessor
+// returns the live collector for one tenant (registering it on first
+// use); the exported Record*/Pending* wrappers below are the nil-safe
+// instrument surface the server uses.
+
+func (m *Metrics) submitted(tenant string) *metrics.Counter {
+	return m.reg.Counter("satalloc_serve_jobs_submitted_total",
+		"jobs accepted into the queue", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) retried(tenant string) *metrics.Counter {
+	return m.reg.Counter("satalloc_serve_jobs_retried_total",
+		"job requeues after a contained panic", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) replayed(tenant string) *metrics.Counter {
+	return m.reg.Counter("satalloc_serve_jobs_replayed_total",
+		"pending jobs re-enqueued from the journal on startup", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) pendingGauge(tenant string) *metrics.Gauge {
+	return m.reg.Gauge("satalloc_serve_jobs_pending",
+		"accepted jobs not yet in a terminal state", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) cacheHits(tenant string) *metrics.Counter {
+	return m.reg.Counter("satalloc_serve_cache_hits_total",
+		"submissions answered from the spec-hash result cache", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) cacheMisses(tenant string) *metrics.Counter {
+	return m.reg.Counter("satalloc_serve_cache_misses_total",
+		"submissions that missed the result cache", metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) attemptMS(tenant string) *metrics.Histogram {
+	return m.reg.Histogram("satalloc_serve_job_attempt_duration_ms",
+		"wall time per job solve attempt in milliseconds",
+		metrics.SolveCallMSBuckets, metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) queueWaitMS(tenant string) *metrics.Histogram {
+	return m.reg.Histogram("satalloc_serve_job_queue_wait_ms",
+		"submit-to-first-run queue wait in milliseconds",
+		metrics.SolveCallMSBuckets, metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) totalMS(tenant string) *metrics.Histogram {
+	return m.reg.Histogram("satalloc_serve_job_total_duration_ms",
+		"submit-to-terminal job latency in milliseconds",
+		metrics.SolveCallMSBuckets, metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) firstFeasibleMS(tenant string) *metrics.Histogram {
+	return m.reg.Histogram("satalloc_serve_job_first_feasible_ms",
+		"submit-to-first-feasible-incumbent latency in milliseconds",
+		metrics.SolveCallMSBuckets, metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+func (m *Metrics) optimalMS(tenant string) *metrics.Histogram {
+	return m.reg.Histogram("satalloc_serve_job_optimal_ms",
+		"submit-to-proven-optimal latency in milliseconds",
+		metrics.SolveCallMSBuckets, metrics.Labels{"tenant": m.tenant(tenant)})
+}
+
+// RecordRequest counts one HTTP request against the named route. Routes
+// are tenant-agnostic (the body is not yet parsed when this fires), so
+// the series carries the constant "-" tenant.
 func (m *Metrics) RecordRequest(route string) {
 	if m == nil {
 		return
 	}
 	m.reg.Counter("satalloc_serve_requests_total",
-		"HTTP requests served, by route", metrics.Labels{"route": route}).Inc()
+		"HTTP requests served, by route", metrics.Labels{"route": route, "tenant": "-"}).Inc()
 }
 
 // RecordRejected counts one rejected submission by reason ("queue_full",
-// "draining", "bad_spec", "too_large").
-func (m *Metrics) RecordRejected(reason string) {
+// "draining", "bad_spec", "too_large") and tenant — "" for rejections
+// that fire before the spec is parsed.
+func (m *Metrics) RecordRejected(reason, tenant string) {
 	if m == nil {
 		return
 	}
 	m.reg.Counter("satalloc_serve_jobs_rejected_total",
-		"submissions rejected by admission control, by reason", metrics.Labels{"reason": reason}).Inc()
+		"submissions rejected by admission control, by reason",
+		metrics.Labels{"reason": reason, "tenant": m.tenant(tenant)}).Inc()
 }
 
 // RecordCompleted counts one job reaching a terminal state, by outcome
 // ("optimal", "feasible", "infeasible", "aborted", "cancelled",
-// "failed").
-func (m *Metrics) RecordCompleted(outcome string) {
+// "failed") and tenant.
+func (m *Metrics) RecordCompleted(outcome, tenant string) {
 	if m == nil {
 		return
 	}
 	m.reg.Counter("satalloc_serve_jobs_completed_total",
-		"jobs reaching a terminal state, by outcome", metrics.Labels{"outcome": outcome}).Inc()
+		"jobs reaching a terminal state, by outcome",
+		metrics.Labels{"outcome": outcome, "tenant": m.tenant(tenant)}).Inc()
 }
 
-// RecordAttempt records one solve attempt's wall time.
-func (m *Metrics) RecordAttempt(d time.Duration) {
+// RecordSubmitted counts one accepted job.
+func (m *Metrics) RecordSubmitted(tenant string) {
 	if m == nil {
 		return
 	}
-	m.AttemptMS.Observe(d.Milliseconds())
+	m.submitted(tenant).Inc()
+}
+
+// RecordRetried counts one requeue after a contained panic.
+func (m *Metrics) RecordRetried(tenant string) {
+	if m == nil {
+		return
+	}
+	m.retried(tenant).Inc()
+}
+
+// RecordReplayed counts one journal-recovered job re-enqueued at startup.
+func (m *Metrics) RecordReplayed(tenant string) {
+	if m == nil {
+		return
+	}
+	m.replayed(tenant).Inc()
+}
+
+// PendingAdd moves the tenant's in-flight job gauge by delta (+1 on
+// accept, -1 on reaching a terminal state).
+func (m *Metrics) PendingAdd(tenant string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.pendingGauge(tenant).Add(delta)
+}
+
+// RecordCacheHit counts one submission answered from the result cache.
+func (m *Metrics) RecordCacheHit(tenant string) {
+	if m == nil {
+		return
+	}
+	m.cacheHits(tenant).Inc()
+}
+
+// RecordCacheMiss counts one submission that had to solve.
+func (m *Metrics) RecordCacheMiss(tenant string) {
+	if m == nil {
+		return
+	}
+	m.cacheMisses(tenant).Inc()
+}
+
+// RecordAttempt records one solve attempt's wall time.
+func (m *Metrics) RecordAttempt(tenant string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.attemptMS(tenant).Observe(d.Milliseconds())
+}
+
+// RecordQueueWait records the submit-to-first-run latency.
+func (m *Metrics) RecordQueueWait(tenant string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWaitMS(tenant).Observe(d.Milliseconds())
+}
+
+// RecordTotal records the submit-to-terminal latency.
+func (m *Metrics) RecordTotal(tenant string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.totalMS(tenant).Observe(d.Milliseconds())
+}
+
+// RecordFirstFeasible records the submit-to-first-incumbent latency, the
+// head of the anytime convergence curve.
+func (m *Metrics) RecordFirstFeasible(tenant string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.firstFeasibleMS(tenant).Observe(d.Milliseconds())
+}
+
+// RecordOptimal records the submit-to-proven-optimal latency, the tail
+// of the anytime convergence curve.
+func (m *Metrics) RecordOptimal(tenant string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.optimalMS(tenant).Observe(d.Milliseconds())
 }

@@ -27,6 +27,7 @@ import (
 	"satalloc/internal/faultinject"
 	"satalloc/internal/flightrec"
 	"satalloc/internal/metrics"
+	"satalloc/internal/obs"
 )
 
 // Options configures a Server. DataDir is required; everything else has
@@ -150,8 +151,8 @@ func New(o Options) (*Server, error) {
 		s.jobs[j.ID] = j
 		s.mu.Unlock()
 		s.pending.Add(1)
-		s.m.JobsPending.Add(1)
-		s.m.Replayed.Inc()
+		s.m.PendingAdd(j.Tenant, 1)
+		s.m.RecordReplayed(j.Tenant)
 	}
 	if n := len(st.pending); n > 0 {
 		o.Logf("serve: replaying %d journaled jobs", n)
@@ -190,13 +191,20 @@ func (s *Server) Health() error {
 //
 //	POST   /jobs              submit a spec; 202 with the job snapshot
 //	GET    /jobs              all job snapshots
+//	GET    /jobs/summary      state counts, queue age, per-tenant in-flight
 //	GET    /jobs/{id}         one job snapshot
+//	GET    /jobs/{id}/trace   the job's span timeline (JSON)
 //	GET    /jobs/{id}/stream  NDJSON stream of snapshots until terminal
 //	POST   /jobs/{id}/cancel  cancel (also DELETE /jobs/{id})
+//
+// (/jobs/summary wins over /jobs/{id} by ServeMux specificity, so
+// "summary" is a reserved job ID.)
 func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", s.route("submit", s.handleSubmit))
 	mux.HandleFunc("GET /jobs", s.route("list", s.handleList))
+	mux.HandleFunc("GET /jobs/summary", s.route("summary", s.handleSummary))
 	mux.HandleFunc("GET /jobs/{id}", s.route("status", s.handleStatus))
+	mux.HandleFunc("GET /jobs/{id}/trace", s.route("trace", s.handleTrace))
 	mux.HandleFunc("GET /jobs/{id}/stream", s.route("stream", s.handleStream))
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.route("cancel", s.handleCancel))
 	mux.HandleFunc("DELETE /jobs/{id}", s.route("cancel", s.handleCancel))
@@ -229,7 +237,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.m.RecordRejected("draining")
+		s.m.RecordRejected("draining", "")
 		w.Header().Set("Retry-After", "5")
 		http.Error(w, "draining: not admitting new jobs", http.StatusServiceUnavailable)
 		return
@@ -242,17 +250,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			reason, code = "too_large", http.StatusRequestEntityTooLarge
 		}
-		s.m.RecordRejected(reason)
+		s.m.RecordRejected(reason, "")
 		http.Error(w, fmt.Sprintf("bad spec: %v", err), code)
 		return
 	}
+	tenant := tenantOf(&sp)
 	if len(sp.Tasks) == 0 || len(sp.ECUs) == 0 {
-		s.m.RecordRejected("bad_spec")
+		s.m.RecordRejected("bad_spec", tenant)
 		http.Error(w, "invalid spec: no tasks or no ecus", http.StatusBadRequest)
 		return
 	}
 	if _, err := sp.ToSystem(); err != nil {
-		s.m.RecordRejected("bad_spec")
+		s.m.RecordRejected("bad_spec", tenant)
 		http.Error(w, fmt.Sprintf("invalid spec: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -261,9 +270,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	faultinject.Fire(faultinject.SiteServeAdmit)
 
 	hash := SpecHash(&sp)
-	if res, ok := s.cacheLookup(hash); ok {
+	if res, ok := s.cacheLookup(hash, tenant); ok {
 		writeJSON(w, http.StatusOK, Status{
-			ID: hash, State: StateDone, SpecHash: hash,
+			ID: hash, State: StateDone, SpecHash: hash, Tenant: tenant,
 			Result: res, CacheHit: true,
 		})
 		return
@@ -279,14 +288,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.jobs, j.ID)
 		s.mu.Unlock()
-		s.m.RecordRejected("queue_full")
+		s.m.RecordRejected("queue_full", tenant)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
 	s.pending.Add(1)
-	s.m.JobsPending.Add(1)
-	s.m.Submitted.Inc()
+	s.m.PendingAdd(j.Tenant, 1)
+	s.m.RecordSubmitted(j.Tenant)
 	s.m.QueueDepth.Set(int64(len(s.queue)))
 	if err := s.journal.append(record{T: "submit", ID: j.ID, Hash: hash, Spec: &sp}); err != nil {
 		// The job runs anyway; durability is degraded, not the service.
@@ -322,6 +331,81 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, j.snapshot())
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// Summary is the JSON wire form of GET /jobs/summary: the service's
+// shape at a glance — job counts per state, queue pressure, how long the
+// oldest queued job has been waiting, and each tenant's in-flight jobs.
+type Summary struct {
+	States          map[State]int  `json:"states"`
+	QueueDepth      int            `json:"queueDepth"`
+	OldestQueuedMS  int64          `json:"oldestQueuedMs"`
+	TenantsInFlight map[string]int `json:"tenantsInFlight"`
+	Draining        bool           `json:"draining"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sum := Summary{
+		States:          map[State]int{},
+		QueueDepth:      len(s.queue),
+		TenantsInFlight: map[string]int{},
+		Draining:        s.draining.Load(),
+	}
+	now := time.Now()
+	for _, j := range jobs {
+		j.mu.Lock()
+		state, submitted := j.state, j.submitted
+		j.mu.Unlock()
+		sum.States[state]++
+		if !state.Terminal() {
+			sum.TenantsInFlight[j.Tenant]++
+		}
+		if state == StateQueued {
+			if age := now.Sub(submitted).Milliseconds(); age > sum.OldestQueuedMS {
+				sum.OldestQueuedMS = age
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// Trace is the JSON wire form of GET /jobs/{id}/trace: the job's span
+// timeline as recorded by its job-scoped tracer. Spans are the tracer's
+// JSONL records (span name, id/parent nesting, start offset and duration
+// in microseconds, attributes carrying the job identity), oldest first.
+// Dropped counts spans evicted from the bounded ring; a job recovered
+// from the journal after a restart has an empty timeline — the trace is
+// in-memory state, unlike the job itself.
+type Trace struct {
+	ID       string            `json:"id"`
+	Tenant   string            `json:"tenant"`
+	SpecHash string            `json:"specHash"`
+	State    State             `json:"state"`
+	Spans    []json.RawMessage `json:"spans"`
+	Dropped  int64             `json:"dropped,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	spans, dropped := j.trace.Snapshot()
+	if spans == nil {
+		spans = []json.RawMessage{}
+	}
+	snap := j.snapshot()
+	writeJSON(w, http.StatusOK, Trace{
+		ID: j.ID, Tenant: j.Tenant, SpecHash: j.Hash, State: snap.State,
+		Spans: spans, Dropped: dropped,
+	})
 }
 
 // handleStream writes NDJSON snapshots — one line per observable change,
@@ -397,7 +481,8 @@ func (s *Server) cancelJob(j *Job) {
 }
 
 // finalize moves a job to its terminal state exactly once, updates the
-// accounting, and journals the verdict.
+// accounting (including the per-tenant latency and convergence
+// histograms), and journals the verdict.
 func (s *Server) finalize(j *Job, state State, res *Result, errmsg, rectype string) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -410,15 +495,24 @@ func (s *Server) finalize(j *Job, state State, res *Result, errmsg, rectype stri
 	j.cancel = nil
 	j.version++
 	close(j.done)
+	total := time.Since(j.submitted)
+	firstBound := j.firstBound
 	j.mu.Unlock()
 
 	s.pending.Add(-1)
-	s.m.JobsPending.Add(-1)
+	s.m.PendingAdd(j.Tenant, -1)
 	outcome := string(state)
 	if state == StateDone && res != nil {
 		outcome = res.Status
 	}
-	s.m.RecordCompleted(outcome)
+	s.m.RecordCompleted(outcome, j.Tenant)
+	s.m.RecordTotal(j.Tenant, total)
+	if firstBound > 0 {
+		s.m.RecordFirstFeasible(j.Tenant, firstBound)
+	}
+	if outcome == "optimal" {
+		s.m.RecordOptimal(j.Tenant, total)
+	}
 	rec := record{T: rectype, ID: j.ID, Hash: j.Hash, Result: res, Err: errmsg}
 	if err := s.journal.append(rec); err != nil {
 		s.o.Logf("serve: journal %s %s: %v", rectype, j.ID, err)
@@ -453,6 +547,11 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.attempts++
 	attempt := j.attempts
+	if attempt == 1 {
+		// Queue wait is the first submit-to-run gap; retries wait on the
+		// backoff clock, not the admission queue.
+		s.m.RecordQueueWait(j.Tenant, time.Since(j.submitted))
+	}
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if s.o.JobTimeout > 0 {
@@ -467,8 +566,8 @@ func (s *Server) runJob(j *Job) {
 
 	s.m.WorkersBusy.Add(1)
 	start := time.Now()
-	res, err := s.attempt(ctx, j)
-	s.m.RecordAttempt(time.Since(start))
+	res, err := s.attempt(ctx, j, attempt)
+	s.m.RecordAttempt(j.Tenant, time.Since(start))
 	s.m.WorkersBusy.Add(-1)
 
 	j.mu.Lock()
@@ -486,7 +585,7 @@ func (s *Server) runJob(j *Job) {
 	case cancelled:
 		s.finalize(j, StateCancelled, nil, err.Error(), "cancel")
 	case attempt < s.o.MaxAttempts:
-		s.m.Retried.Inc()
+		s.m.RecordRetried(j.Tenant)
 		s.o.Logf("serve: job %s attempt %d/%d died (%v); retrying", j.ID, attempt, s.o.MaxAttempts, err)
 		s.retryLater(j, attempt, err)
 	default:
@@ -497,13 +596,26 @@ func (s *Server) runJob(j *Job) {
 
 // attempt runs the solve pipeline once with full panic containment: the
 // worker fault site and anything the pipeline's own containment misses
-// unwind into err, never into the pool.
-func (s *Server) attempt(ctx context.Context, j *Job) (res *Result, err error) {
+// unwind into err, never into the pool. The whole attempt runs under a
+// span of the job's own tracer, so every pipeline span (Encode,
+// Solve[i], Decode, …) lands in the job's trace ring carrying the job's
+// identity.
+func (s *Server) attempt(ctx context.Context, j *Job, attempt int) (res *Result, err error) {
+	root := j.tracer.Start(fmt.Sprintf("Attempt[%d]", attempt))
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil
 			err = fmt.Errorf("worker panic: %v", p)
 		}
+		switch {
+		case err != nil:
+			root.Outcome(obs.OutcomeError).Attr("err", err.Error())
+		case res != nil && res.Aborted:
+			root.Outcome(obs.OutcomeDegraded)
+		default:
+			root.Outcome(obs.OutcomeOK)
+		}
+		root.End()
 	}()
 	faultinject.Fire(faultinject.SiteServeWorker)
 	sys, err := j.Spec.ToSystem()
@@ -519,6 +631,7 @@ func (s *Server) attempt(ctx context.Context, j *Job) (res *Result, err error) {
 		FlightRecorder:      s.o.Recorder,
 		DiagnosticsDir:      s.o.DataDir,
 		OnImprove:           j.improve,
+		Trace:               root,
 	})
 	if err != nil {
 		return nil, err
@@ -579,16 +692,16 @@ func (s *Server) retryLater(j *Job, attempt int, cause error) {
 // cacheLookup consults the spec-hash result cache. The cache fault site
 // fires inside, contained: a cache fault degrades Health and reads as a
 // miss, never breaks admission.
-func (s *Server) cacheLookup(hash string) (res *Result, ok bool) {
+func (s *Server) cacheLookup(hash, tenant string) (res *Result, ok bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, ok = nil, false
 			s.cacheFault(fmt.Errorf("cache lookup panicked: %v", p))
 		}
 		if ok {
-			s.m.CacheHits.Inc()
+			s.m.RecordCacheHit(tenant)
 		} else {
-			s.m.CacheMisses.Inc()
+			s.m.RecordCacheMiss(tenant)
 		}
 	}()
 	faultinject.Fire(faultinject.SiteServeCache)

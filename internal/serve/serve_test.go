@@ -292,7 +292,7 @@ func TestFailAfterExhaustedRetries(t *testing.T) {
 	if !strings.Contains(st.Error, "failed after 2 attempts") {
 		t.Fatalf("error %q does not name the exhausted retry budget", st.Error)
 	}
-	if got := s.m.Retried.Value(); got != 1 {
+	if got := s.m.retried("-").Value(); got != 1 {
 		t.Fatalf("retried counter %d, want 1", got)
 	}
 }
@@ -399,7 +399,7 @@ func TestJournalReplayCompletesInterruptedJobs(t *testing.T) {
 	ts2 := httptest.NewServer(mux2)
 	defer ts2.Close()
 
-	if got := s2.m.Replayed.Value(); got != 2 {
+	if got := s2.m.replayed("-").Value(); got != 2 {
 		t.Fatalf("replayed %d jobs, want 2 (%s, %s)", got, j1.ID, j2.ID)
 	}
 	for _, id := range []string{j1.ID, j2.ID} {
@@ -503,9 +503,19 @@ func TestNewRequiresDataDir(t *testing.T) {
 func TestMetricsNilSafe(t *testing.T) {
 	var m *Metrics
 	m.RecordRequest("submit")
-	m.RecordRejected("queue_full")
-	m.RecordCompleted("optimal")
-	m.RecordAttempt(time.Second)
+	m.RecordRejected("queue_full", "acme")
+	m.RecordCompleted("optimal", "acme")
+	m.RecordAttempt("acme", time.Second)
+	m.RecordSubmitted("acme")
+	m.RecordRetried("acme")
+	m.RecordReplayed("acme")
+	m.RecordCacheHit("acme")
+	m.RecordCacheMiss("acme")
+	m.PendingAdd("acme", 1)
+	m.RecordQueueWait("acme", time.Second)
+	m.RecordTotal("acme", time.Second)
+	m.RecordFirstFeasible("acme", time.Second)
+	m.RecordOptimal("acme", time.Second)
 	if NewMetrics(nil) != nil {
 		t.Fatal("NewMetrics(nil) must be nil")
 	}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"satalloc/internal/core"
+	"satalloc/internal/metrics"
+)
+
+// tenantSpec is tinySpec with a tenant stamped into Meta, the way
+// workgen -tenant emits instances.
+func tenantSpec(seed int64, tenant string) *core.Spec {
+	sp := tinySpec(seed)
+	if sp.Meta == nil {
+		sp.Meta = map[string]string{}
+	}
+	sp.Meta["tenant"] = tenant
+	return sp
+}
+
+func getTrace(t *testing.T, ts *httptest.Server, id string) (Trace, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr Trace
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatalf("decoding trace: %v", err)
+		}
+	}
+	return tr, resp.StatusCode
+}
+
+// TestTraceRouteReturnsPipelineTimeline: after a solve, the job's trace
+// holds the pipeline spans (Encode → Solve[i] → Decode under the
+// Attempt root), each stamped with the job's identity.
+func TestTraceRouteReturnsPipelineTimeline(t *testing.T) {
+	_, ts := testServer(t, nil)
+	st, _ := submit(t, ts, tenantSpec(61, "acme"))
+	st = waitTerminal(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	if st.Tenant != "acme" {
+		t.Fatalf("snapshot tenant %q, want acme", st.Tenant)
+	}
+
+	tr, code := getTrace(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: %d", code)
+	}
+	if tr.ID != st.ID || tr.Tenant != "acme" || tr.SpecHash != st.SpecHash {
+		t.Fatalf("trace identity wrong: %+v", tr)
+	}
+	names := map[string]bool{}
+	for _, raw := range tr.Spans {
+		var rec struct {
+			Span  string         `json:"span"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("span record not JSON: %v (%s)", err, raw)
+		}
+		names[phaseOf(rec.Span)] = true
+		// The tentpole contract: every span carries the job identity.
+		if rec.Attrs["job"] != st.ID || rec.Attrs["tenant"] != "acme" {
+			t.Fatalf("span %s missing job identity: %s", rec.Span, raw)
+		}
+	}
+	for _, want := range []string{"Attempt", "Encode", "Solve", "Decode"} {
+		if !names[want] {
+			t.Fatalf("trace has no %s span; phases seen: %v", want, names)
+		}
+	}
+
+	// An unknown job ID is a 404, not a 500.
+	if _, code := getTrace(t, ts, "j99999999"); code != http.StatusNotFound {
+		t.Fatalf("trace of unknown job: %d, want 404", code)
+	}
+}
+
+func phaseOf(span string) string {
+	if i := strings.IndexByte(span, '['); i > 0 {
+		return span[:i]
+	}
+	return span
+}
+
+// TestTraceSurvivesJournalRecovery: after a crash (Close without drain
+// mid-queue) and restart, the replayed job answers /trace without a 500
+// — the trace is empty until the new process attempts it, but the job
+// state is intact.
+func TestTraceSurvivesJournalRecovery(t *testing.T) {
+	// Craft the exact state a kill -9 leaves behind: a journal whose
+	// submit record has no closing verdict. (Submitting live and closing
+	// races the worker — a tiny spec can finish before the "crash".)
+	dir := t.TempDir()
+	sp := tenantSpec(71, "acme")
+	rec, err := json.Marshal(record{T: "submit", ID: "j00000001", Hash: SpecHash(sp), Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalName), append(rec, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{DataDir: dir, Pool: 1, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	mux2 := http.NewServeMux()
+	s2.Register(mux2)
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+
+	if got := s2.m.replayed("acme").Value(); got != 1 {
+		t.Fatalf("replayed %d jobs for acme, want 1", got)
+	}
+
+	// The trace route must answer 200 for the replayed job immediately —
+	// possibly with an empty timeline — and its identity must have been
+	// recovered from the journaled spec.
+	tr, code := getTrace(t, ts2, "j00000001")
+	if code != http.StatusOK {
+		t.Fatalf("trace of replayed job: %d, want 200", code)
+	}
+	if tr.Tenant != "acme" {
+		t.Fatalf("replayed job lost its tenant: %+v", tr)
+	}
+	if tr.Spans == nil {
+		t.Fatal("trace spans must decode as a list, not null")
+	}
+
+	// Once the new process finishes the job, the trace fills in.
+	if st := waitTerminal(t, ts2, "j00000001"); st.State != StateDone {
+		t.Fatalf("replayed job: %s (%s)", st.State, st.Error)
+	}
+	tr, _ = getTrace(t, ts2, "j00000001")
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace still empty after the replayed job solved")
+	}
+}
+
+// TestTenantLabelsOnMetrics: per-tenant submissions land on per-tenant
+// series, and tenants beyond the cardinality cap collapse to "other"
+// instead of minting new series.
+func TestTenantLabelsOnMetrics(t *testing.T) {
+	reg := metrics.New()
+	s, ts := testServer(t, func(o *Options) { o.Metrics = NewMetrics(reg) })
+
+	ids := []string{}
+	for i, tenant := range []string{"acme", "acme", "globex"} {
+		st, code := submit(t, ts, tenantSpec(80+int64(i), tenant))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts, id)
+	}
+	if got := s.m.submitted("acme").Value(); got != 2 {
+		t.Fatalf("acme submitted %d, want 2", got)
+	}
+	if got := s.m.submitted("globex").Value(); got != 1 {
+		t.Fatalf("globex submitted %d, want 1", got)
+	}
+	var expo strings.Builder
+	reg.WritePrometheus(&expo)
+	for _, want := range []string{
+		`satalloc_serve_jobs_submitted_total{tenant="acme"} 2`,
+		`satalloc_serve_jobs_submitted_total{tenant="globex"} 1`,
+		`satalloc_serve_queue_depth{tenant="-"}`,
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTenantCardinalityCap: a flood of distinct tenants stops minting
+// series at TenantLabelCap; the rest collapse into tenant="other".
+func TestTenantCardinalityCap(t *testing.T) {
+	m := NewMetrics(metrics.New())
+	for i := 0; i < TenantLabelCap+20; i++ {
+		m.RecordSubmitted(fmt.Sprintf("tenant-%03d", i))
+	}
+	if got := m.submitted("tenant-000").Value(); got != 1 {
+		t.Fatalf("first tenant's series %d, want 1", got)
+	}
+	if got := m.submitted("other").Value(); got != 20 {
+		t.Fatalf("overflow series %d, want 20", got)
+	}
+	// The unknown marker never consumes a slot.
+	m.RecordSubmitted("")
+	if got := m.submitted("-").Value(); got != 1 {
+		t.Fatalf("unknown-tenant series %d, want 1", got)
+	}
+}
+
+// TestJobsSummaryRoute: state counts, queue age, and per-tenant
+// in-flight gauges reflect a mixed queue.
+func TestJobsSummaryRoute(t *testing.T) {
+	// Pool 0 is coerced to the default, so use a tiny pool plus more jobs
+	// than workers to guarantee some stay queued at observation time.
+	_, ts := testServer(t, func(o *Options) { o.Pool = 1; o.QueueCap = 16 })
+
+	ids := []string{}
+	for i := 0; i < 4; i++ {
+		tenant := "acme"
+		if i%2 == 1 {
+			tenant = "globex"
+		}
+		st, code := submit(t, ts, tenantSpec(90+int64(i), tenant))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	inflight := 0
+	for _, st := range []State{StateQueued, StateRunning} {
+		inflight += sum.States[st]
+	}
+	if byTenant := sum.TenantsInFlight["acme"] + sum.TenantsInFlight["globex"]; byTenant != inflight {
+		t.Fatalf("per-tenant in-flight %d != state-count in-flight %d (%+v)", byTenant, inflight, sum)
+	}
+
+	for _, id := range ids {
+		waitTerminal(t, ts, id)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = Summary{}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.States[StateDone] != 4 || len(sum.TenantsInFlight) != 0 {
+		t.Fatalf("settled summary wrong: %+v", sum)
+	}
+	if sum.OldestQueuedMS != 0 {
+		t.Fatalf("no queued jobs but oldestQueuedMs=%d", sum.OldestQueuedMS)
+	}
+}
+
+// TestConvergenceHistogramsRecorded: a solved job lands observations in
+// the per-tenant queue-wait, total, first-feasible and optimal series.
+func TestConvergenceHistogramsRecorded(t *testing.T) {
+	s, ts := testServer(t, nil)
+	st, _ := submit(t, ts, tenantSpec(95, "acme"))
+	if st = waitTerminal(t, ts, st.ID); st.State != StateDone {
+		t.Fatalf("state %s, want done", st.State)
+	}
+	for name, h := range map[string]*metrics.Histogram{
+		"queue_wait":     s.m.queueWaitMS("acme"),
+		"total":          s.m.totalMS("acme"),
+		"first_feasible": s.m.firstFeasibleMS("acme"),
+		"optimal":        s.m.optimalMS("acme"),
+	} {
+		if snap := h.Snapshot(); snap.Count != 1 {
+			t.Errorf("%s histogram count %d, want 1", name, snap.Count)
+		}
+	}
+}
