@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke ops-smoke serve-smoke load-smoke race-serve
+.PHONY: check vet lint satlint proof-check build test race race-parallel fuzz bench bench-json bench-smoke encode-stats equisat ops-smoke serve-smoke load-smoke race-serve
 
 ## check: the full CI gate — vet, lint, proof replay, build, the
 ## race-enabled test suite, and a short fuzz smoke run of every
@@ -55,16 +55,33 @@ bench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' ./internal/sat
 
 ## bench-json: run the top-level paper benchmarks once and write a dated
-## machine-readable data point for the performance trajectory.
+## machine-readable data point for the performance trajectory. The newest
+## existing BENCH_*.json (excluding today's) is the baseline for the
+## derived literals_reduction_vs_baseline fields.
 bench-json:
 	$(GO) test -bench . -benchtime 1x -run '^$$' -timeout 60m . \
-		| $(GO) run ./internal/tools/bench2json -o BENCH_$$(date +%Y%m%d).json
+		| $(GO) run ./internal/tools/bench2json \
+			-baseline "$$(ls BENCH_*.json 2>/dev/null | grep -v BENCH_$$(date +%Y%m%d).json | sort | tail -1)" \
+			-o BENCH_$$(date +%Y%m%d).json
 
 ## bench-smoke: one-iteration benchmark pass piped through bench2json — keeps
 ## both the benchmarks and the JSON converter from rotting, without timing.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' -timeout 60m . \
 		| $(GO) run ./internal/tools/bench2json > /dev/null
+
+## encode-stats: bit-blast the Table-1 specs (compile only, no solving)
+## under the legacy encoder and both structural-hashing comparator
+## variants, and print the gates-emitted/folded/reused accounting table.
+encode-stats:
+	$(GO) run ./cmd/benchtab -table encode
+
+## equisat: the encoder equivalence gate — every fuzz-seeded formula and
+## the Table-1/Table-2 specs encoded with hashing on/off and each
+## comparator variant must produce identical verdicts and costs, checked
+## under the race detector.
+equisat:
+	$(GO) test -race -count 1 -run 'Equisat|HashingReduces' ./internal/bv ./internal/opt
 
 ## ops-smoke: end-to-end check of the ops HTTP listener — builds the real
 ## allocate binary, scrapes /healthz, /metrics and /progress against a

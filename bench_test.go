@@ -40,6 +40,7 @@ func BenchmarkTable1TokenRing(b *testing.B) {
 		b.ReportMetric(float64(sol.Cost), "TRT-ticks")
 		b.ReportMetric(float64(sol.BoolVars), "bool-vars")
 		b.ReportMetric(float64(sol.Literals), "literals")
+		b.ReportMetric(float64(len(sys.Tasks)), "tasks")
 	}
 }
 
@@ -56,6 +57,7 @@ func BenchmarkTable1CAN(b *testing.B) {
 		}
 		b.ReportMetric(float64(sol.Cost), "U_CAN-milli")
 		b.ReportMetric(float64(sol.BoolVars), "bool-vars")
+		b.ReportMetric(float64(len(sys.Tasks)), "tasks")
 	}
 }
 
@@ -77,6 +79,7 @@ func BenchmarkTable2ArchScaling(b *testing.B) {
 				}
 				b.ReportMetric(float64(sol.BoolVars), "bool-vars")
 				b.ReportMetric(float64(sol.Literals), "literals")
+				b.ReportMetric(float64(len(sys.Tasks)), "tasks")
 			}
 		})
 	}

@@ -22,6 +22,11 @@ import (
 //
 // Struct *value* literals (watcher{...} stored into a slice slot) do not
 // allocate and are allowed.
+//
+// Functions marked //satlint:hotpath alloc-free (the arena's clause
+// accessors) promise zero heap allocation: the allocation rules apply to
+// the whole body — not just loop bodies — and append is banned outright,
+// since growing any slice can reallocate its backing array.
 func checkHotPath(w *World) []Finding {
 	var fs []Finding
 	for _, hf := range w.hotpaths {
@@ -93,35 +98,47 @@ func (w *World) checkHotNode(hf *hotFunc, n ast.Node, fname string, loops []ast.
 				}
 			}
 		}
-		if !inLoop {
+		if !inLoop && !hf.allocFree {
 			return fs
 		}
 		switch builtinName(info, e) {
 		case "make", "new":
 			fs = append(fs, w.finding(e.Pos(), "hotpath",
-				"hot path %s allocates with %s inside a loop", fname, builtinName(info, e)))
+				"hot path %s allocates with %s %s", fname, builtinName(info, e), allocWhere(hf, inLoop)))
 		case "append":
-			if len(e.Args) > 0 && appendGrowsLoopLocal(info, e.Args[0], loops[len(loops)-1]) {
+			if hf.allocFree {
+				fs = append(fs, w.finding(e.Pos(), "hotpath",
+					"alloc-free hot path %s appends; slice growth can reallocate the backing array", fname))
+			} else if len(e.Args) > 0 && appendGrowsLoopLocal(info, e.Args[0], loops[len(loops)-1]) {
 				fs = append(fs, w.finding(e.Pos(), "hotpath",
 					"hot path %s appends to a loop-local slice, allocating per iteration; hoist the buffer out of the loop", fname))
 			}
 		}
 	case *ast.UnaryExpr:
 		// &T{...} escapes to the heap; in a loop that is one allocation
-		// per iteration.
-		if inLoop {
+		// per iteration, and in an alloc-free function one is too many.
+		if inLoop || hf.allocFree {
 			if _, isLit := e.X.(*ast.CompositeLit); isLit && e.Op == token.AND {
 				fs = append(fs, w.finding(e.Pos(), "hotpath",
-					"hot path %s heap-allocates a composite literal (&T{...}) inside a loop", fname))
+					"hot path %s heap-allocates a composite literal (&T{...}) %s", fname, allocWhere(hf, inLoop)))
 			}
 		}
 	case *ast.CompositeLit:
-		if inLoop && allocatingLiteral(info, e) {
+		if (inLoop || hf.allocFree) && allocatingLiteral(info, e) {
 			fs = append(fs, w.finding(e.Pos(), "hotpath",
-				"hot path %s builds a slice or map literal inside a loop", fname))
+				"hot path %s builds a slice or map literal %s", fname, allocWhere(hf, inLoop)))
 		}
 	}
 	return fs
+}
+
+// allocWhere phrases an allocation finding's location: inside a loop for
+// the per-iteration rule, or anywhere in an alloc-free function.
+func allocWhere(hf *hotFunc, inLoop bool) string {
+	if inLoop {
+		return "inside a loop"
+	}
+	return "in an alloc-free function"
 }
 
 // calleeFunc resolves the called function or method, or nil for builtins,

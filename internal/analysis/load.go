@@ -65,6 +65,11 @@ type World struct {
 type hotFunc struct {
 	pkg  *Package
 	decl *ast.FuncDecl
+	// allocFree marks //satlint:hotpath alloc-free functions: the
+	// per-loop-iteration allocation rules apply to the whole body, and
+	// append is banned outright (the arena accessors this contract covers
+	// must never grow anything).
+	allocFree bool
 }
 
 // position translates a token.Pos into a root-relative Finding anchor.
@@ -518,8 +523,16 @@ func (w *World) recordDirective(file string, c *ast.Comment, rest string) {
 // docHasDirective reports whether a declaration's doc comment carries the
 // given satlint directive verb.
 func docHasDirective(doc *ast.CommentGroup, verb string) bool {
+	_, ok := directiveArgs(doc, verb)
+	return ok
+}
+
+// directiveArgs finds the given satlint directive verb in a declaration's
+// doc comment and returns the arguments following it ("//satlint:hotpath
+// alloc-free" → ["alloc-free"], true).
+func directiveArgs(doc *ast.CommentGroup, verb string) ([]string, bool) {
 	if doc == nil {
-		return false
+		return nil, false
 	}
 	for _, c := range doc.List {
 		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
@@ -528,10 +541,10 @@ func docHasDirective(doc *ast.CommentGroup, verb string) bool {
 		}
 		fields := strings.Fields(rest)
 		if len(fields) > 0 && fields[0] == verb {
-			return true
+			return fields[1:], true
 		}
 	}
-	return false
+	return nil, false
 }
 
 // indexDecls builds the cross-package indexes: function-object → AST,
@@ -548,8 +561,17 @@ func (w *World) indexDecls() {
 					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
 						w.funcDecls[fn] = d
 					}
-					if docHasDirective(d.Doc, "hotpath") {
-						w.hotpaths = append(w.hotpaths, &hotFunc{pkg: pkg, decl: d})
+					if args, ok := directiveArgs(d.Doc, "hotpath"); ok {
+						hf := &hotFunc{pkg: pkg, decl: d}
+						for _, a := range args {
+							if a == "alloc-free" {
+								hf.allocFree = true
+								continue
+							}
+							w.directiveFindings = append(w.directiveFindings,
+								w.finding(d.Pos(), "directive", "satlint:hotpath has unknown argument %q (have alloc-free)", a))
+						}
+						w.hotpaths = append(w.hotpaths, hf)
 					}
 				case *ast.GenDecl:
 					if d.Tok != token.TYPE {

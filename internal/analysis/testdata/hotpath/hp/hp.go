@@ -79,3 +79,34 @@ func badAllocs(xs []int) []*item {
 	}
 	return out
 }
+
+// okAllocFree is a clean arena-style accessor: indexing and re-slicing a
+// caller-owned backing array never allocates.
+//
+//satlint:hotpath alloc-free
+func okAllocFree(data []int, r int) []int {
+	n := data[r]
+	return data[r+1 : r+1+n]
+}
+
+// badAllocFree allocates in straight-line code — legal in a plain hot
+// function, banned under the alloc-free contract — and appends into
+// caller-owned storage, which the contract also bans (growth can
+// reallocate the backing array).
+//
+//satlint:hotpath alloc-free
+func badAllocFree(data []int, x int) []int {
+	tmp := make([]int, 1)
+	tmp[0] = x
+	p := &item{v: x}
+	_ = p
+	vals := []int{x}
+	_ = vals
+	data = append(data, x)
+	return data
+}
+
+// badArg carries an unknown hotpath argument.
+//
+//satlint:hotpath allocfree
+func badArg() {}

@@ -5,6 +5,14 @@
 // multiplier circuits (the carry of the full adder is axiomatized with the
 // paper's pair of pseudo-Boolean constraints, eq. 19), and relational
 // triplets become comparator circuits.
+//
+// By default the blaster structurally hashes the circuit (hash.go): every
+// gate goes through a canonicalizing cache, constants fold before
+// emission, and defined variables alias their circuit's output wires, so
+// shared subterms reach the solver once (see DESIGN.md §14 and
+// EncodeStats). Options.DisableHashing restores the legacy
+// one-circuit-per-triplet encoding, and Options.Comparator selects the
+// circuit family for comparisons against constants.
 package bv
 
 import (
@@ -23,6 +31,16 @@ type Options struct {
 	// as an ablation of §5.1's compactness claim (see
 	// BenchmarkCarryEncodingAblation).
 	CarryAsCNF bool
+	// Comparator selects the circuit family for comparisons against
+	// constants (range assertions, constant-sided relational triplets and
+	// the optimizer's cost probes). It only takes effect on the hashed
+	// path; the legacy path always uses the subtract-based comparator.
+	Comparator Comparator
+	// DisableHashing reverts to the legacy one-circuit-per-triplet
+	// encoding: no gate cache, no constant folding, and defined variables
+	// equated to fresh vectors instead of aliasing circuit outputs. It
+	// exists for the equisatisfiability ablation and A/B benchmarks.
+	DisableHashing bool
 	// Trace, when set, is the parent span under which Compile records its
 	// Triplet and BitBlast phases. Nil disables tracing.
 	Trace *obs.Span
@@ -40,6 +58,10 @@ type Blaster struct {
 	lTrue sat.Lit     // literal fixed true
 
 	cmpConstMemo map[string]sat.Lit
+
+	// Structural-hashing state (nil cache means the legacy path).
+	cache map[gateKey]sat.Lit
+	stats EncodeStats
 }
 
 // widthFor returns the number of bits of a signed 2's-complement vector
@@ -76,7 +98,18 @@ func BlastWith(s *sat.Solver, tr *ir.Triplets, opts Options) (*Blaster, error) {
 	if err := s.AddClause(b.lTrue); err != nil {
 		return nil, err
 	}
+	if opts.DisableHashing {
+		return b, b.blastLegacy()
+	}
+	b.cache = make(map[gateKey]sat.Lit)
+	return b, b.blastHashed()
+}
 
+// blastLegacy is the pre-hashing encoding pass: every triplet variable
+// gets a fresh solver vector/literal up front and every definition is a
+// fresh circuit equated to it.
+func (b *Blaster) blastLegacy() error {
+	s, tr := b.S, b.Tr
 	b.bools = make([]sat.Lit, len(tr.BoolNames))
 	for i := range tr.BoolNames {
 		b.bools[i] = sat.PosLit(s.NewVar())
@@ -94,37 +127,37 @@ func BlastWith(s *sat.Solver, tr *ir.Triplets, opts Options) (*Blaster, error) {
 		max := -min - 1
 		if info.Lo > min {
 			if err := b.assertCmpConst(vec, info.Lo, true); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if info.Hi < max {
 			if err := b.assertCmpConst(vec, info.Hi, false); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 
 	for _, d := range tr.IntDefs {
 		if err := b.blastIntDef(d); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, d := range tr.CmpDefs {
 		if err := b.blastCmpDef(d); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, g := range tr.Gates {
 		if err := b.blastGate(g); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, r := range tr.Roots {
 		if err := s.AddClause(b.blit(r)); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return b, nil
+	return nil
 }
 
 func (b *Blaster) blit(l ir.BLit) sat.Lit {
@@ -172,6 +205,15 @@ func signExtend(v []sat.Lit, w int) []sat.Lit {
 // using the paper's PB axiomatization for the carry (eq. 19) and a CNF
 // parity axiomatization for the sum bit.
 func (b *Blaster) fullAdder(s, cout, x, y, cin sat.Lit) error {
+	if err := b.majGate(cout, x, y, cin); err != nil {
+		return err
+	}
+	return b.xor3Gate(s, x, y, cin)
+}
+
+// majGate constrains cout ⇔ maj(x, y, cin): the paper's PB pair (eq. 19)
+// by default, or the 6-clause CNF majority gate in the ablation mode.
+func (b *Blaster) majGate(cout, x, y, cin sat.Lit) error {
 	if b.opts.CarryAsCNF {
 		// Plain CNF majority gate (ablation mode): 6 ternary clauses.
 		for _, cl := range [][3]sat.Lit{
@@ -196,8 +238,12 @@ func (b *Blaster) fullAdder(s, cout, x, y, cin sat.Lit) error {
 			return err
 		}
 	}
-	// s ⇔ x ⊕ y ⊕ cin, as 8 clauses: for every valuation pattern, rule out
-	// the wrong sum bit.
+	return nil
+}
+
+// xor3Gate constrains s ⇔ x ⊕ y ⊕ cin, as 8 clauses: for every valuation
+// pattern, rule out the wrong sum bit.
+func (b *Blaster) xor3Gate(s, x, y, cin sat.Lit) error {
 	in := [3]sat.Lit{x, y, cin}
 	for mask := 0; mask < 8; mask++ {
 		parity := (mask&1 ^ mask>>1&1 ^ mask>>2&1) == 1
@@ -529,6 +575,9 @@ func (b *Blaster) blastGate(g ir.Gate) error {
 // assertCmpConst asserts v ≥ k (ge=true) or v ≤ k (ge=false) against a
 // constant, using a subtraction-free magnitude comparator.
 func (b *Blaster) assertCmpConst(vec []sat.Lit, k int64, ge bool) error {
+	if b.hashed() {
+		return b.assertCmpConstH(vec, k, ge)
+	}
 	// Build the comparator literal and assert it. The comparator against a
 	// constant is a simple suffix scan over bits; to keep the code small we
 	// reuse the generic subtract-based comparator here.
@@ -555,6 +604,14 @@ func (b *Blaster) assertCmpConst(vec []sat.Lit, k int64, ge bool) error {
 func (b *Blaster) CmpConstLit(id int, k int64, le bool) (sat.Lit, error) {
 	key := fmt.Sprintf("%d|%d|%t", id, k, le)
 	if l, ok := b.cmpConstMemo[key]; ok {
+		return l, nil
+	}
+	if b.hashed() {
+		l, err := b.cmpConstLitH(id, k, le)
+		if err != nil {
+			return sat.LitUndef, err
+		}
+		b.cmpConstMemo[key] = l
 		return l, nil
 	}
 	vec := b.vecs[id]

@@ -1,0 +1,333 @@
+package bv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"satalloc/internal/ir"
+	"satalloc/internal/sat"
+)
+
+// encodingModes are the encoder configurations the equisatisfiability
+// harness cross-checks: the legacy path and the hashed path under both
+// comparator families, each with the PB and the CNF carry axiomatization.
+var encodingModes = []struct {
+	name string
+	opts Options
+}{
+	{"legacy", Options{DisableHashing: true}},
+	{"legacy-cnf", Options{DisableHashing: true, CarryAsCNF: true}},
+	{"hash-adder", Options{}},
+	{"hash-adder-cnf", Options{CarryAsCNF: true}},
+	{"hash-ladder", Options{Comparator: ComparatorLadder}},
+	{"hash-ladder-cnf", Options{Comparator: ComparatorLadder, CarryAsCNF: true}},
+}
+
+// checkEncodingExact verifies that an encoding of f agrees with the ground
+// truth evaluator on EVERY full assignment of the source variables: the
+// solver under assumptions pinning each variable must answer Sat exactly
+// when ir.Formula.Satisfied does. This is stronger than equisatisfiability
+// — it proves the encoding is a faithful definition of f over the source
+// vocabulary, for the hashed and legacy paths alike.
+func checkEncodingExact(t *testing.T, f *ir.Formula, opts Options) {
+	t.Helper()
+	sys, err := CompileWith(f, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if sys.Tr.Unsat {
+		// The tripletizer folded the formula to false; the ground truth
+		// must agree on every assignment, which the empty-clause encoding
+		// trivially matches — verify there is no satisfying assignment.
+		if st := sys.Solve(); st != sat.Unsat {
+			t.Fatalf("folded-unsat formula solved as %v", st)
+		}
+		asn := ir.NewAssignment()
+		var walk func(iv, bvi int) bool
+		walk = func(iv, bvi int) bool {
+			if iv < len(f.IntVars) {
+				v := f.IntVars[iv]
+				for val := v.Lo; val <= v.Hi; val++ {
+					asn.Ints[v] = val
+					if !walk(iv+1, bvi) {
+						return false
+					}
+				}
+				return true
+			}
+			if bvi < len(f.BoolVars) {
+				v := f.BoolVars[bvi]
+				for _, val := range []bool{false, true} {
+					asn.Bools[v] = val
+					if !walk(iv, bvi+1) {
+						return false
+					}
+				}
+				return true
+			}
+			if f.Satisfied(asn) {
+				t.Errorf("encoder folded to unsat but %v satisfies the formula", renderAsn(f, asn))
+				return false
+			}
+			return true
+		}
+		walk(0, 0)
+		return
+	}
+
+	// Walk the cross product of all variable domains.
+	asn := ir.NewAssignment()
+	var assumptions []sat.Lit
+	var walk func(iv, bv int) bool
+	walk = func(iv, bvi int) bool {
+		if iv < len(f.IntVars) {
+			v := f.IntVars[iv]
+			for val := v.Lo; val <= v.Hi; val++ {
+				asn.Ints[v] = val
+				le, err := sys.UpperBoundLit(v, val)
+				if err != nil {
+					t.Fatalf("upper bound lit: %v", err)
+				}
+				ge, err := sys.LowerBoundLit(v, val)
+				if err != nil {
+					t.Fatalf("lower bound lit: %v", err)
+				}
+				save := len(assumptions)
+				assumptions = append(assumptions, le, ge)
+				if !walk(iv+1, bvi) {
+					return false
+				}
+				assumptions = assumptions[:save]
+			}
+			return true
+		}
+		if bvi < len(f.BoolVars) {
+			v := f.BoolVars[bvi]
+			for _, val := range []bool{false, true} {
+				asn.Bools[v] = val
+				save := len(assumptions)
+				assumptions = append(assumptions, sat.MkLit(sys.BoolSolverVar(v), !val))
+				if !walk(iv, bvi+1) {
+					return false
+				}
+				assumptions = assumptions[:save]
+			}
+			return true
+		}
+		want := f.Satisfied(asn)
+		got := sys.Solve(assumptions...) == sat.Sat
+		if got != want {
+			t.Errorf("assignment %v: encoded=%v ground-truth=%v", renderAsn(f, asn), got, want)
+			return false
+		}
+		return true
+	}
+	walk(0, 0)
+}
+
+func renderAsn(f *ir.Formula, a *ir.Assignment) string {
+	s := ""
+	for _, v := range f.IntVars {
+		s += fmt.Sprintf("%s=%d ", v.Name, a.Ints[v])
+	}
+	for _, v := range f.BoolVars {
+		s += fmt.Sprintf("%s=%t ", v.Name, a.Bools[v])
+	}
+	return s
+}
+
+// tinyFormulas is a hand-built corpus covering every triplet family the
+// blaster handles: add/sub/mul (variable and constant operands), all
+// relational operators, all gates, shared subterms (the hashing targets),
+// and negative ranges.
+func tinyFormulas() map[string]*ir.Formula {
+	out := map[string]*ir.Formula{}
+
+	f := ir.NewFormula()
+	x := f.Int("x", 0, 5)
+	y := f.Int("y", -2, 3)
+	f.Require(ir.Le(ir.Add(x, y), ir.Const(4)))
+	f.Require(ir.Ge(ir.Sub(x, y), ir.Const(1)))
+	out["add-sub"] = f
+
+	f = ir.NewFormula()
+	x = f.Int("x", 0, 3)
+	y = f.Int("y", 0, 3)
+	f.Require(ir.Eq(ir.Mul(x, y), ir.Const(6)))
+	out["mul"] = f
+
+	f = ir.NewFormula()
+	x = f.Int("x", -3, 4)
+	f.Require(ir.Lt(ir.Mul(ir.Const(3), x), ir.Const(7)))
+	f.Require(ir.Ne(x, ir.Const(0)))
+	f.Require(ir.Ge(ir.Mul(x, ir.Const(-2)), ir.Const(-6)))
+	out["mul-const"] = f
+
+	// Shared subterm x+y referenced three times — the CSE target.
+	f = ir.NewFormula()
+	x = f.Int("x", 0, 6)
+	y = f.Int("y", 0, 6)
+	s := ir.Add(x, y)
+	f.Require(ir.Le(s, ir.Const(9)))
+	f.Require(ir.Ge(s, ir.Const(3)))
+	f.Require(ir.Ne(s, ir.Const(5)))
+	out["shared-sum"] = f
+
+	f = ir.NewFormula()
+	a := f.Bool("a")
+	b := f.Bool("b")
+	c := f.Bool("c")
+	x = f.Int("x", 0, 2)
+	f.Require(ir.Iff(ir.And(a, ir.Or(b, c)), ir.Le(x, ir.Const(1))))
+	f.Require(ir.Imply(a, ir.Xor(b, c)))
+	out["gates"] = f
+
+	f = ir.NewFormula()
+	x = f.Int("x", -4, 3)
+	y = f.Int("y", -4, 3)
+	f.Require(ir.Eq(ir.Add(ir.Mul(x, x), ir.Mul(y, y)), ir.Const(13)))
+	out["squares"] = f
+
+	return out
+}
+
+func TestEquisatTinyCorpus(t *testing.T) {
+	for name, f := range tinyFormulas() {
+		for _, m := range encodingModes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				checkEncodingExact(t, f, m.opts)
+			})
+		}
+	}
+}
+
+// randomFormula builds a seeded random formula: a few small-range ints and
+// bools, a pool of random arithmetic terms reusing earlier terms (so the
+// structural hasher has real sharing to find), and a handful of random
+// relational/gate constraints.
+func randomFormula(seed int64) *ir.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := ir.NewFormula()
+	ints := []ir.IntExpr{}
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		lo := int64(rng.Intn(5)) - 3
+		hi := lo + int64(1+rng.Intn(5))
+		ints = append(ints, f.Int(fmt.Sprintf("v%d", i), lo, hi))
+	}
+	bools := []ir.BoolExpr{}
+	for i := 0; i < 2; i++ {
+		bools = append(bools, f.Bool(fmt.Sprintf("p%d", i)))
+	}
+	term := func() ir.IntExpr { return ints[rng.Intn(len(ints))] }
+	for i := 0; i < 3; i++ {
+		a, b := term(), term()
+		switch rng.Intn(4) {
+		case 0:
+			ints = append(ints, ir.Add(a, b))
+		case 1:
+			ints = append(ints, ir.Sub(a, b))
+		case 2:
+			ints = append(ints, ir.Mul(a, ir.Const(int64(rng.Intn(5))-2)))
+		case 3:
+			ints = append(ints, ir.Mul(a, b))
+		}
+	}
+	cmp := func() ir.BoolExpr {
+		a, b := term(), term()
+		k := ir.Const(int64(rng.Intn(13)) - 6)
+		switch rng.Intn(5) {
+		case 0:
+			return ir.Le(a, k)
+		case 1:
+			return ir.Lt(a, b)
+		case 2:
+			return ir.Eq(a, k)
+		case 3:
+			return ir.Ne(a, b)
+		default:
+			return ir.Ge(a, k)
+		}
+	}
+	boolTerm := func() ir.BoolExpr {
+		if rng.Intn(2) == 0 {
+			return bools[rng.Intn(len(bools))]
+		}
+		return cmp()
+	}
+	for i := 0; i < 3+rng.Intn(3); i++ {
+		a, b := boolTerm(), boolTerm()
+		switch rng.Intn(5) {
+		case 0:
+			f.Require(ir.Or(a, b))
+		case 1:
+			f.Require(ir.Imply(a, b))
+		case 2:
+			f.Require(ir.Iff(a, ir.NotE(b)))
+		case 3:
+			f.Require(ir.Xor(a, b))
+		default:
+			f.Require(ir.Or(a, ir.NotE(b)))
+		}
+	}
+	return f
+}
+
+func TestEquisatFuzzSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		f := randomFormula(seed)
+		// Skip blown-up domains: the walk is exponential in variables.
+		space := int64(1)
+		for _, v := range f.IntVars {
+			space *= v.Hi - v.Lo + 1
+		}
+		if space > 1<<10 {
+			continue
+		}
+		for _, m := range encodingModes {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, m.name), func(t *testing.T) {
+				checkEncodingExact(t, f, m.opts)
+			})
+		}
+	}
+}
+
+// TestHashingReducesEncoding pins the headline property of the hashed
+// path: on a formula with heavy structural sharing it must emit strictly
+// fewer solver variables and clause literals than the legacy path, and the
+// gate cache must report genuine reuse.
+func TestHashingReducesEncoding(t *testing.T) {
+	f := ir.NewFormula()
+	var terms []ir.IntExpr
+	for i := 0; i < 4; i++ {
+		terms = append(terms, f.Int(fmt.Sprintf("v%d", i), 0, 15))
+	}
+	sum := ir.Sum(terms...)
+	for i, v := range terms {
+		f.Require(ir.Le(ir.Add(sum, v), ir.Const(40+int64(i))))
+	}
+	legacy, err := CompileWith(f, Options{DisableHashing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := CompileWith(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv, lv := hashed.S.NumVariables(), legacy.S.NumVariables(); hv >= lv {
+		t.Errorf("hashed path emitted %d vars, legacy %d — no reduction", hv, lv)
+	}
+	if hl, ll := hashed.S.Stats.NumLiterals, legacy.S.Stats.NumLiterals; hl >= ll {
+		t.Errorf("hashed path emitted %d literals, legacy %d — no reduction", hl, ll)
+	}
+	st := hashed.B.Stats()
+	if st.GatesRequested == 0 || st.GatesEmitted == 0 {
+		t.Fatalf("no gate accounting: %+v", st)
+	}
+	if st.GatesReused() <= 0 {
+		t.Errorf("gate cache saw no reuse on a sharing-heavy formula: %+v", st)
+	}
+	if st.GatesEmitted+st.GatesFolded+st.GatesReused() != st.GatesRequested {
+		t.Errorf("gate accounting does not balance: %+v", st)
+	}
+}

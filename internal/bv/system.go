@@ -48,7 +48,15 @@ func CompileIntoWith(s *sat.Solver, f *ir.Formula, opts Options) (*System, error
 		return nil, err
 	}
 	bsp.Attr("vars", s.NumVariables()).Attr("clauses", s.Stats.NumClauses).
-		Attr("pb", s.Stats.NumPB).Attr("literals", s.Stats.NumLiterals).End()
+		Attr("pb", s.Stats.NumPB).Attr("literals", s.Stats.NumLiterals)
+	if b.hashed() {
+		st := b.Stats()
+		bsp.Attr("gates_requested", st.GatesRequested).
+			Attr("gates_emitted", st.GatesEmitted).
+			Attr("gates_folded", st.GatesFolded).
+			Attr("gates_reused", st.GatesReused())
+	}
+	bsp.End()
 	return &System{F: f, Tr: tr, B: b, S: s}, nil
 }
 

@@ -51,6 +51,14 @@ type SolverMetrics struct {
 	IncumbentCost *Gauge // current best model cost, any source (-1 until known)
 	BudgetHits    *Counter
 
+	// Propositional encoding (bv bit-blast with structural hashing).
+	EncodeGatesRequested *Counter // gate requests made to the hash-consing layer
+	EncodeGatesEmitted   *Counter // gates that allocated a fresh variable and clauses
+	EncodeGatesFolded    *Counter // gates resolved by constant folding or operand identities
+	EncodeGatesReused    *Counter // gates answered from the structural-hashing cache
+	EncodeVars           *Gauge   // solver variables after the last bit-blast
+	EncodeLiterals       *Gauge   // clause literals after the last bit-blast
+
 	// core.Solve phases and portfolio arms.
 	SolvesStarted *Counter
 	Panics        *Counter
@@ -101,6 +109,13 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 		BoundGap:      r.Gauge("satalloc_opt_bound_gap", "binary search gap R-L (-1: unknown)", nil),
 		IncumbentCost: r.Gauge("satalloc_opt_incumbent_cost", "cost of the best model found so far (-1: none)", nil),
 		BudgetHits:    r.Counter("satalloc_opt_budget_hits_total", "SOLVE calls interrupted by a budget or cancellation", nil),
+
+		EncodeGatesRequested: r.Counter("satalloc_encode_gates_requested_total", "gate requests made to the bit-blaster's hash-consing layer", nil),
+		EncodeGatesEmitted:   r.Counter("satalloc_encode_gates_emitted_total", "gates emitted as fresh variables and clauses", nil),
+		EncodeGatesFolded:    r.Counter("satalloc_encode_gates_folded_total", "gates resolved by constant folding or operand identities", nil),
+		EncodeGatesReused:    r.Counter("satalloc_encode_gates_reused_total", "gates answered from the structural-hashing cache", nil),
+		EncodeVars:           r.Gauge("satalloc_encode_vars", "solver variables after the last bit-blast", nil),
+		EncodeLiterals:       r.Gauge("satalloc_encode_literals", "clause literals after the last bit-blast", nil),
 
 		SolvesStarted: r.Counter("satalloc_core_solves_started_total", "core.Solve pipeline runs started", nil),
 		Panics:        r.Counter("satalloc_core_panics_total", "panics contained at the core.Solve boundary", nil),
@@ -159,6 +174,30 @@ func (m *SolverMetrics) SearchHook() func(conflicts, decisions, propagations, re
 		last.rest, last.ladd, last.lpru = restarts, learntAdded, learntPruned
 		m.LearntDB.Set(int64(learnts))
 		m.TrailDepth.Set(int64(trail))
+	}
+}
+
+// EncodeHook returns a stateful hook mirroring one bit-blaster's
+// cumulative gate counters into the registry as deltas. Like SearchHook,
+// one hook must be created per blaster instance: a fresh blast restarts
+// its counters at zero, and per-hook state keeps the mirrored totals
+// monotone across encoder rebuilds (opt's fresh mode). The counters keep
+// growing after the initial blast as the optimizer builds cost-probe
+// circuits, so callers re-fire the hook at solve boundaries. Returns nil
+// when m is nil.
+func (m *SolverMetrics) EncodeHook() func(requested, emitted, folded, reused int64, vars int, literals int64) {
+	if m == nil {
+		return nil
+	}
+	var last struct{ req, emit, fold, reuse int64 }
+	return func(requested, emitted, folded, reused int64, vars int, literals int64) {
+		m.EncodeGatesRequested.Add(requested - last.req)
+		m.EncodeGatesEmitted.Add(emitted - last.emit)
+		m.EncodeGatesFolded.Add(folded - last.fold)
+		m.EncodeGatesReused.Add(reused - last.reuse)
+		last.req, last.emit, last.fold, last.reuse = requested, emitted, folded, reused
+		m.EncodeVars.Set(int64(vars))
+		m.EncodeLiterals.Set(literals)
 	}
 }
 

@@ -63,6 +63,27 @@ func (r *CoreReport) String() string {
 	return "infeasible: " + strings.Join(r.Names(), " + ")
 }
 
+// dropRank orders core-minimization deletion attempts: lower ranks are
+// tried (and thus discarded) first, so minimal cores prefer to speak in
+// terms of placements and deadlines over the derived families when the
+// conflict can be expressed either way.
+func dropRank(k encode.GroupKind) int {
+	switch k {
+	case encode.GroupRouting:
+		return 0
+	case encode.GroupPriority:
+		return 1
+	case encode.GroupMemory:
+		return 2
+	case encode.GroupSeparation:
+		return 3
+	case encode.GroupDeadline:
+		return 4
+	default: // GroupPlacement
+		return 5
+	}
+}
+
 // ExplainInfeasible re-encodes the spec with selector-guarded constraint
 // groups (encode.Options.Groups) and runs assumption-based core extraction:
 // a first solve under all selectors yields a failed-assumption core, then
@@ -103,7 +124,11 @@ func ExplainInfeasible(msys *model.System, encOpts encode.Options, opts Options)
 			opts.ObserveProof(lg)
 		}
 	}
-	sys, err := bv.CompileIntoWith(s, enc.F, bv.Options{Trace: sp})
+	sys, err := bv.CompileIntoWith(s, enc.F, bv.Options{
+		Trace:          sp,
+		Comparator:     encOpts.Comparator,
+		DisableHashing: encOpts.DisableHashing,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +189,24 @@ func ExplainInfeasible(msys *model.System, encOpts encode.Options, opts Options)
 	}
 	opts.logf("initial core: %d of %d families", len(work), len(groups))
 
+	// Deletion order doubles as a preference order over explanations: when
+	// the instance admits several minimal cores, a family whose deletion
+	// is attempted earlier is probed against a larger remaining set and is
+	// therefore more likely to be discarded. Trying auxiliary, derived
+	// families (routing, priority, memory) first steers the surviving core
+	// toward the spec's primary vocabulary (placement, deadline) whenever
+	// a choice exists; the result is a true MUS either way.
+	sortByDropPreference := func(idxs []int) {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			ra, rb := dropRank(groups[idxs[a]].Kind), dropRank(groups[idxs[b]].Kind)
+			if ra != rb {
+				return ra < rb
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+	sortByDropPreference(work)
+
 	// Deletion-based minimization with core refinement. Necessity is
 	// monotone under shrinking — if W\{w} is satisfiable then so is every
 	// subset of it — so a family confirmed against an earlier, larger set
@@ -200,6 +243,7 @@ loop:
 					next = append(next, gi)
 				}
 			}
+			sortByDropPreference(next[confirmed:])
 			work, i = next, confirmed
 		case sat.Unknown:
 			minimal = false

@@ -151,7 +151,18 @@ type IterStats struct {
 	// solver's cumulative counters).
 	Conflicts int64
 	Decisions int64
-	Duration  time.Duration
+	// GatesBuilt and GatesReused are the encode-side effort of this call:
+	// gate circuits freshly emitted versus answered by the bit-blaster's
+	// structural-hashing cache while building this call's cost-bound
+	// probes — plus, in fresh (non-incremental) mode, the full re-encode
+	// of the formula the call had to pay for. Incremental mode reuses the
+	// hashed gate graph across probes, so GatesBuilt collapses to the few
+	// comparator gates of the new bounds; that contrast is the encode-side
+	// half of the §7 incremental-speedup claim. Both are zero when the
+	// encoding ran with DisableHashing.
+	GatesBuilt  int64
+	GatesReused int64
+	Duration    time.Duration
 }
 
 // Result reports the minimization outcome.
@@ -271,6 +282,18 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	// One proof log per compiled solver: incremental mode certifies the
 	// whole run with a single log, fresh mode with one log per SOLVE call.
 	var proofLogs []*proof.Log
+	// One encode-metrics hook per compiled blaster (its delta state must
+	// restart with the blaster's counters), re-fired after every solve to
+	// pick up the cost-probe circuits built since.
+	var encHook func(requested, emitted, folded, reused int64, vars int, literals int64)
+	reportEncode := func() {
+		if encHook == nil {
+			return
+		}
+		st := sys.B.Stats()
+		encHook(st.GatesRequested, st.GatesEmitted, st.GatesFolded, st.GatesReused(),
+			sys.S.NumVariables(), sys.S.Stats.NumLiterals)
+	}
 	compile := func() error {
 		s := sat.New()
 		if opts.Proof {
@@ -284,7 +307,11 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			}
 		}
 		var err error
-		sys, err = bv.CompileIntoWith(s, enc.F, bv.Options{Trace: opts.Trace})
+		sys, err = bv.CompileIntoWith(s, enc.F, bv.Options{
+			Trace:          opts.Trace,
+			Comparator:     enc.Opts.Comparator,
+			DisableHashing: enc.Opts.DisableHashing,
+		})
 		if err != nil {
 			return err
 		}
@@ -299,6 +326,8 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			res.Vars = sys.S.NumVariables()
 			res.Literals = sys.S.Stats.NumLiterals
 		}
+		encHook = opts.Metrics.EncodeHook()
+		reportEncode()
 		if opts.Observe != nil {
 			opts.Observe(sys)
 		}
@@ -352,11 +381,18 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 	// SOLVE(φ ∧ lo ≤ cost ≤ hi); lo/hi of -1 mean unconstrained.
 	solve := func(lo, hi int64) (solveOut, error) {
 		res.SolveCalls++
+		// Encode-effort baseline for this call: fresh mode re-encodes the
+		// whole formula (the new blaster's counters start at zero, so the
+		// rebuild is charged to this call); incremental mode snapshots the
+		// live counters so only the new bound probes are charged.
+		var preEnc bv.EncodeStats
 		if !opts.Incremental && res.SolveCalls > 1 {
 			// Fresh solver and fresh bit-blast per call (baseline mode).
 			if err := compile(); err != nil {
 				return solveOut{}, err
 			}
+		} else {
+			preEnc = sys.B.Stats()
 		}
 		var assumptions []sat.Lit
 		if lo >= 0 {
@@ -403,19 +439,23 @@ func minimize(enc *encode.Encoding, opts Options) (*Result, error) {
 			out.cost = out.assign.Ints[enc.Cost]
 		}
 		post := cumStats()
+		postEnc := sys.B.Stats()
 		it := IterStats{
-			Call:      res.SolveCalls,
-			Lo:        lo,
-			Hi:        hi,
-			Status:    st,
-			Cost:      -1,
-			Conflicts: post.Conflicts - preConf,
-			Decisions: post.Decisions - preDec,
-			Duration:  time.Since(callStart),
+			Call:        res.SolveCalls,
+			Lo:          lo,
+			Hi:          hi,
+			Status:      st,
+			Cost:        -1,
+			Conflicts:   post.Conflicts - preConf,
+			Decisions:   post.Decisions - preDec,
+			GatesBuilt:  postEnc.GatesEmitted - preEnc.GatesEmitted,
+			GatesReused: postEnc.GatesReused() - preEnc.GatesReused(),
+			Duration:    time.Since(callStart),
 		}
 		if st == sat.Sat {
 			it.Cost = out.cost
 		}
+		reportEncode()
 		res.Iters = append(res.Iters, it)
 		res.Conflicts += it.Conflicts
 		res.Decisions += it.Decisions
@@ -576,7 +616,10 @@ func verify(enc *encode.Encoding, res *Result) error {
 // is the one-hot placement variables only: allocations differing in
 // routes, slots or local deadlines but not placement count once.
 func EnumerateOptimalPlacements(enc *encode.Encoding, optimal int64, limit int, fn func(*model.Allocation) bool) (int, error) {
-	sys, err := bv.Compile(enc.F)
+	sys, err := bv.CompileWith(enc.F, bv.Options{
+		Comparator:     enc.Opts.Comparator,
+		DisableHashing: enc.Opts.DisableHashing,
+	})
 	if err != nil {
 		return 0, err
 	}

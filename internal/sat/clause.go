@@ -1,29 +1,47 @@
 package sat
 
-// clause is a disjunction of literals. The first two literals are the
-// watched ones; the solver maintains the invariant that a watched literal is
-// either unassigned, true, or — if false — every other literal is false too
-// (conflict) or the other watch is true/propagated.
-type clause struct {
-	lits     []Lit
-	activity float64
-	lbd      int  // literal block distance at learning time
-	learnt   bool // learnt clauses may be garbage-collected
+// Clauses live in the solver's flat arena (see arena.go) and are
+// addressed by clauseRef. The first two literals of a clause are the
+// watched ones; the solver maintains the invariant that a watched literal
+// is either unassigned, true, or — if false — every other literal is
+// false too (conflict) or the other watch is true/propagated.
+
+// reason justifies a propagated literal or a conflict during analysis: a
+// clause in the arena, a PB constraint, or nothing (decisions, assumption
+// literals, and root units carry noReason). The tagged value replaces the
+// old two-word interface so the hot paths stay free of interface
+// dispatch and type assertions.
+type reason struct {
+	ref clauseRef
+	pb  *pbConstraint
 }
 
-// reason is anything that can justify a propagated literal or a conflict
-// during conflict analysis. Clauses and PB constraints both implement it.
-type reason interface {
-	// explain appends to out an implied clause that contains lit (the
-	// propagated literal) and whose remaining literals were all false when
-	// lit was assigned at trail position pos. For a conflict explanation,
-	// lit is LitUndef and the returned clause is falsified by the current
-	// assignment.
-	explain(s *Solver, lit Lit, pos int, out []Lit) []Lit
-}
+var noReason = reason{}
 
-func (c *clause) explain(s *Solver, lit Lit, pos int, out []Lit) []Lit {
-	for _, l := range c.lits {
+func clauseReason(r clauseRef) reason { return reason{ref: r} }
+
+func pbReason(c *pbConstraint) reason { return reason{pb: c} }
+
+// none reports the absence of a justification (decision/assumption/unit).
+//
+//satlint:hotpath alloc-free
+func (r reason) none() bool { return r.pb == nil && r.ref == nilRef }
+
+// isClause reports whether the reason is an arena clause.
+//
+//satlint:hotpath alloc-free
+func (r reason) isClause() bool { return r.ref != nilRef }
+
+// explain appends to out an implied clause that contains lit (the
+// propagated literal) and whose remaining literals were all false when
+// lit was assigned at trail position pos. For a conflict explanation, lit
+// is LitUndef and the returned clause is falsified by the current
+// assignment.
+func (s *Solver) explain(r reason, lit Lit, pos int, out []Lit) []Lit {
+	if r.pb != nil {
+		return r.pb.explain(s, lit, pos, out)
+	}
+	for _, l := range s.ca.lits(r.ref) {
 		if l != lit {
 			out = append(out, l)
 		}
@@ -38,16 +56,16 @@ func (c *clause) explain(s *Solver, lit Lit, pos int, out []Lit) []Lit {
 // of the clause: if the blocker is already true the clause is satisfied and
 // the watch needs no work.
 type watcher struct {
-	c       *clause
+	ref     clauseRef
 	blocker Lit
 }
 
 // binWatcher is an entry in a literal's binary-clause watch list. A binary
 // clause (a ∨ b) is stored twice — under ¬a with other=b and under ¬b with
 // other=a — so falsifying either literal immediately exposes the implied
-// one without the watcher-search loop long clauses need. The clause pointer
-// is kept only to serve as the propagation reason during conflict analysis.
+// one without the watcher-search loop long clauses need. The ref is kept
+// only to serve as the propagation reason during conflict analysis.
 type binWatcher struct {
 	other Lit
-	c     *clause
+	ref   clauseRef
 }

@@ -258,7 +258,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		emit(c.lits)
+		emit(s.ca.lits(c))
 	}
 	return bw.Flush()
 }
@@ -284,7 +284,7 @@ func (s *Solver) WriteOPB(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			fmt.Fprintf(bw, "+1 %s ", lit(l))
 		}
 		fmt.Fprintln(bw, ">= 1 ;")

@@ -96,7 +96,7 @@ func (s *Solver) CloneAtRoot() (*Solver, error) {
 		}
 	}
 	for _, cl := range s.clauses {
-		if err := c.AddClause(cl.lits...); err != nil {
+		if err := c.AddClause(s.ca.lits(cl)...); err != nil {
 			return nil, err
 		}
 	}
@@ -137,8 +137,8 @@ func (s *Solver) addSharedAtRoot(lits []Lit, lbd int) (imported, alive bool) {
 		s.ok = false
 		return true, false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], noReason)
+		if !s.propagate().none() {
 			s.ok = false
 			return true, false
 		}
@@ -150,9 +150,10 @@ func (s *Solver) addSharedAtRoot(lits []Lit, lbd int) (imported, alive bool) {
 	if lbd > len(out) {
 		lbd = len(out)
 	}
-	c := &clause{lits: out, learnt: true, lbd: lbd}
-	s.attach(c)
-	s.learnts = append(s.learnts, c)
+	r := s.ca.alloc(out, true)
+	s.ca.setLBD(r, lbd)
+	s.attach(r)
+	s.learnts = append(s.learnts, r)
 	s.Stats.LearntAdded++
 	return true, true
 }

@@ -95,11 +95,11 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 		}
 		s.seen[v] = 0
 		r := s.reasonOf[v]
-		if r == nil {
+		if r.none() {
 			core = append(core, q)
 			continue
 		}
-		for _, l := range r.explain(s, q, int(s.pos[v]), nil) {
+		for _, l := range s.explain(r, q, int(s.pos[v]), nil) {
 			if l != q && s.level[l.Var()] > 0 {
 				s.seen[l.Var()] = 1
 			}

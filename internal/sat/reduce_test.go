@@ -36,8 +36,8 @@ func TestParallelReduceDBKeepsSharedReasonClauses(t *testing.T) {
 	// each triple the way search would, propagating c from the import.
 	decide := func(l Lit) {
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.uncheckedEnqueue(l, nil)
-		if confl := s.propagate(); confl != nil {
+		s.uncheckedEnqueue(l, noReason)
+		if confl := s.propagate(); !confl.none() {
 			t.Fatal("unexpected conflict while staging reasons")
 		}
 	}
@@ -57,19 +57,20 @@ func TestParallelReduceDBKeepsSharedReasonClauses(t *testing.T) {
 
 	// Every propagated c must still have its reason in the learnt DB and
 	// on the watch lists of both its first two literals.
-	inLearnts := func(c *clause) bool {
+	inLearnts := func(r clauseRef) bool {
 		for _, l := range s.learnts {
-			if l == c {
+			if l == r {
 				return true
 			}
 		}
 		return false
 	}
-	watched := func(c *clause) bool {
-		for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+	watched := func(r clauseRef) bool {
+		ls := s.ca.lits(r)
+		for _, wl := range []Lit{ls[0].Not(), ls[1].Not()} {
 			found := false
 			for _, w := range s.watches[wl] {
-				if w.c == c {
+				if w.ref == r {
 					found = true
 				}
 			}
@@ -81,14 +82,13 @@ func TestParallelReduceDBKeepsSharedReasonClauses(t *testing.T) {
 	}
 	for _, tr := range ts {
 		r := s.reasonOf[tr.c]
-		c, ok := r.(*clause)
-		if !ok || c == nil {
+		if !r.isClause() {
 			t.Fatalf("c of triple %+v lost its clause reason after reduceDB", tr)
 		}
-		if !inLearnts(c) {
+		if !inLearnts(r.ref) {
 			t.Fatalf("reason clause of triple %+v dropped from the learnt DB", tr)
 		}
-		if !watched(c) {
+		if !watched(r.ref) {
 			t.Fatalf("reason clause of triple %+v detached from its watch lists", tr)
 		}
 	}

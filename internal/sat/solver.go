@@ -93,8 +93,9 @@ type Solver struct {
 	watches    [][]watcher    // indexed by Lit: clauses watching this literal's falsification
 	binWatches [][]binWatcher // indexed by Lit: binary clauses whose other literal this falsification implies
 	pbOccs     [][]pbWatch    // indexed by Lit: assigning Lit falsifies a term of the constraint
-	clauses    []*clause
-	learnts    []*clause
+	ca         *clauseArena   // flat backing store for clauses and learnts
+	clauses    []clauseRef
+	learnts    []clauseRef
 	pbs        []*pbConstraint
 	claInc     float64
 	maxLearnt  float64
@@ -210,11 +211,12 @@ func New() *Solver {
 		stopEveryDecisions: stopCheckDecisions,
 	}
 	s.heap = newVarHeap(&s.activity)
+	s.ca = newArena()
 	// Slot 0 is a sentinel so Var and Lit index directly.
 	s.assign = append(s.assign, LUndef)
 	s.level = append(s.level, 0)
 	s.pos = append(s.pos, 0)
-	s.reasonOf = append(s.reasonOf, nil)
+	s.reasonOf = append(s.reasonOf, noReason)
 	s.phase = append(s.phase, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -230,7 +232,7 @@ func (s *Solver) NewVar() Var {
 	s.assign = append(s.assign, LUndef)
 	s.level = append(s.level, 0)
 	s.pos = append(s.pos, 0)
-	s.reasonOf = append(s.reasonOf, nil)
+	s.reasonOf = append(s.reasonOf, noReason)
 	s.phase = append(s.phase, true) // default polarity: try false first
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -313,15 +315,15 @@ func (s *Solver) addClause(lits ...Lit) error {
 		s.markRefuted()
 		return nil
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], noReason)
+		if !s.propagate().none() {
 			s.markRefuted()
 		}
 		return nil
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
-	s.attach(c)
-	s.clauses = append(s.clauses, c)
+	r := s.ca.alloc(out, false)
+	s.attach(r)
+	s.clauses = append(s.clauses, r)
 	s.Stats.NumClauses++
 	s.Stats.NumLiterals += int64(len(out))
 	return nil
@@ -387,10 +389,10 @@ func (s *Solver) AddPB(terms []PBTerm, bound int64) error {
 	// Propagate any literal already forced at root level.
 	for _, t := range c.terms {
 		if t.Coef > c.slack && s.litValue(t.Lit) == LUndef {
-			s.uncheckedEnqueue(t.Lit, nil)
+			s.uncheckedEnqueue(t.Lit, noReason)
 		}
 	}
-	if s.propagate() != nil {
+	if !s.propagate().none() {
 		s.markRefuted()
 	}
 	return nil
@@ -406,14 +408,15 @@ func (s *Solver) AddAtMostOne(lits ...Lit) error {
 	return s.AddPB(terms, int64(len(lits)-1))
 }
 
-func (s *Solver) attach(c *clause) {
-	if len(c.lits) == 2 {
-		s.binWatches[c.lits[0].Not()] = append(s.binWatches[c.lits[0].Not()], binWatcher{other: c.lits[1], c: c})
-		s.binWatches[c.lits[1].Not()] = append(s.binWatches[c.lits[1].Not()], binWatcher{other: c.lits[0], c: c})
+func (s *Solver) attach(r clauseRef) {
+	ls := s.ca.lits(r)
+	if len(ls) == 2 {
+		s.binWatches[ls[0].Not()] = append(s.binWatches[ls[0].Not()], binWatcher{other: ls[1], ref: r})
+		s.binWatches[ls[1].Not()] = append(s.binWatches[ls[1].Not()], binWatcher{other: ls[0], ref: r})
 		return
 	}
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+	s.watches[ls[0].Not()] = append(s.watches[ls[0].Not()], watcher{ref: r, blocker: ls[1]})
+	s.watches[ls[1].Not()] = append(s.watches[ls[1].Not()], watcher{ref: r, blocker: ls[0]})
 }
 
 //satlint:hotpath
@@ -432,7 +435,7 @@ func (s *Solver) uncheckedEnqueue(l Lit, from reason) {
 }
 
 // propagate performs unit propagation over clauses and PB constraints.
-// It returns a conflicting reason, or nil.
+// It returns a conflicting reason, or noReason.
 //
 //satlint:hotpath
 func (s *Solver) propagate() reason {
@@ -450,14 +453,14 @@ func (s *Solver) propagate() reason {
 				// backtracking stays balanced: cancelUntil adds back the
 				// coefficient for every watch of p.
 				s.finishPBUpdates(p, w)
-				return c
+				return pbReason(c)
 			}
 			for _, t := range c.terms {
 				if t.Coef <= c.slack {
 					break // sorted descending: nothing further can propagate
 				}
 				if s.litValue(t.Lit) == LUndef {
-					s.uncheckedEnqueue(t.Lit, c)
+					s.uncheckedEnqueue(t.Lit, pbReason(c))
 				}
 			}
 		}
@@ -468,16 +471,18 @@ func (s *Solver) propagate() reason {
 			switch s.litValue(w.other) {
 			case LTrue:
 			case LFalse:
-				return w.c
+				return clauseReason(w.ref)
 			default:
-				s.uncheckedEnqueue(w.other, w.c)
+				s.uncheckedEnqueue(w.other, clauseReason(w.ref))
 			}
 		}
 
-		// Clause propagation with two watched literals.
+		// Clause propagation with two watched literals. c aliases arena
+		// storage; nothing in this loop grows the arena, so the slice
+		// stays valid and in-place watch reordering writes through.
 		ws := s.watches[p]
 		i, j := 0, 0
-		var conflict reason
+		conflict := noReason
 	clauseLoop:
 		for i < len(ws) {
 			w := ws[i]
@@ -487,29 +492,29 @@ func (s *Solver) propagate() reason {
 				j++
 				continue
 			}
-			c := w.c
-			// Ensure the falsified literal is lits[1].
-			if c.lits[0] == p.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := s.ca.lits(w.ref)
+			// Ensure the falsified literal is c[1].
+			if c[0] == p.Not() {
+				c[0], c[1] = c[1], c[0]
 			}
-			if first := c.lits[0]; s.litValue(first) == LTrue {
-				ws[j] = watcher{c: c, blocker: first}
+			if first := c[0]; s.litValue(first) == LTrue {
+				ws[j] = watcher{ref: w.ref, blocker: first}
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.litValue(c.lits[k]) != LFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+			for k := 2; k < len(c); k++ {
+				if s.litValue(c[k]) != LFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1].Not()] = append(s.watches[c[1].Not()], watcher{ref: w.ref, blocker: c[0]})
 					continue clauseLoop
 				}
 			}
 			// No new watch: clause is unit or conflicting.
-			ws[j] = watcher{c: c, blocker: c.lits[0]}
+			ws[j] = watcher{ref: w.ref, blocker: c[0]}
 			j++
-			if s.litValue(c.lits[0]) == LFalse {
-				conflict = c
+			if s.litValue(c[0]) == LFalse {
+				conflict = clauseReason(w.ref)
 				// Copy remaining watchers back.
 				for i < len(ws) {
 					ws[j] = ws[i]
@@ -518,14 +523,14 @@ func (s *Solver) propagate() reason {
 				}
 				break
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(c[0], clauseReason(w.ref))
 		}
 		s.watches[p] = ws[:j]
-		if conflict != nil {
+		if !conflict.none() {
 			return conflict
 		}
 	}
-	return nil
+	return noReason
 }
 
 // finishPBUpdates applies the slack updates for the remaining watches of p
@@ -554,7 +559,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 		p := s.trail[i]
 		v := p.Var()
 		s.assign[v] = LUndef
-		s.reasonOf[v] = nil
+		s.reasonOf[v] = noReason
 		// PB slack counters are only decremented when propagate dequeues a
 		// literal, so only dequeued literals (position < qhead) are undone.
 		if int(i) < s.qhead {
@@ -580,11 +585,12 @@ func (s *Solver) bumpVar(v Var) {
 	s.heap.decreased(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(r clauseRef) {
+	act := s.ca.activity(r) + s.claInc
+	s.ca.setActivity(r, act)
+	if act > 1e20 {
 		for _, l := range s.learnts {
-			l.activity *= 1e-20
+			s.ca.setActivity(l, s.ca.activity(l)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -599,12 +605,12 @@ func (s *Solver) analyze(confl reason) ([]Lit, int32) {
 	counter := 0
 	p := LitUndef
 	idx := len(s.trail) - 1
-	expl := confl.explain(s, LitUndef, 0, nil)
+	expl := s.explain(confl, LitUndef, 0, nil)
 	cur := s.decisionLevel()
 
 	for {
-		if c, isCl := confl.(*clause); isCl && c.learnt {
-			s.bumpClause(c)
+		if confl.isClause() && s.ca.learnt(confl.ref) {
+			s.bumpClause(confl.ref)
 		}
 		for _, q := range expl {
 			if q == p {
@@ -633,7 +639,7 @@ func (s *Solver) analyze(confl reason) ([]Lit, int32) {
 			break
 		}
 		confl = s.reasonOf[v]
-		expl = confl.explain(s, p, int(s.pos[v]), expl[:0])
+		expl = s.explain(confl, p, int(s.pos[v]), expl[:0])
 	}
 	learnt[0] = p.Not()
 
@@ -646,7 +652,7 @@ func (s *Solver) analyze(confl reason) ([]Lit, int32) {
 	kept := learnt[:1]
 	for _, q := range learnt[1:] {
 		r := s.reasonOf[q.Var()]
-		if r == nil || !s.redundant(q, r) {
+		if r.none() || !s.redundant(q, r) {
 			kept = append(kept, q)
 		}
 	}
@@ -673,7 +679,7 @@ func (s *Solver) analyze(confl reason) ([]Lit, int32) {
 // redundant reports whether literal q of a learnt clause is implied by the
 // remaining marked literals through its reason (one resolution step).
 func (s *Solver) redundant(q Lit, r reason) bool {
-	expl := r.explain(s, q.Not(), int(s.pos[q.Var()]), nil)
+	expl := s.explain(r, q.Not(), int(s.pos[q.Var()]), nil)
 	for _, l := range expl {
 		if l == q.Not() {
 			continue
@@ -702,62 +708,72 @@ func (s *Solver) recordLearnt(lits []Lit) int {
 		s.proof.ProofLearn(lits)
 	}
 	if len(lits) == 1 {
-		s.uncheckedEnqueue(lits[0], nil)
+		s.uncheckedEnqueue(lits[0], noReason)
 		if s.shareExport != nil {
 			s.shareExport(lits, 1)
 		}
 		return 1
 	}
-	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, lbd: s.computeLBD(lits)}
-	s.attach(c)
-	s.learnts = append(s.learnts, c)
-	s.bumpClause(c)
-	s.uncheckedEnqueue(lits[0], c)
+	r := s.ca.alloc(lits, true)
+	lbd := s.computeLBD(lits)
+	s.ca.setLBD(r, lbd)
+	s.attach(r)
+	s.learnts = append(s.learnts, r)
+	s.bumpClause(r)
+	s.uncheckedEnqueue(lits[0], clauseReason(r))
 	if s.shareExport != nil {
-		s.shareExport(lits, c.lbd)
+		s.shareExport(lits, lbd)
 	}
-	return c.lbd
+	return lbd
 }
 
 // reduceDB removes roughly half of the learnt clauses, keeping those that
-// are reasons, binary, or recently active.
+// are reasons, binary, or recently active, then compacts the arena when
+// freed clauses dominate it.
 func (s *Solver) reduceDB() {
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
-		if a.lbd != b.lbd {
-			return a.lbd > b.lbd
+		la, lb := s.ca.lbd(a), s.ca.lbd(b)
+		if la != lb {
+			return la > lb
 		}
-		return a.activity < b.activity
+		return s.ca.activity(a) < s.ca.activity(b)
 	})
-	isReason := func(c *clause) bool {
-		v := c.lits[0].Var()
-		return s.assign[v] != LUndef && s.reasonOf[v] == reason(c)
+	isReason := func(r clauseRef) bool {
+		v := s.ca.lits(r)[0].Var()
+		rr := s.reasonOf[v]
+		return s.assign[v] != LUndef && rr.pb == nil && rr.ref == r
 	}
 	kept := s.learnts[:0]
 	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
-		if i < limit && len(c.lits) > 2 && !isReason(c) {
-			s.detach(c)
+	for i, r := range s.learnts {
+		if i < limit && s.ca.size(r) > 2 && !isReason(r) {
+			s.detach(r)
 			s.Stats.LearntPruned++
 			if s.proof != nil {
-				s.proof.ProofDelete(c.lits)
+				s.proof.ProofDelete(s.ca.lits(r))
 			}
+			s.ca.free(r)
 			continue
 		}
-		kept = append(kept, c)
+		kept = append(kept, r)
 	}
 	s.learnts = kept
+	if s.ca.wasted*2 > len(s.ca.data) {
+		s.compactArena()
+	}
 }
 
-// detach removes c from its watch lists by swap-delete: the matching entry
+// detach removes r from its watch lists by swap-delete: the matching entry
 // is overwritten with the last one and the list truncated, so removal is
 // O(list length) with no shifting, on both the binary and the long list.
-func (s *Solver) detach(c *clause) {
-	if len(c.lits) == 2 {
-		for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+func (s *Solver) detach(r clauseRef) {
+	ls := s.ca.lits(r)
+	if len(ls) == 2 {
+		for _, wl := range [2]Lit{ls[0].Not(), ls[1].Not()} {
 			ws := s.binWatches[wl]
 			for i, w := range ws {
-				if w.c == c {
+				if w.ref == r {
 					ws[i] = ws[len(ws)-1]
 					s.binWatches[wl] = ws[:len(ws)-1]
 					break
@@ -766,10 +782,10 @@ func (s *Solver) detach(c *clause) {
 		}
 		return
 	}
-	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+	for _, wl := range [2]Lit{ls[0].Not(), ls[1].Not()} {
 		ws := s.watches[wl]
 		for i, w := range ws {
-			if w.c == c {
+			if w.ref == r {
 				ws[i] = ws[len(ws)-1]
 				s.watches[wl] = ws[:len(ws)-1]
 				break
@@ -853,7 +869,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if !s.propagate().none() {
 		s.markRefuted()
 		return Unsat
 	}
@@ -876,7 +892,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if !confl.none() {
 			s.Stats.Conflicts++
 			conflictsThisCall++
 			if s.decisionLevel() == 0 {
@@ -948,7 +964,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, int32(len(s.trail)))
-			s.uncheckedEnqueue(p, nil)
+			s.uncheckedEnqueue(p, noReason)
 			continue
 		}
 
@@ -965,7 +981,7 @@ func (s *Solver) search(assumptions ...Lit) Status {
 			return Unknown
 		}
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.uncheckedEnqueue(p, nil)
+		s.uncheckedEnqueue(p, noReason)
 	}
 }
 

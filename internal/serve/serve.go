@@ -484,6 +484,13 @@ func (s *Server) cancelJob(j *Job) {
 // accounting (including the per-tenant latency and convergence
 // histograms), and journals the verdict.
 func (s *Server) finalize(j *Job, state State, res *Result, errmsg, rectype string) {
+	// Cache before publishing the terminal state: a client that polls the
+	// job to "done" and immediately resubmits the same spec must hit the
+	// cache. Verdicts are deterministic, so caching ahead of the terminal
+	// race (or redundantly, if another finalizer wins it) is harmless.
+	if res.exact() {
+		s.cacheStore(j.Hash, res)
+	}
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
@@ -516,9 +523,6 @@ func (s *Server) finalize(j *Job, state State, res *Result, errmsg, rectype stri
 	rec := record{T: rectype, ID: j.ID, Hash: j.Hash, Result: res, Err: errmsg}
 	if err := s.journal.append(rec); err != nil {
 		s.o.Logf("serve: journal %s %s: %v", rectype, j.ID, err)
-	}
-	if res.exact() {
-		s.cacheStore(j.Hash, res)
 	}
 }
 

@@ -10,9 +10,19 @@
 // (TRT-ticks, conflicts/op, ...). The environment block records the Go
 // version, CPU count, and GOMAXPROCS — essential context for the
 // parallel-portfolio benchmarks, whose wall clock depends directly on how
-// many workers can actually run concurrently. Non-benchmark lines (PASS,
-// ok, warm-up noise) are ignored, so the tool can sit at the end of any
+// many workers can actually run concurrently — and the same two values
+// are repeated in every benchmark entry (gomaxprocs taken from the name's
+// -N suffix when present), so a single entry copied out of the document
+// still carries the 1-CPU caveat. Non-benchmark lines (PASS, ok, warm-up
+// noise) are ignored, so the tool can sit at the end of any
 // `go test -bench` pipeline.
+//
+// Two derived fields put the encoding-size trajectory in the data itself:
+// `vars_per_task` (bool-vars divided by the task count, read from a
+// `tasks` metric or a `tasks=N` name component) and, when `-baseline
+// BENCH_old.json` is given, `literals_reduction_vs_baseline` (the
+// fractional drop in the `literals` metric relative to the same-named
+// entry in the baseline document; 0.25 means 25% fewer literals).
 package main
 
 import (
@@ -29,11 +39,20 @@ import (
 
 type benchmark struct {
 	// Name is the benchmark path with the trailing -GOMAXPROCS suffix
-	// stripped (it is recorded once in the environment instead).
+	// stripped; the suffix value is kept in GOMAXPROCS below.
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+
+	// VarsPerTask = bool-vars / tasks, the paper's per-task encoding-size
+	// figure (Tables 2–3 report totals; this normalizes them).
+	VarsPerTask float64 `json:"vars_per_task,omitempty"`
+	// LiteralsReduction compares the literals metric against the entry of
+	// the same name in the -baseline document: 1 - new/old.
+	LiteralsReduction float64 `json:"literals_reduction_vs_baseline,omitempty"`
 }
 
 type document struct {
@@ -48,7 +67,17 @@ type document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to compute literals_reduction_vs_baseline against")
 	flag.Parse()
+
+	var base map[string]float64
+	if *baseline != "" {
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	doc := document{
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -64,6 +93,11 @@ func main() {
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		if b, ok := parseLine(sc.Text()); ok {
+			if b.GOMAXPROCS == 0 {
+				b.GOMAXPROCS = doc.GOMAXPROCS
+			}
+			b.NumCPU = doc.NumCPU
+			derive(&b, base)
 			doc.Benchmarks = append(doc.Benchmarks, b)
 		}
 	}
@@ -107,7 +141,8 @@ func parseLine(line string) (benchmark, bool) {
 	if err != nil {
 		return benchmark{}, false
 	}
-	b := benchmark{Name: trimProcs(f[0]), Iterations: iters}
+	name, procs := trimProcs(f[0])
+	b := benchmark{Name: name, GOMAXPROCS: procs, Iterations: iters}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
@@ -127,15 +162,72 @@ func parseLine(line string) (benchmark, bool) {
 }
 
 // trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
-// names ("BenchmarkFoo-8" → "BenchmarkFoo"), keeping names stable across
-// machines. Sub-benchmark slashes are untouched.
-func trimProcs(name string) string {
+// names ("BenchmarkFoo-8" → "BenchmarkFoo", 8), keeping names stable
+// across machines while preserving the per-entry procs value.
+// Sub-benchmark slashes are untouched; names without a numeric suffix
+// report procs 0 (caller falls back to the environment value).
+func trimProcs(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
+}
+
+// derive fills the computed fields of b: vars_per_task when both a
+// bool-vars metric and a task count (a `tasks` metric, or a `tasks=N`
+// name component) are available, and literals_reduction_vs_baseline when
+// the baseline document has a literals figure for the same name.
+func derive(b *benchmark, base map[string]float64) {
+	if tasks := tasksOf(b); tasks > 0 {
+		if vars, ok := b.Metrics["bool-vars"]; ok {
+			b.VarsPerTask = vars / tasks
+		}
+	}
+	if old, ok := base[b.Name]; ok && old > 0 {
+		if lits, ok := b.Metrics["literals"]; ok {
+			b.LiteralsReduction = 1 - lits/old
+		}
+	}
+}
+
+// tasksOf extracts the task count of a benchmark entry: the `tasks`
+// custom metric if the benchmark reported one, else a `tasks=N` component
+// in its sub-benchmark path, else 0.
+func tasksOf(b *benchmark) float64 {
+	if t, ok := b.Metrics["tasks"]; ok {
+		return t
+	}
+	for _, part := range strings.Split(b.Name, "/") {
+		if rest, ok := strings.CutPrefix(part, "tasks="); ok {
+			if n, err := strconv.Atoi(rest); err == nil {
+				return float64(n)
+			}
+		}
+	}
+	return 0
+}
+
+// loadBaseline reads a previous bench2json document and returns its
+// literals metric keyed by benchmark name.
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := make(map[string]float64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		if lits, ok := b.Metrics["literals"]; ok {
+			m[b.Name] = lits
+		}
+	}
+	return m, nil
 }

@@ -10,6 +10,9 @@ func TestParseLine(t *testing.T) {
 	if b.Name != "BenchmarkParallelSolve/unsat-proof/workers=4" {
 		t.Errorf("name = %q", b.Name)
 	}
+	if b.GOMAXPROCS != 8 {
+		t.Errorf("gomaxprocs = %d, want 8 (from -8 name suffix)", b.GOMAXPROCS)
+	}
 	if b.Iterations != 2 || b.NsPerOp != 3183067358 {
 		t.Errorf("iterations/ns = %d/%v", b.Iterations, b.NsPerOp)
 	}
@@ -31,16 +34,57 @@ func TestParseLine(t *testing.T) {
 }
 
 func TestTrimProcs(t *testing.T) {
-	for in, want := range map[string]string{
-		"BenchmarkFoo-8":              "BenchmarkFoo",
-		"BenchmarkFoo":                "BenchmarkFoo",
-		"BenchmarkFoo/sub=2-16":       "BenchmarkFoo/sub=2",
-		"BenchmarkFoo/unsat-proof":    "BenchmarkFoo/unsat-proof",
-		"BenchmarkFoo/unsat-proof-4":  "BenchmarkFoo/unsat-proof",
-		"BenchmarkTable1TokenRing-1":  "BenchmarkTable1TokenRing",
+	for in, want := range map[string]struct {
+		name  string
+		procs int
+	}{
+		"BenchmarkFoo-8":             {"BenchmarkFoo", 8},
+		"BenchmarkFoo":               {"BenchmarkFoo", 0},
+		"BenchmarkFoo/sub=2-16":      {"BenchmarkFoo/sub=2", 16},
+		"BenchmarkFoo/unsat-proof":   {"BenchmarkFoo/unsat-proof", 0},
+		"BenchmarkFoo/unsat-proof-4": {"BenchmarkFoo/unsat-proof", 4},
+		"BenchmarkTable1TokenRing-1": {"BenchmarkTable1TokenRing", 1},
 	} {
-		if got := trimProcs(in); got != want {
-			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		name, procs := trimProcs(in)
+		if name != want.name || procs != want.procs {
+			t.Errorf("trimProcs(%q) = %q, %d, want %q, %d", in, name, procs, want.name, want.procs)
 		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	base := map[string]float64{"BenchmarkTable1TokenRing": 584027}
+
+	// vars_per_task from an explicit tasks metric plus baseline reduction.
+	b := benchmark{
+		Name:    "BenchmarkTable1TokenRing",
+		Metrics: map[string]float64{"bool-vars": 28076, "literals": 226378, "tasks": 14},
+	}
+	derive(&b, base)
+	if want := 28076.0 / 14; b.VarsPerTask != want {
+		t.Errorf("vars_per_task = %v, want %v", b.VarsPerTask, want)
+	}
+	if got := b.LiteralsReduction; got < 0.61 || got > 0.62 {
+		t.Errorf("literals_reduction_vs_baseline = %v, want ~0.613", got)
+	}
+
+	// Task count parsed from a tasks=N sub-benchmark component.
+	b = benchmark{
+		Name:    "BenchmarkTable3TaskScaling/tasks=8",
+		Metrics: map[string]float64{"bool-vars": 1600},
+	}
+	derive(&b, base)
+	if b.VarsPerTask != 200 {
+		t.Errorf("vars_per_task = %v, want 200", b.VarsPerTask)
+	}
+	if b.LiteralsReduction != 0 {
+		t.Errorf("literals_reduction set with no matching baseline entry: %v", b.LiteralsReduction)
+	}
+
+	// No task count and no literals: both derived fields stay zero.
+	b = benchmark{Name: "BenchmarkSuite", Metrics: map[string]float64{"conflicts/op": 3}}
+	derive(&b, base)
+	if b.VarsPerTask != 0 || b.LiteralsReduction != 0 {
+		t.Errorf("derived fields set without inputs: %+v", b)
 	}
 }
