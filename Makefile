@@ -12,6 +12,8 @@ vet:
 	$(GO) vet ./...
 
 ## lint: all static analysis — go vet plus the repo's own satlint checks
+## (nilguard, metricreg, faultsite, hotpath, atomicalign, and the §15
+## concurrency contracts: lockorder, goroutine, ctxflow, blockhold)
 ## (nil-safe instruments, the DESIGN.md metric registry, fault sites,
 ## allocation-free hot paths, 64-bit atomic alignment).
 lint: vet satlint
@@ -47,8 +49,10 @@ fuzz:
 
 ## race-parallel: the clause-sharing portfolio's concurrency tests under the
 ## race detector, runnable on their own (CI gives them a dedicated step).
+## baseline rides along: its parallel SA restarts carry the same
+## WaitGroup spawn contract satlint's goroutine check enforces.
 race-parallel:
-	$(GO) test -race -count 1 -run Parallel ./internal/sat ./internal/opt ./internal/core
+	$(GO) test -race -count 1 -run Parallel ./internal/sat ./internal/opt ./internal/core ./internal/baseline
 
 ## bench: the solver micro-benchmarks (hooks disabled), for regression spotting.
 bench:
@@ -107,6 +111,8 @@ load-smoke:
 
 ## race-serve: the allocation service's concurrency suite under the race
 ## detector — including the chaos test (hundreds of concurrent jobs with
-## faults firing at every serve site) and the two-stage signal handler.
+## faults firing at every serve site) and the two-stage signal handler —
+## plus every other package whose locks and spawns carry §15 annotations
+## (obs, flightrec, faultinject; metrics has its own CI race step).
 race-serve:
-	$(GO) test -race -count 1 ./internal/serve ./internal/cli
+	$(GO) test -race -count 1 ./internal/serve ./internal/cli ./internal/obs ./internal/flightrec ./internal/faultinject

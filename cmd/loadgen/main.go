@@ -207,6 +207,7 @@ type jobOutcome struct {
 // collector folds job outcomes into per-tenant raw samples and the
 // shared-estimator histograms.
 type collector struct {
+	//satlint:lock loadgen.collector
 	mu  sync.Mutex
 	reg *metrics.Registry
 	raw map[string]map[string][]float64 // family → tenant → raw ms samples

@@ -2,7 +2,11 @@
 // cross-cutting contracts go vet cannot know about: nil-safe instrument
 // methods (nilguard), the DESIGN.md metric-name registry (metricreg),
 // the fault-injection site registry (faultsite), allocation-free hot
-// loops (hotpath), and 32-bit alignment of 64-bit atomics (atomicalign).
+// loops (hotpath), 32-bit alignment of 64-bit atomics (atomicalign),
+// and the concurrency contracts of DESIGN §15: the declared lock
+// hierarchy (lockorder), registered goroutine lifecycles (goroutine),
+// context threading and cancellation arms (ctxflow), and no blocking
+// operations under a held mutex (blockhold).
 //
 // Usage:
 //

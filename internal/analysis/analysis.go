@@ -19,6 +19,24 @@
 //     growth of loop-local slices).
 //   - atomicalign: struct fields passed to 64-bit sync/atomic operations
 //     must be 8-byte aligned under 32-bit (GOARCH=386) struct layout.
+//   - lockorder: every package-level mutex carries a //satlint:lock name
+//     bound to the DESIGN.md lock registry, and every acquisition (or
+//     call that may acquire) under a held lock follows the registry's
+//     declared partial order; //satlint:locks declares held-lock
+//     preconditions on functions.
+//   - goroutine: every go statement matches a registered spawn pattern
+//     (WaitGroup worker, done-channel worker, or //satlint:goroutine
+//     detached <reason>), never captures a loop variable, and never
+//     fires inside a hot path.
+//   - ctxflow: ctx-accepting functions use their context, avoid blocking
+//     calls that have ctx-taking variants, and give blocking selects a
+//     ctx.Done() arm; context.Background/TODO stay in package main and
+//     nil-context guards.
+//   - blockhold: no blocking operation (channel ops, Wait, fsync-class
+//     file I/O, HTTP round-trips) while a mutex is held.
+//
+// The checks share one loaded, type-checked module image and run
+// concurrently — a goroutine per check over the same read-only *World.
 //
 // Findings are rendered as "file:line: [check] message" and can be
 // suppressed at the offending line (or the line above it) with
@@ -30,6 +48,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one satlint diagnostic, anchored to a source position.
@@ -66,7 +85,8 @@ type Config struct {
 
 // CheckNames lists every check in canonical run order.
 func CheckNames() []string {
-	return []string{"nilguard", "metricreg", "faultsite", "hotpath", "atomicalign"}
+	return []string{"nilguard", "metricreg", "faultsite", "hotpath", "atomicalign",
+		"lockorder", "goroutine", "ctxflow", "blockhold"}
 }
 
 var checkFuncs = map[string]func(*World) []Finding{
@@ -75,6 +95,10 @@ var checkFuncs = map[string]func(*World) []Finding{
 	"faultsite":   checkFaultSite,
 	"hotpath":     checkHotPath,
 	"atomicalign": checkAtomicAlign,
+	"lockorder":   checkLockOrder,
+	"goroutine":   checkGoroutine,
+	"ctxflow":     checkCtxFlow,
+	"blockhold":   checkBlockHold,
 }
 
 // Run loads the module, applies the selected checks, filters suppressed
@@ -95,9 +119,23 @@ func Run(cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Loading and type-checking dominate; the checks themselves are cheap
+	// and read-only over the shared World (the two mutable corners —
+	// nilguard's memo and the lockorder/blockhold scan — are guarded by
+	// memoMu and concOnce), so run one goroutine per check.
+	results := make([][]Finding, len(selected))
+	var wg sync.WaitGroup
+	for i, name := range selected {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i] = checkFuncs[name](w)
+		}(i, name)
+	}
+	wg.Wait()
 	findings := append([]Finding(nil), w.directiveFindings...)
-	for _, name := range selected {
-		findings = append(findings, checkFuncs[name](w)...)
+	for _, r := range results {
+		findings = append(findings, r...)
 	}
 	findings = w.filterSuppressed(findings)
 	findings = w.filterSelected(findings)

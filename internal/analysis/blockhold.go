@@ -1,0 +1,29 @@
+package analysis
+
+import "strings"
+
+// checkBlockHold flags blocking operations performed while a mutex is
+// held: channel sends and receives (outside a select with a default),
+// ranging over a channel, WaitGroup/Cond waits, time.Sleep, fsync-class
+// *os.File I/O, and HTTP/network round-trips. It consumes the same
+// hold-set scan as lockorder, so every flagged site really does hold the
+// reported lock on the straight-line path to the operation. Unlike the
+// order rules, this check also covers function-local and unannotated
+// mutexes — a journal fsync under any lock is a latency cliff regardless
+// of whether the lock is in the registry.
+func checkBlockHold(w *World) []Finding {
+	var fs []Finding
+	for _, u := range w.concurrency().units {
+		for _, ev := range u.blocks {
+			names := make([]string, len(ev.holds))
+			for i, h := range ev.holds {
+				names[i] = h.name
+			}
+			fs = append(fs, w.finding(ev.pos, "blockhold",
+				"%s performs a blocking operation (%s) while holding %s; move it outside the critical section",
+				u.name, ev.desc, strings.Join(names, ", ")))
+		}
+	}
+	sortFindings(fs)
+	return fs
+}

@@ -1,0 +1,531 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the hold-set scan that lockorder and blockhold share.
+// Every function body (and every function literal, as its own unit,
+// since literals generally run on other goroutines or deferred with an
+// unknown lock state) is walked once in source order, maintaining the
+// stack of locks held at each point: Lock/RLock pushes, Unlock/RUnlock
+// pops the matching entry, and a deferred unlock leaves the lock held to
+// the end of the unit. The walk records three event streams — lock
+// acquisitions, calls to module-internal functions, and blocking
+// operations performed while at least one lock is held — and a fixpoint
+// over the call events gives each function's may-acquire set.
+//
+// The scan is linear: branches of an if/switch are visited in sequence,
+// so an unlock in one branch releases for the code after it. That makes
+// the analysis an under-approximation (a lock conditionally held past a
+// branch is treated as released), which is the right polarity for a
+// linter — every reported site really does acquire or block under the
+// reported lock on at least the straight-line path.
+
+// lockRef identifies one lock in a hold set. declared is true only for
+// annotated package-level mutexes; locals and unannotated mutexes keep
+// their hold-set role (blockhold reports them) but are exempt from the
+// declared-order rules.
+type lockRef struct {
+	name     string
+	declared bool
+}
+
+// acquireEvent is one Lock/RLock call: the lock taken and the set held
+// at that point (before the push).
+type acquireEvent struct {
+	pos   token.Pos
+	lock  *lockRef
+	holds []*lockRef
+}
+
+// callEvent is one call to a module-internal function, with the holds at
+// the call site. Calls are recorded even with empty holds: the
+// may-acquire fixpoint needs the full call graph.
+type callEvent struct {
+	pos    token.Pos
+	callee *types.Func
+	holds  []*lockRef
+}
+
+// blockEvent is one blocking operation performed while holding a lock.
+type blockEvent struct {
+	pos   token.Pos
+	desc  string
+	holds []*lockRef
+}
+
+// scanUnit is the scan result for one function body or function literal.
+type scanUnit struct {
+	pkg      *Package
+	fn       *types.Func // nil for function literals
+	name     string      // display name for findings
+	acquires []acquireEvent
+	calls    []callEvent
+	blocks   []blockEvent
+	// acquired seeds the may-acquire fixpoint: the declared locks this
+	// unit takes directly. Literal units keep their own set — it is not
+	// propagated to the enclosing function.
+	acquired map[string]bool
+}
+
+type concurrency struct {
+	units []*scanUnit
+	// mayAcquire maps each module function to the declared locks it may
+	// take, directly or through module-internal callees.
+	mayAcquire map[*types.Func]map[string]bool
+}
+
+// concurrency builds the shared scan on first use; lockorder and
+// blockhold may run concurrently, so the build is once-guarded.
+func (w *World) concurrency() *concurrency {
+	w.concOnce.Do(func() {
+		c := &concurrency{mayAcquire: map[*types.Func]map[string]bool{}}
+		for _, pkg := range w.Pkgs {
+			if pkg.Info == nil {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					d, ok := decl.(*ast.FuncDecl)
+					if !ok || d.Body == nil {
+						continue
+					}
+					fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+					name := pkg.Name + "." + d.Name.Name
+					if fn != nil && fn.Type().(*types.Signature).Recv() != nil {
+						if base := receiverBase(fn); base != nil {
+							name = pkg.Name + "." + base.Name() + "." + d.Name.Name
+						}
+					}
+					c.scanBody(w, pkg, fn, name, d.Body)
+				}
+			}
+		}
+		c.fixpoint()
+		w.conc = c
+	})
+	return w.conc
+}
+
+// scanBody runs one unit's walk and then the walks of every literal it
+// queued, recursively, each with an empty initial hold set.
+func (c *concurrency) scanBody(w *World, pkg *Package, fn *types.Func, name string, body *ast.BlockStmt) {
+	queue := []*concScanner{{
+		w: w, pkg: pkg,
+		unit: &scanUnit{pkg: pkg, fn: fn, name: name, acquired: map[string]bool{}},
+		body: body,
+	}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		s.stmt(s.body)
+		c.units = append(c.units, s.unit)
+		for _, lit := range s.lits {
+			queue = append(queue, &concScanner{
+				w: w, pkg: pkg,
+				unit: &scanUnit{pkg: pkg, name: s.unit.name + " (func literal)", acquired: map[string]bool{}},
+				body: lit.Body,
+			})
+		}
+	}
+}
+
+// fixpoint closes mayAcquire over the module-internal call graph.
+func (c *concurrency) fixpoint() {
+	byFn := map[*types.Func]*scanUnit{}
+	for _, u := range c.units {
+		if u.fn == nil {
+			continue
+		}
+		byFn[u.fn] = u
+		set := map[string]bool{}
+		for name := range u.acquired {
+			set[name] = true
+		}
+		c.mayAcquire[u.fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, u := range byFn {
+			set := c.mayAcquire[fn]
+			for _, ev := range u.calls {
+				for name := range c.mayAcquire[ev.callee] {
+					if !set[name] {
+						set[name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// concScanner walks one unit in source order, tracking held locks.
+type concScanner struct {
+	w     *World
+	pkg   *Package
+	unit  *scanUnit
+	body  *ast.BlockStmt
+	holds []*lockRef
+	lits  []*ast.FuncLit
+}
+
+func (s *concScanner) snapshot() []*lockRef {
+	if len(s.holds) == 0 {
+		return nil
+	}
+	return append([]*lockRef(nil), s.holds...)
+}
+
+func (s *concScanner) block(pos token.Pos, desc string) {
+	if len(s.holds) == 0 {
+		return
+	}
+	s.unit.blocks = append(s.unit.blocks, blockEvent{pos: pos, desc: desc, holds: s.snapshot()})
+}
+
+func (s *concScanner) stmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			s.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		s.expr(st.X, false)
+	case *ast.SendStmt:
+		s.expr(st.Chan, false)
+		s.expr(st.Value, false)
+		s.block(st.Arrow, "channel send")
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, false)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, false)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned function runs on another goroutine: its literal is
+		// scanned as a separate unit and a named callee is not a call
+		// event (the spawn itself acquires nothing).
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, false)
+		}
+	case *ast.DeferStmt:
+		s.deferred(st)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, false)
+		}
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond, false)
+		s.stmt(st.Body)
+		s.stmt(st.Else)
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		if st.Cond != nil {
+			s.expr(st.Cond, false)
+		}
+		s.stmt(st.Post)
+		s.stmt(st.Body)
+	case *ast.RangeStmt:
+		s.expr(st.X, false)
+		if tv, ok := s.pkg.Info.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				s.block(st.For, "range over a channel")
+			}
+		}
+		s.stmt(st.Body)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.block(st.Select, "select without a default case")
+		}
+		for _, cl := range st.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			s.comm(cc.Comm)
+			for _, sub := range cc.Body {
+				s.stmt(sub)
+			}
+		}
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		if st.Tag != nil {
+			s.expr(st.Tag, false)
+		}
+		s.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.stmt(st.Assign)
+		s.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e, false)
+		}
+		for _, sub := range st.Body {
+			s.stmt(sub)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		s.expr(st.X, false)
+	}
+}
+
+// comm scans a select communication statement with channel blocking
+// suppressed: the select itself is the (single) blocking point.
+func (s *concScanner) comm(comm ast.Stmt) {
+	switch st := comm.(type) {
+	case nil:
+	case *ast.SendStmt:
+		s.expr(st.Chan, true)
+		s.expr(st.Value, false)
+	case *ast.ExprStmt:
+		s.expr(st.X, true)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, true)
+		}
+	}
+}
+
+// deferred handles a defer statement: a deferred unlock holds the lock
+// to the end of the unit (no pop); a deferred literal is its own unit; a
+// deferred module-internal call is a call event at the current holds.
+func (s *concScanner) deferred(st *ast.DeferStmt) {
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		s.lits = append(s.lits, lit)
+		for _, a := range st.Call.Args {
+			s.expr(a, false)
+		}
+		return
+	}
+	if op, ref := s.lockOp(st.Call); op != "" && ref != nil {
+		// Held to end: deliberately no pop for Unlock/RUnlock, and a
+		// deferred Lock would be nonsense we leave to vet.
+		for _, a := range st.Call.Args {
+			s.expr(a, false)
+		}
+		return
+	}
+	if callee := calleeFunc(s.pkg.Info, st.Call); callee != nil && s.moduleInternal(callee) {
+		s.unit.calls = append(s.unit.calls, callEvent{pos: st.Call.Pos(), callee: callee, holds: s.snapshot()})
+	}
+	for _, a := range st.Call.Args {
+		s.expr(a, false)
+	}
+}
+
+func (s *concScanner) expr(e ast.Expr, suppressChan bool) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		s.lits = append(s.lits, ex)
+	case *ast.UnaryExpr:
+		s.expr(ex.X, false)
+		if ex.Op == token.ARROW && !suppressChan {
+			s.block(ex.OpPos, "channel receive")
+		}
+	case *ast.CallExpr:
+		s.call(ex)
+	case *ast.BinaryExpr:
+		s.expr(ex.X, false)
+		s.expr(ex.Y, false)
+	case *ast.ParenExpr:
+		s.expr(ex.X, suppressChan)
+	case *ast.SelectorExpr:
+		s.expr(ex.X, false)
+	case *ast.IndexExpr:
+		s.expr(ex.X, false)
+		s.expr(ex.Index, false)
+	case *ast.SliceExpr:
+		s.expr(ex.X, false)
+		s.expr(ex.Low, false)
+		s.expr(ex.High, false)
+		s.expr(ex.Max, false)
+	case *ast.StarExpr:
+		s.expr(ex.X, false)
+	case *ast.TypeAssertExpr:
+		s.expr(ex.X, false)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			s.expr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(ex.Value, false)
+	}
+}
+
+// call classifies one call: a lock operation updates the hold set, a
+// module-internal callee becomes a call event, a known blocking callee
+// becomes a block event. Arguments are scanned first — they are
+// evaluated before the call.
+func (s *concScanner) call(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		s.expr(a, false)
+	}
+	if op, ref := s.lockOp(call); op != "" {
+		if ref == nil {
+			return // unresolvable base (embedded mutex, complex expr): skipped
+		}
+		switch op {
+		case "Lock", "RLock":
+			s.unit.acquires = append(s.unit.acquires, acquireEvent{pos: call.Pos(), lock: ref, holds: s.snapshot()})
+			if ref.declared {
+				s.unit.acquired[ref.name] = true
+			}
+			s.holds = append(s.holds, ref)
+		case "Unlock", "RUnlock":
+			for i := len(s.holds) - 1; i >= 0; i-- {
+				if s.holds[i].name == ref.name {
+					s.holds = append(s.holds[:i], s.holds[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		s.expr(sel.X, false)
+	}
+	callee := calleeFunc(s.pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	if s.moduleInternal(callee) {
+		s.unit.calls = append(s.unit.calls, callEvent{pos: call.Pos(), callee: callee, holds: s.snapshot()})
+		return
+	}
+	if desc := blockingCall(callee); desc != "" {
+		s.block(call.Pos(), desc)
+	}
+}
+
+// lockOp recognizes X.Lock/Unlock/RLock/RUnlock on sync.Mutex/RWMutex
+// and resolves X to its lock. A recognized operation with an
+// unresolvable base returns the op with a nil ref.
+func (s *concScanner) lockOp(call *ast.CallExpr) (op string, ref *lockRef) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn := calleeFunc(s.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", nil
+	}
+	if base := receiverBase(fn); base == nil || (base.Name() != "Mutex" && base.Name() != "RWMutex") {
+		return "", nil
+	}
+	var obj types.Object
+	var local string
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		obj = s.pkg.Info.Uses[x.Sel]
+	case *ast.Ident:
+		obj = s.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = s.pkg.Info.Defs[x]
+		}
+		local = x.Name
+	}
+	if obj == nil {
+		return fn.Name(), nil
+	}
+	if ld := s.w.locks[obj]; ld != nil {
+		return fn.Name(), &lockRef{name: ld.name, declared: ld.annotated}
+	}
+	name := s.pkg.Name + "." + obj.Name() + " (local)"
+	if local == "" && obj.Name() == "" {
+		return fn.Name(), nil
+	}
+	return fn.Name(), &lockRef{name: name, declared: false}
+}
+
+func (s *concScanner) moduleInternal(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == s.w.Module || len(path) > len(s.w.Module) && path[:len(s.w.Module)] == s.w.Module && path[len(s.w.Module)] == '/'
+}
+
+// blockingCall names the blocking operation a callee performs, or "".
+// The list is the fsync-and-network class the blockhold contract cares
+// about; interface calls (io.Writer and friends) are invisible by
+// design — the contract catches the concrete hot offenders.
+func blockingCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	recv := ""
+	if base := receiverBase(fn); base != nil {
+		recv = base.Name()
+	}
+	switch pkg.Path() {
+	case "sync":
+		if fn.Name() == "Wait" && (recv == "WaitGroup" || recv == "Cond") {
+			return "sync." + recv + ".Wait"
+		}
+	case "time":
+		if fn.Name() == "Sleep" && recv == "" {
+			return "time.Sleep"
+		}
+	case "os":
+		if recv == "File" {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteAt", "Read", "ReadAt", "Sync", "Truncate":
+				return "(*os.File)." + fn.Name()
+			}
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			if recv == "Client" {
+				return "(*http.Client)." + fn.Name()
+			}
+			if recv == "" && fn.Name() != "Do" {
+				return "http." + fn.Name()
+			}
+		}
+	case "net":
+		if recv == "" {
+			switch fn.Name() {
+			case "Dial", "DialTimeout", "Listen":
+				return "net." + fn.Name()
+			}
+		}
+	}
+	return ""
+}

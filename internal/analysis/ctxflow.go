@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkCtxFlow enforces the context-threading contract:
+//
+//   - context.Background()/context.TODO() are reserved for package main
+//     and for nil-context fallbacks: a call in a library package must sit
+//     inside an `if ctx == nil { ... }` guard (the house convenience-
+//     wrapper shape) or carry a reasoned ignore;
+//   - a function that accepts a named context.Context must actually use
+//     it, and must not make blocking calls that have ctx-taking variants
+//     (http.Get and friends, net.Dial, exec.Command) with the context
+//     sitting unused in scope;
+//   - a select with no default in a ctx-accepting function must have an
+//     arm on ctx.Done(), or it blocks past cancellation. Selects inside
+//     go-spawned literals are exempt — a worker's shutdown channel is
+//     its own lifecycle contract, covered by the goroutine check.
+func checkCtxFlow(w *World) []Finding {
+	var fs []Finding
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if pkg.Name != "main" {
+				fs = append(fs, w.rootContextCalls(pkg, f)...)
+			}
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Body == nil {
+					continue
+				}
+				fs = append(fs, w.ctxFunc(pkg, d)...)
+			}
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// rootContextCalls flags context.Background/TODO in a library package
+// unless the call is inside the body of an if whose condition checks
+// something against nil — the nil-context fallback shape.
+func (w *World) rootContextCalls(pkg *Package, f *ast.File) []Finding {
+	var guards [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if ok && condHasNilCheck(ifStmt.Cond) {
+			guards = append(guards, [2]token.Pos{ifStmt.Body.Pos(), ifStmt.Body.End()})
+		}
+		return true
+	})
+	inGuard := func(pos token.Pos) bool {
+		for _, g := range guards {
+			if g[0] <= pos && pos < g[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var fs []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); (name == "Background" || name == "TODO") && !inGuard(call.Pos()) {
+			fs = append(fs, w.finding(call.Pos(), "ctxflow",
+				"context.%s in a library package: accept a ctx parameter, or guard the fallback with `if ctx == nil`", name))
+		}
+		return true
+	})
+	return fs
+}
+
+// condHasNilCheck reports whether the condition contains an `x == nil`
+// comparison anywhere.
+func condHasNilCheck(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		if isNilIdent(be.X) || isNilIdent(be.Y) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ctxFunc applies the per-function rules to a declaration that accepts a
+// named context.Context parameter.
+func (w *World) ctxFunc(pkg *Package, d *ast.FuncDecl) []Finding {
+	ctxObj := namedCtxParam(pkg, d)
+	if ctxObj == nil {
+		return nil
+	}
+	var fs []Finding
+
+	used := false
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == ctxObj {
+			used = true
+		}
+		return true
+	})
+	if !used {
+		fs = append(fs, w.finding(d.Name.Pos(), "ctxflow",
+			"%s accepts ctx but never uses it; thread it into the blocking work or unname the parameter", d.Name.Name))
+	}
+
+	// Bodies of go-spawned literals: their selects live on the worker's
+	// own lifecycle, not the caller's ctx.
+	var spawned [][2]token.Pos
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				spawned = append(spawned, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+			}
+		}
+		return true
+	})
+	inSpawned := func(pos token.Pos) bool {
+		for _, s := range spawned {
+			if s[0] <= pos && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if hint := ctxVariantHint(calleeFunc(pkg.Info, node)); hint != "" {
+				fs = append(fs, w.finding(node.Pos(), "ctxflow", "%s", hint))
+			}
+		case *ast.SelectStmt:
+			if inSpawned(node.Select) {
+				return true
+			}
+			hasDefault, hasDone := false, false
+			for _, cl := range node.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if fn := calleeFunc(pkg.Info, call); fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+							hasDone = true
+						}
+					}
+					return true
+				})
+			}
+			if !hasDefault && !hasDone {
+				fs = append(fs, w.finding(node.Select, "ctxflow",
+					"select in ctx-accepting function %s blocks without a ctx.Done() arm", d.Name.Name))
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// namedCtxParam returns the object of d's named context.Context
+// parameter, or nil. Unnamed and blank parameters opt out: they exist
+// for interface conformance and declare "this implementation does not
+// block".
+func namedCtxParam(pkg *Package, d *ast.FuncDecl) types.Object {
+	if d.Type.Params == nil {
+		return nil
+	}
+	for _, field := range d.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxVariantHint names the ctx-taking replacement for a blocking callee
+// that ignores cancellation, or "".
+func ctxVariantHint(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recv := ""
+	if base := receiverBase(fn); base != nil {
+		recv = base.Name()
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			if recv == "" {
+				return "http." + fn.Name() + " ignores ctx; build the request with http.NewRequestWithContext and use (*http.Client).Do"
+			}
+			if recv == "Client" {
+				return "(*http.Client)." + fn.Name() + " ignores ctx; build the request with http.NewRequestWithContext and use Do"
+			}
+		}
+	case "net":
+		if recv == "" && (fn.Name() == "Dial" || fn.Name() == "DialTimeout") {
+			return "net." + fn.Name() + " ignores ctx; use (*net.Dialer).DialContext"
+		}
+	case "os/exec":
+		if recv == "" && fn.Name() == "Command" {
+			return "exec.Command ignores ctx; use exec.CommandContext"
+		}
+	}
+	return ""
+}

@@ -25,8 +25,10 @@ func TestCheckGoldens(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg := analysis.Config{Root: root, Checks: []string{check}}
-			if check == "metricreg" {
-				cfg.DesignPath = filepath.Join(root, "DESIGN.md")
+			// Fixtures for document-backed checks (metricreg's metric table,
+			// lockorder's lock registry) carry their own DESIGN.md.
+			if design := filepath.Join(root, "DESIGN.md"); fileExists(design) {
+				cfg.DesignPath = design
 			}
 			findings, err := analysis.Run(cfg)
 			if err != nil {
@@ -57,6 +59,11 @@ func TestCheckGoldens(t *testing.T) {
 			}
 		})
 	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // TestRepoIsClean is the self-check: the analyzer, run with every check
@@ -101,6 +108,69 @@ func TestParseDesignRegistry(t *testing.T) {
 	for name, row := range doc {
 		if strings.HasSuffix(name, "_total") != (row.Kind == "counter") {
 			t.Errorf("%s: kind %s conflicts with the _total suffix convention", name, row.Kind)
+		}
+	}
+}
+
+// TestParseDesignLocks pins the lock-registry parser against the real
+// DESIGN.md: the lockorder check enforces the declared edges, so the
+// parse must track the document.
+func TestParseDesignLocks(t *testing.T) {
+	locks, err := analysis.ParseDesignLocks(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locks) == 0 {
+		t.Fatal("no lock registry rows parsed from DESIGN.md")
+	}
+	jobs, ok := locks["serve.jobs"]
+	if !ok {
+		t.Fatal("serve.jobs missing from the parsed lock registry")
+	}
+	if len(jobs.MayAcquire) != 1 || jobs.MayAcquire[0] != "serve.job" {
+		t.Fatalf("serve.jobs may-acquire = %v, want [serve.job]", jobs.MayAcquire)
+	}
+	for name, row := range locks {
+		for _, to := range row.MayAcquire {
+			if _, ok := locks[to]; !ok {
+				t.Errorf("%s declares may-acquire %s, which has no registry row", name, to)
+			}
+		}
+	}
+}
+
+// TestCheckNamesDocumented asserts CheckNames() ⊆ the DESIGN §12 check
+// table, so the documented check list and the code cannot drift.
+func TestCheckNamesDocumented(t *testing.T) {
+	design, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(design)
+	for _, name := range analysis.CheckNames() {
+		if !strings.Contains(doc, "| `"+name+"` |") {
+			t.Errorf("check %s is not documented as a row of the DESIGN.md check table", name)
+		}
+	}
+}
+
+// BenchmarkAnalysisRun measures a full load-and-check pass over the
+// repository with every check enabled — the `make lint` hot path. The
+// checks run concurrently over one shared World; loading and
+// type-checking dominate, so adding a check should move this by noise,
+// not by a factor.
+func BenchmarkAnalysisRun(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		findings, err := analysis.Run(analysis.Config{Root: root})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repo not clean: %d findings", len(findings))
 		}
 	}
 }

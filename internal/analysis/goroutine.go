@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroutine enforces the spawn registry: every go statement must
+// match a registered lifecycle pattern —
+//
+//   - WaitGroup worker: the spawned body's top level has defer wg.Done()
+//     on a sync.WaitGroup, and a wg.Add call appears among the few
+//     statements preceding the spawn (at any enclosing nesting level);
+//   - done-channel worker: the body cannot return early (no return
+//     statements outside nested literals) and its final act is a channel
+//     send or close, so a joiner blocked on the channel always wakes;
+//   - detached: the spawn carries //satlint:goroutine detached <reason>.
+//
+// Beyond the patterns it flags spawned literals that capture an
+// enclosing loop variable (pass it as an argument instead — per-iteration
+// loop semantics make it correct, but the capture hides the data flow),
+// and any spawn inside a //satlint:hotpath function, where a goroutine is
+// an allocation plus scheduler traffic per call.
+func checkGoroutine(w *World) []Finding {
+	var fs []Finding
+	for _, pkg := range w.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for i, f := range pkg.Files {
+			g := &goScan{w: w, pkg: pkg, file: pkg.FileNames[i], loopVars: map[types.Object]bool{}}
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Body == nil {
+					continue
+				}
+				g.hot = w.hotpathDecls[d]
+				g.stmts(d.Body.List)
+			}
+			fs = append(fs, g.fs...)
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// goFrame is one enclosing statement list with the index being walked,
+// so a go statement can look back at its preceding siblings (and the
+// siblings of its enclosing loops) for the wg.Add call.
+type goFrame struct {
+	list []ast.Stmt
+	idx  int
+}
+
+type goScan struct {
+	w        *World
+	pkg      *Package
+	file     string
+	hot      bool
+	frames   []goFrame
+	loopVars map[types.Object]bool
+	fs       []Finding
+}
+
+func (g *goScan) stmts(list []ast.Stmt) {
+	for i, st := range list {
+		g.frames = append(g.frames, goFrame{list: list, idx: i})
+		g.stmt(st)
+		g.frames = g.frames[:len(g.frames)-1]
+	}
+}
+
+func (g *goScan) stmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		g.stmts(st.List)
+	case *ast.GoStmt:
+		g.spawn(st)
+		for _, a := range st.Call.Args {
+			g.expr(a)
+		}
+	case *ast.ExprStmt:
+		g.expr(st.X)
+	case *ast.SendStmt:
+		g.expr(st.Chan)
+		g.expr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			g.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						g.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			g.stmts(lit.Body.List)
+		}
+		for _, a := range st.Call.Args {
+			g.expr(a)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			g.expr(e)
+		}
+	case *ast.IfStmt:
+		g.stmt(st.Init)
+		g.expr(st.Cond)
+		g.stmt(st.Body)
+		g.stmt(st.Else)
+	case *ast.ForStmt:
+		added := g.addLoopVars(st.Init)
+		g.stmt(st.Init)
+		if st.Cond != nil {
+			g.expr(st.Cond)
+		}
+		g.stmt(st.Post)
+		g.stmt(st.Body)
+		g.dropLoopVars(added)
+	case *ast.RangeStmt:
+		g.expr(st.X)
+		var added []types.Object
+		if st.Tok == token.DEFINE {
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := g.pkg.Info.Defs[id]; obj != nil {
+						g.loopVars[obj] = true
+						added = append(added, obj)
+					}
+				}
+			}
+		}
+		g.stmt(st.Body)
+		g.dropLoopVars(added)
+	case *ast.SwitchStmt:
+		g.stmt(st.Init)
+		if st.Tag != nil {
+			g.expr(st.Tag)
+		}
+		g.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		g.stmt(st.Init)
+		g.stmt(st.Assign)
+		g.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			g.expr(e)
+		}
+		g.stmts(st.Body)
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				g.stmt(cc.Comm)
+				g.stmts(cc.Body)
+			}
+		}
+	case *ast.CommClause:
+		g.stmt(st.Comm)
+		g.stmts(st.Body)
+	case *ast.LabeledStmt:
+		g.stmt(st.Stmt)
+	}
+}
+
+// expr descends into function literals found in expression position, so
+// go statements inside them are still checked.
+func (g *goScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			g.stmts(lit.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+func (g *goScan) addLoopVars(init ast.Stmt) []types.Object {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return nil
+	}
+	var added []types.Object
+	for _, e := range as.Lhs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := g.pkg.Info.Defs[id]; obj != nil {
+				g.loopVars[obj] = true
+				added = append(added, obj)
+			}
+		}
+	}
+	return added
+}
+
+func (g *goScan) dropLoopVars(objs []types.Object) {
+	for _, obj := range objs {
+		delete(g.loopVars, obj)
+	}
+}
+
+// spawn applies the rules to one go statement.
+func (g *goScan) spawn(st *ast.GoStmt) {
+	if g.hot {
+		g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+			"go statement inside a //satlint:hotpath function: a spawn is an allocation plus scheduler work per call"))
+	}
+	lit, isLit := st.Call.Fun.(*ast.FuncLit)
+	if isLit {
+		g.loopCapture(st, lit)
+	}
+
+	line := g.w.Fset.Position(st.Go).Line
+	if _, ok := g.w.detached[g.file][line]; ok {
+		return
+	}
+	if _, ok := g.w.detached[g.file][line-1]; ok {
+		return
+	}
+
+	var body *ast.BlockStmt
+	if isLit {
+		body = lit.Body
+	} else if fn := calleeFunc(g.pkg.Info, st.Call); fn != nil {
+		if decl := g.w.funcDecls[fn]; decl != nil {
+			body = decl.Body
+		}
+	}
+	if body == nil {
+		g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+			"cannot resolve the spawned function to a module declaration; annotate the spawn //satlint:goroutine detached <reason> if its lifecycle is managed elsewhere"))
+		return
+	}
+
+	if done, deferred := topLevelDone(g.pkg.Info, body); done {
+		if !deferred {
+			g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+				"spawned worker calls wg.Done() without defer: a panic or early return leaks the WaitGroup count"))
+			return
+		}
+		if !g.precededByAdd() {
+			g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+				"WaitGroup worker spawn has no wg.Add call just before the go statement (or its enclosing loop)"))
+		}
+		return
+	}
+	if doneChannelBody(body) {
+		return
+	}
+	g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+		"go statement matches no registered spawn pattern (WaitGroup worker with defer wg.Done, done-channel worker whose last act is a send or close, or //satlint:goroutine detached <reason>)"))
+}
+
+// loopCapture flags enclosing loop variables referenced inside the
+// spawned literal's body.
+func (g *goScan) loopCapture(st *ast.GoStmt, lit *ast.FuncLit) {
+	if len(g.loopVars) == 0 {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := g.pkg.Info.Uses[id]
+		if obj != nil && g.loopVars[obj] && !reported[obj] {
+			reported[obj] = true
+			g.fs = append(g.fs, g.w.finding(st.Go, "goroutine",
+				"spawned literal captures loop variable %s; pass it as an argument to make the per-iteration value explicit", obj.Name()))
+		}
+		return true
+	})
+}
+
+// precededByAdd looks for a (*sync.WaitGroup).Add call among the up to
+// three statements preceding the go statement at each enclosing nesting
+// level — covering both wg.Add(1) directly before the spawn and
+// wg.Add(n) before the spawning loop.
+func (g *goScan) precededByAdd() bool {
+	for i := len(g.frames) - 1; i >= 0; i-- {
+		fr := g.frames[i]
+		for j := fr.idx - 1; j >= 0 && j >= fr.idx-3; j-- {
+			es, ok := fr.list[j].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok && isWaitGroupCall(g.pkg.Info, call, "Add") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// topLevelDone reports whether the body's top level calls wg.Done on a
+// sync.WaitGroup, and whether that call is deferred.
+func topLevelDone(info *types.Info, body *ast.BlockStmt) (found, deferred bool) {
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.DeferStmt:
+			if isWaitGroupCall(info, s.Call, "Done") {
+				return true, true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isWaitGroupCall(info, call, "Done") {
+				found = true
+			}
+		}
+	}
+	return found, false
+}
+
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	base := receiverBase(fn)
+	return base != nil && base.Name() == "WaitGroup"
+}
+
+// doneChannelBody matches the done-channel pattern: no return statement
+// anywhere in the body (outside nested literals), and the final act —
+// the last top-level statement or a top-level defer — is a channel send
+// or a close, guaranteeing the joiner wakes exactly when the worker is
+// finished.
+func doneChannelBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	returns := false
+	for _, st := range body.List {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				returns = true
+			}
+			return true
+		})
+	}
+	if returns {
+		return false
+	}
+	if signalStmt(body.List[len(body.List)-1]) {
+		return true
+	}
+	for _, st := range body.List {
+		if ds, ok := st.(*ast.DeferStmt); ok && isCloseCall(ds.Call) {
+			return true
+		}
+	}
+	return false
+}
+
+func signalStmt(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return isCloseCall(call)
+		}
+	}
+	return false
+}
+
+func isCloseCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "close"
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded package of the module under analysis. Non-test
@@ -58,8 +59,34 @@ type World struct {
 	nilsafe map[*types.TypeName]token.Pos
 	// hotpaths holds the functions marked //satlint:hotpath.
 	hotpaths []*hotFunc
+	// hotpathDecls mirrors hotpaths keyed by declaration, for the
+	// goroutine check's spawn-in-hot-path rule.
+	hotpathDecls map[*ast.FuncDecl]bool
+	// memoMu serializes guardMemo: nilguard and hotpath both evaluate
+	// guards, and Run executes checks concurrently.
+	//satlint:lock analysis.guardmemo
+	memoMu sync.Mutex
 	// guardMemo caches nil-guard evaluation per method (see nilguard.go).
 	guardMemo map[*types.Func]int
+
+	// locks indexes every package-level mutex (struct field or var) by its
+	// defining object; annotated entries carry their //satlint:lock name.
+	locks map[types.Object]*lockDecl
+	// funcLocks holds //satlint:locks declarations: the named locks a
+	// function requires its caller to hold.
+	funcLocks map[*types.Func]*locksDecl
+	// embeddedMutexes records anonymous sync.Mutex struct fields, which
+	// cannot carry a //satlint:lock annotation.
+	embeddedMutexes []token.Pos
+	// detached maps file → line → reason of //satlint:goroutine detached
+	// directives; a go statement on that line (or the line below the
+	// comment) is exempt from the spawn-pattern rules.
+	detached map[string]map[int]string
+
+	// concOnce lazily builds the shared hold-set scan that lockorder and
+	// blockhold both consume (either check may run first, or both at once).
+	concOnce sync.Once
+	conc     *concurrency
 }
 
 type hotFunc struct {
@@ -263,7 +290,11 @@ func load(cfg Config) (*World, error) {
 		ignores:       map[string]map[int][]ignoreDirective{},
 		funcDecls:     map[*types.Func]*ast.FuncDecl{},
 		nilsafe:       map[*types.TypeName]token.Pos{},
+		hotpathDecls:  map[*ast.FuncDecl]bool{},
 		guardMemo:     map[*types.Func]int{},
+		locks:         map[types.Object]*lockDecl{},
+		funcLocks:     map[*types.Func]*locksDecl{},
+		detached:      map[string]map[int]string{},
 	}
 
 	dirs, err := packageDirs(root)
@@ -511,12 +542,35 @@ func (w *World) recordDirective(file string, c *ast.Comment, rest string) {
 		}
 		w.ignores[file][line] = append(w.ignores[file][line],
 			ignoreDirective{check: check, reason: strings.Join(fields[2:], " ")})
+	case "goroutine":
+		if len(fields) < 3 || fields[1] != "detached" {
+			w.directiveFindings = append(w.directiveFindings,
+				w.finding(c.Pos(), "directive", "satlint:goroutine needs the detached form with a reason: //satlint:goroutine detached <reason>"))
+			return
+		}
+		line := w.Fset.Position(c.Pos()).Line
+		if w.detached[file] == nil {
+			w.detached[file] = map[int]string{}
+		}
+		w.detached[file][line] = strings.Join(fields[2:], " ")
+	case "lock":
+		if len(fields) != 2 {
+			w.directiveFindings = append(w.directiveFindings,
+				w.finding(c.Pos(), "directive", "satlint:lock needs exactly one name: //satlint:lock <pkg.name>"))
+		}
+		// Attachment to a mutex field or var is resolved in indexLocks.
+	case "locks":
+		if len(fields) < 2 {
+			w.directiveFindings = append(w.directiveFindings,
+				w.finding(c.Pos(), "directive", "satlint:locks needs at least one lock name: //satlint:locks <pkg.name> ..."))
+		}
+		// Attachment to a function declaration is resolved in indexDecls.
 	case "nilsafe", "hotpath":
 		// Attachment to a declaration is resolved in indexDecls; a bare
 		// marker floating away from any declaration is simply inert.
 	default:
 		w.directiveFindings = append(w.directiveFindings,
-			w.finding(c.Pos(), "directive", "unknown satlint directive %q (have ignore, nilsafe, hotpath)", fields[0]))
+			w.finding(c.Pos(), "directive", "unknown satlint directive %q (have ignore, nilsafe, hotpath, lock, locks, goroutine)", fields[0]))
 	}
 }
 
@@ -548,7 +602,8 @@ func directiveArgs(doc *ast.CommentGroup, verb string) ([]string, bool) {
 }
 
 // indexDecls builds the cross-package indexes: function-object → AST,
-// nilsafe-marked types, and hotpath-marked functions.
+// nilsafe-marked types, hotpath-marked functions, //satlint:locks
+// contracts, and the package-level mutex registry.
 func (w *World) indexDecls() {
 	for _, pkg := range w.Pkgs {
 		if pkg.Info == nil {
@@ -560,6 +615,9 @@ func (w *World) indexDecls() {
 				case *ast.FuncDecl:
 					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
 						w.funcDecls[fn] = d
+						if args, ok := directiveArgs(d.Doc, "locks"); ok && len(args) > 0 {
+							w.funcLocks[fn] = &locksDecl{names: args, pos: d.Pos()}
+						}
 					}
 					if args, ok := directiveArgs(d.Doc, "hotpath"); ok {
 						hf := &hotFunc{pkg: pkg, decl: d}
@@ -572,22 +630,27 @@ func (w *World) indexDecls() {
 								w.finding(d.Pos(), "directive", "satlint:hotpath has unknown argument %q (have alloc-free)", a))
 						}
 						w.hotpaths = append(w.hotpaths, hf)
+						w.hotpathDecls[d] = true
 					}
 				case *ast.GenDecl:
-					if d.Tok != token.TYPE {
-						continue
-					}
-					for _, spec := range d.Specs {
-						ts, ok := spec.(*ast.TypeSpec)
-						if !ok {
-							continue
+					switch d.Tok {
+					case token.TYPE:
+						for _, spec := range d.Specs {
+							ts, ok := spec.(*ast.TypeSpec)
+							if !ok {
+								continue
+							}
+							if docHasDirective(d.Doc, "nilsafe") || docHasDirective(ts.Doc, "nilsafe") {
+								if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+									w.nilsafe[tn] = ts.Pos()
+								}
+							}
+							if st, ok := ts.Type.(*ast.StructType); ok {
+								w.indexLockFields(pkg, ts, st)
+							}
 						}
-						if !docHasDirective(d.Doc, "nilsafe") && !docHasDirective(ts.Doc, "nilsafe") {
-							continue
-						}
-						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
-							w.nilsafe[tn] = ts.Pos()
-						}
+					case token.VAR:
+						w.indexLockVars(pkg, d)
 					}
 				}
 			}

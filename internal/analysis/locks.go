@@ -1,0 +1,422 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder enforces the declared lock hierarchy. Every
+// package-level sync.Mutex/RWMutex (struct field or var) must carry a
+// //satlint:lock <pkg.name> annotation binding it to a row of the
+// DESIGN.md lock registry; the registry's "may acquire while held"
+// column declares the partial order. The check then walks every
+// function with a linear hold-set scan and reports:
+//
+//   - a mutex without an annotation (or a registry name never bound);
+//   - an acquisition of lock B while holding lock A when A → B is not
+//     reachable through the declared edges, and any reacquisition of a
+//     lock already held;
+//   - a call made while holding A to a function whose (interprocedural)
+//     may-acquire set contains a lock not reachable from A;
+//   - a call to a //satlint:locks L function at a site where L is not
+//     held — the annotation is a held-lock precondition, not an
+//     acquisition;
+//   - cycles among the declared edges themselves.
+//
+// Function-local mutexes and unannotated ones are tracked for hold sets
+// (blockhold uses them) but exempt from the order rules: the actionable
+// finding for an unannotated mutex is the missing annotation, not a
+// cascade of undeclared-edge reports. The scan is a deliberate
+// under-approximation — literals run with empty hold sets, goroutine
+// bodies are separate functions, branches are linearized — so a finding
+// is always anchored to a real acquire-while-held site in source order.
+func checkLockOrder(w *World) []Finding {
+	var fs []Finding
+	conc := w.concurrency()
+
+	design, err := ParseDesignLocks(w.DesignPath)
+	if err != nil {
+		fs = append(fs, Finding{File: w.relPath(w.DesignPath), Line: 1, Check: "lockorder",
+			Message: "cannot read the lock registry document: " + err.Error()})
+		design = map[string]DesignLock{}
+	}
+	docFile := w.relPath(w.DesignPath)
+
+	// Annotation side: every package-level mutex is named, every name is
+	// a registry row.
+	bound := map[string]bool{}
+	for _, ld := range w.sortedLocks() {
+		if !ld.annotated {
+			if w.inSelectedPkg(ld.pos) {
+				fs = append(fs, w.finding(ld.pos, "lockorder",
+					"mutex %s has no //satlint:lock name; annotate it and add a row to the DESIGN lock registry", ld.name))
+			}
+			continue
+		}
+		bound[ld.name] = true
+		if _, ok := design[ld.name]; !ok && err == nil {
+			fs = append(fs, w.finding(ld.pos, "lockorder",
+				"lock name %q is not declared in the DESIGN lock registry (%s)", ld.name, docFile))
+		}
+	}
+	for _, pos := range w.embeddedMutexes {
+		fs = append(fs, w.finding(pos, "lockorder",
+			"embedded sync.Mutex cannot carry a //satlint:lock name; use a named field"))
+	}
+
+	// Registry side: every row is bound, every edge targets a declared
+	// row, and the declared order is acyclic.
+	edges := map[string][]string{}
+	for _, name := range sortedLockNames(design) {
+		dl := design[name]
+		if !bound[name] {
+			fs = append(fs, Finding{File: docFile, Line: dl.Line, Check: "lockorder",
+				Message: fmt.Sprintf("registry lock %q is not bound to any mutex (//satlint:lock %s)", name, name)})
+		}
+		for _, to := range dl.MayAcquire {
+			if _, ok := design[to]; !ok {
+				fs = append(fs, Finding{File: docFile, Line: dl.Line, Check: "lockorder",
+					Message: fmt.Sprintf("registry lock %q may-acquire undeclared lock %q", name, to)})
+				continue
+			}
+			edges[name] = append(edges[name], to)
+		}
+	}
+	for _, cyc := range lockCycles(edges) {
+		dl := design[cyc[0]]
+		fs = append(fs, Finding{File: docFile, Line: dl.Line, Check: "lockorder",
+			Message: fmt.Sprintf("declared lock order contains a cycle: %s", strings.Join(append(cyc, cyc[0]), " → "))})
+	}
+	reach := lockReach(design, edges)
+
+	// //satlint:locks preconditions must name registry rows.
+	for fn, ld := range w.funcLocks {
+		for _, name := range ld.names {
+			if _, ok := design[name]; !ok && err == nil {
+				fs = append(fs, w.finding(ld.pos, "lockorder",
+					"//satlint:locks on %s names %q, which is not in the DESIGN lock registry", fn.Name(), name))
+			}
+		}
+	}
+
+	// Source side: acquisitions and calls under held locks.
+	for _, u := range conc.units {
+		for _, ev := range u.acquires {
+			if !ev.lock.declared {
+				continue
+			}
+			for _, h := range ev.holds {
+				if !h.declared {
+					continue
+				}
+				if h.name == ev.lock.name {
+					fs = append(fs, w.finding(ev.pos, "lockorder",
+						"%s reacquires %s while already holding it", u.name, ev.lock.name))
+				} else if !reach[h.name][ev.lock.name] {
+					fs = append(fs, w.finding(ev.pos, "lockorder",
+						"%s acquires %s while holding %s without a declared order; add a may-acquire edge to the DESIGN lock registry or restructure", u.name, ev.lock.name, h.name))
+				}
+			}
+		}
+		for _, ev := range u.calls {
+			callee := calleeDisplayName(ev.callee)
+			if ld := w.funcLocks[ev.callee]; ld != nil {
+				for _, need := range ld.names {
+					if !holdsName(ev.holds, need) {
+						fs = append(fs, w.finding(ev.pos, "lockorder",
+							"%s calls %s, which declares //satlint:locks %s, without holding it", u.name, callee, need))
+					}
+				}
+			}
+			if len(ev.holds) == 0 {
+				continue
+			}
+			for _, target := range sortedNames(conc.mayAcquire[ev.callee]) {
+				for _, h := range ev.holds {
+					if !h.declared {
+						continue
+					}
+					if h.name == target {
+						fs = append(fs, w.finding(ev.pos, "lockorder",
+							"%s calls %s, which may acquire %s, while already holding it", u.name, callee, target))
+					} else if !reach[h.name][target] {
+						fs = append(fs, w.finding(ev.pos, "lockorder",
+							"%s calls %s, which may acquire %s, while holding %s without a declared order", u.name, callee, target, h.name))
+					}
+				}
+			}
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// lockDecl is one indexed package-level mutex: a struct field or a
+// package-level var of type sync.Mutex/RWMutex.
+type lockDecl struct {
+	name      string // //satlint:lock name, or a synthesized display name
+	pos       token.Pos
+	annotated bool
+}
+
+// locksDecl is one //satlint:locks precondition on a function.
+type locksDecl struct {
+	names []string
+	pos   token.Pos
+}
+
+// indexLockFields registers the mutex fields of one struct type,
+// reading //satlint:lock names from each field's doc or line comment.
+func (w *World) indexLockFields(pkg *Package, ts *ast.TypeSpec, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			if tv, ok := pkg.Info.Types[field.Type]; ok && isMutexType(tv.Type) {
+				w.embeddedMutexes = append(w.embeddedMutexes, field.Pos())
+			}
+			continue
+		}
+		for _, id := range field.Names {
+			obj := pkg.Info.Defs[id]
+			if obj == nil || !isMutexType(obj.Type()) {
+				continue
+			}
+			display := fmt.Sprintf("%s.%s.%s", pkg.Name, ts.Name.Name, id.Name)
+			w.registerLock(obj, id.Pos(), display, field.Doc, field.Comment)
+		}
+	}
+}
+
+// indexLockVars registers package-level mutex vars of one var decl.
+func (w *World) indexLockVars(pkg *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, id := range vs.Names {
+			obj := pkg.Info.Defs[id]
+			if obj == nil || !isMutexType(obj.Type()) {
+				continue
+			}
+			display := fmt.Sprintf("%s.%s", pkg.Name, id.Name)
+			w.registerLock(obj, id.Pos(), display, vs.Doc, vs.Comment, d.Doc)
+		}
+	}
+}
+
+func (w *World) registerLock(obj types.Object, pos token.Pos, display string, groups ...*ast.CommentGroup) {
+	for _, g := range groups {
+		if args, ok := directiveArgs(g, "lock"); ok && len(args) == 1 {
+			w.locks[obj] = &lockDecl{name: args[0], pos: pos, annotated: true}
+			return
+		}
+	}
+	w.locks[obj] = &lockDecl{name: display, pos: pos, annotated: false}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// inSelectedPkg reports whether pos falls in a file the configured
+// patterns select; used to scope declaration-site findings the same way
+// filterSelected scopes the rest.
+func (w *World) inSelectedPkg(pos token.Pos) bool {
+	file, _, _ := w.position(pos)
+	return w.selectedFiles[file]
+}
+
+func (w *World) sortedLocks() []*lockDecl {
+	out := make([]*lockDecl, 0, len(w.locks))
+	for _, ld := range w.locks {
+		out = append(out, ld)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func sortedLockNames(design map[string]DesignLock) []string {
+	names := make([]string, 0, len(design))
+	for n := range design {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func holdsName(holds []*lockRef, name string) bool {
+	for _, h := range holds {
+		if h.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if base := receiverBase(fn); base != nil {
+			return base.Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// lockCycles finds the cycles of the declared edge graph, each reported
+// once, rooted at its lexicographically smallest member.
+func lockCycles(edges map[string][]string) [][]string {
+	var cycles [][]string
+	seenCycle := map[string]bool{}
+	var stack []string
+	onStack := map[string]int{}
+	done := map[string]bool{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, m := range edges[n] {
+			if i, ok := onStack[m]; ok {
+				cyc := append([]string(nil), stack[i:]...)
+				rotateToMin(cyc)
+				key := strings.Join(cyc, "→")
+				if !seenCycle[key] {
+					seenCycle[key] = true
+					cycles = append(cycles, cyc)
+				}
+				continue
+			}
+			if !done[m] {
+				dfs(m)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+		done[n] = true
+	}
+	for _, n := range sortedEdgeKeys(edges) {
+		if !done[n] {
+			dfs(n)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}
+
+func rotateToMin(cyc []string) {
+	min := 0
+	for i, s := range cyc {
+		if s < cyc[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+	copy(cyc, rotated)
+}
+
+func sortedEdgeKeys(edges map[string][]string) []string {
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockReach is the transitive closure of the declared edges: reach[a][b]
+// means b may be acquired (possibly through intermediaries) while a is
+// held.
+func lockReach(design map[string]DesignLock, edges map[string][]string) map[string]map[string]bool {
+	reach := map[string]map[string]bool{}
+	for name := range design {
+		seen := map[string]bool{}
+		stack := append([]string(nil), edges[name]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, edges[n]...)
+		}
+		reach[name] = seen
+	}
+	return reach
+}
+
+// DesignLock is one row of the DESIGN.md lock registry table.
+type DesignLock struct {
+	Name       string
+	MayAcquire []string // declared may-acquire-while-held edges
+	Line       int      // 1-based line in the document
+}
+
+// designLockRowRE matches a lock registry row: a backquoted pkg.name in
+// the first cell, free-text "guards" in the second, and the may-acquire
+// cell third: "| `serve.jobs` | Server.mu — the job map | `serve.job` |".
+// The dotted-name grammar keeps metric rows (satalloc_*) and other
+// DESIGN tables from matching.
+var designLockRowRE = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9]*\\.[a-z][a-z0-9_]*)`\\s*\\|[^|]*\\|([^|]*)\\|")
+
+// ParseDesignLocks extracts the lock registry rows from DESIGN.md — the
+// declared partial order the lockorder check enforces.
+func ParseDesignLocks(path string) (map[string]DesignLock, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]DesignLock{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := designLockRowRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if prev, dup := out[name]; dup {
+			return nil, fmt.Errorf("%s:%d: lock %s already documented at line %d", path, i+1, name, prev.Line)
+		}
+		out[name] = DesignLock{Name: name, MayAcquire: parseLockCell(m[2]), Line: i + 1}
+	}
+	return out, nil
+}
+
+// parseLockCell splits a may-acquire cell into lock names. "—", "-", or
+// blank declares a leaf lock; names may be backquoted.
+func parseLockCell(cell string) []string {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || cell == "—" || cell == "-" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(cell, ",") {
+		n = strings.Trim(strings.TrimSpace(n), "`")
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

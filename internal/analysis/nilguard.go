@@ -92,8 +92,17 @@ const (
 
 // methodGuarded reports whether fn (a pointer-receiver method) satisfies
 // the nil-guard contract. Results are memoized; delegation chains are
-// followed through same-type methods.
+// followed through same-type methods. Both nilguard and hotpath evaluate
+// guards and Run executes checks concurrently, so the public entry takes
+// memoMu once; recursion stays on the unlocked variant (re-locking a
+// plain sync.Mutex would self-deadlock).
 func (w *World) methodGuarded(fn *types.Func) bool {
+	w.memoMu.Lock()
+	defer w.memoMu.Unlock()
+	return w.methodGuardedLocked(fn)
+}
+
+func (w *World) methodGuardedLocked(fn *types.Func) bool {
 	switch w.guardMemo[fn] {
 	case guardPass:
 		return true
@@ -152,7 +161,7 @@ func (w *World) evalGuard(fn *types.Func) bool {
 				if id, ok := sel.X.(*ast.Ident); ok && pkg.Info.Uses[id] == recvObj {
 					if callee, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
 						if sameReceiverBase(fn, callee) {
-							return w.methodGuarded(callee)
+							return w.methodGuardedLocked(callee)
 						}
 					}
 				}

@@ -1,0 +1,110 @@
+// Package bh exercises the blockhold rules: blocking operations —
+// channel traffic, waits, sleeps, file I/O — performed while a mutex is
+// held. The mutexes here are deliberately unannotated; blockhold covers
+// every lock, registered or not. Each violation sits next to the
+// nearest legal shape.
+package bh
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+func (s *store) badWrite(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(b) // bad: file I/O under the lock
+	return err
+}
+
+func (s *store) okWriteOutside(b []byte) error {
+	s.mu.Lock()
+	buf := append([]byte(nil), b...)
+	s.mu.Unlock()
+	_, err := s.f.Write(buf) // ok: the lock only guards the copy
+	return err
+}
+
+func (s *store) badSend(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // bad: a full channel parks every other locker
+	s.mu.Unlock()
+}
+
+func (s *store) badRecv(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // bad: receive under the lock
+}
+
+func (s *store) badSelect(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // bad: no default, so the select parks holding the lock
+	case v := <-ch:
+		return v
+	}
+}
+
+func (s *store) okSelectDefault(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // ok: the default arm makes it a poll
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (s *store) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // bad: joining goroutines under the lock
+	s.mu.Unlock()
+}
+
+func (s *store) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // bad: sleeping under the lock
+	s.mu.Unlock()
+}
+
+func (s *store) badRange(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for v := range ch { // bad: ranging a channel blocks until close
+		n += v
+	}
+	return n
+}
+
+func (s *store) suppressedSync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//satlint:ignore blockhold fixture demonstrates a reasoned suppression
+	return s.f.Sync()
+}
+
+func badLocalLock(f *os.File) error {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := f.Write(nil) // bad: function-local locks count too
+	return err
+}
+
+func okLiteralRunsLater(s *store) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		time.Sleep(time.Millisecond) // ok: the literal runs after release
+	}
+}

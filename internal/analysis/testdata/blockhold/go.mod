@@ -1,0 +1,3 @@
+module fixblockhold
+
+go 1.22

@@ -1,0 +1,115 @@
+// Package cf exercises the ctxflow rules: root contexts stay behind nil
+// guards, named ctx parameters are used and threaded into blocking
+// calls, and blocking selects carry a ctx.Done() arm. Each violation
+// sits next to the nearest legal shape.
+package cf
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os/exec"
+)
+
+func okThreaded(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func okNilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: the nil-context fallback shape
+	}
+	return ctx
+}
+
+func okSelect(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func okSelectDefault(ctx context.Context, ch chan int) int {
+	_ = ctx.Err()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func okSpawnedSelect(ctx context.Context, ch chan int, stop chan struct{}) {
+	_ = ctx.Err()
+	go func() { // the worker's select lives on its own lifecycle
+		select {
+		case <-ch:
+		case <-stop:
+		}
+		close(stop)
+	}()
+}
+
+// okUnnamed declares "this implementation does not block" by leaving the
+// parameter unnamed.
+func okUnnamed(_ context.Context, x int) int {
+	return x + 1
+}
+
+func badBackground() context.Context {
+	return context.Background() // bad: unguarded root context in a library
+}
+
+func badTODO() context.Context {
+	return context.TODO() // bad: TODO is a root context too
+}
+
+func badUnused(ctx context.Context, x int) int {
+	return x + 1 // bad: ctx accepted but never used
+}
+
+func badHTTP(ctx context.Context, url string) error {
+	_ = ctx.Err()
+	resp, err := http.Get(url) // bad: ignores the ctx sitting in scope
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func badDial(ctx context.Context, addr string) error {
+	_ = ctx.Err()
+	c, err := net.Dial("tcp", addr) // bad: DialContext exists
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+func badExec(ctx context.Context, name string) error {
+	_ = ctx.Err()
+	return exec.Command(name).Run() // bad: CommandContext exists
+}
+
+func badSelect(ctx context.Context, ch chan int) int {
+	_ = ctx.Err()
+	select { // bad: blocks past cancellation
+	case v := <-ch:
+		return v
+	}
+}
+
+func suppressedBackground() context.Context {
+	//satlint:ignore ctxflow fixture demonstrates a reasoned suppression
+	return context.Background()
+}

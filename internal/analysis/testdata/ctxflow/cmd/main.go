@@ -1,0 +1,9 @@
+// Package main shows the exemption: root contexts are minted in main.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: package main owns the process root
+	_ = ctx
+}

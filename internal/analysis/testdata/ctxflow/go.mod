@@ -1,0 +1,3 @@
+module fixctxflow
+
+go 1.22

@@ -1,0 +1,3 @@
+module fixgoroutine
+
+go 1.22

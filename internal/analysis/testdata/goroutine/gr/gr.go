@@ -1,0 +1,141 @@
+// Package gr exercises the goroutine spawn-pattern rules: WaitGroup
+// workers, done-channel workers, detached annotations, loop-variable
+// capture, unresolvable spawns, and spawns in hot paths. Each violation
+// sits next to the nearest legal shape.
+package gr
+
+import "sync"
+
+func work()        {}
+func step() error  { return nil }
+
+func okWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func okWaitGroupLoop(items []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(len(items))
+	for _, it := range items {
+		go func(it int) { // ok: the loop variable rides in as an argument
+			defer wg.Done()
+			total += it
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+// pool spawns a named worker method; the Add sits next to the spawn and
+// the Done is the worker's first deferred statement.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	work()
+}
+
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func okDoneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+func okErrChannel(errs chan error) {
+	go func() {
+		err := step()
+		errs <- err
+	}()
+}
+
+func okDetached() {
+	//satlint:goroutine detached fixture: fire-and-forget worker owned by the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func badNoPattern() {
+	go func() { // bad: no WaitGroup, no done channel, not detached
+		work()
+	}()
+}
+
+func badMissingAdd() {
+	var wg sync.WaitGroup
+	go func() { // bad: defer wg.Done() with no wg.Add before the spawn
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func badNotDeferred() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // bad: an early panic would leak the WaitGroup count
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func badEarlyReturn(done chan struct{}) {
+	go func() { // bad: the error path returns without signaling
+		if step() != nil {
+			return
+		}
+		close(done)
+	}()
+}
+
+func badLoopCapture(items []int) {
+	for _, it := range items {
+		//satlint:goroutine detached fixture isolates the capture rule from the pattern rules
+		go func() { // bad: captures the iteration variable
+			_ = it
+		}()
+	}
+}
+
+func badUnresolvable(f func()) {
+	go f() // bad: a function value has no declaration to pattern-match
+}
+
+// badHotSpawn would otherwise match the done-channel pattern; the
+// finding is the spawn inside a hot path itself.
+//
+//satlint:hotpath
+func badHotSpawn(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func suppressedSpawn() {
+	//satlint:ignore goroutine fixture demonstrates a reasoned suppression
+	go func() {
+		work()
+	}()
+}

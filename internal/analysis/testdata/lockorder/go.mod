@@ -1,0 +1,3 @@
+module fixlockorder
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package lk exercises every lockorder rule: annotation hygiene,
+// registry binding, the declared partial order (directly and through
+// the interprocedural may-acquire sets), and //satlint:locks
+// preconditions. Each violation sits next to the nearest legal shape.
+package lk
+
+import "sync"
+
+//satlint:lock lk.a
+var muA sync.Mutex
+
+//satlint:lock lk.b
+var muB sync.Mutex
+
+//satlint:lock lk.c
+var muC sync.Mutex
+
+//satlint:lock lk.x
+var muX sync.Mutex
+
+//satlint:lock lk.y
+var muY sync.Mutex
+
+// bad: a package-level mutex with no //satlint:lock name.
+var muBare sync.Mutex
+
+// bad: annotated with a name the registry does not declare.
+//
+//satlint:lock lk.unknown
+var muUnknown sync.Mutex
+
+// bad: the directive grammar takes exactly one name.
+//
+//satlint:lock lk.two names
+var muTwo sync.Mutex
+
+// bad: an embedded mutex cannot carry a name.
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+// ok: a struct-field mutex, annotated on the field.
+type holder struct {
+	//satlint:lock lk.field
+	mu sync.Mutex
+	n  int
+}
+
+func okNested() {
+	muA.Lock()
+	muB.Lock() // ok: a → b is a declared edge
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func badNested() {
+	muB.Lock()
+	muA.Lock() // bad: b → a is not declared
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func badReacquire() {
+	muA.Lock()
+	muA.Lock() // bad: reacquisition self-deadlocks a sync.Mutex
+	muA.Unlock()
+	muA.Unlock()
+}
+
+func okDeferred() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // ok: deferred unlock still holds a, and a → b is declared
+	muB.Unlock()
+}
+
+func acquireA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+func acquireB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+func viaHelper() {
+	acquireA()
+}
+
+func okCallUnderLock() {
+	muA.Lock()
+	acquireB() // ok: the callee may acquire b, reachable from a
+	muA.Unlock()
+}
+
+func badCallUnderLock() {
+	muB.Lock()
+	acquireA() // bad: the callee may acquire a, not reachable from b
+	muB.Unlock()
+}
+
+func badTransitiveCall() {
+	muB.Lock()
+	viaHelper() // bad: may-acquire is interprocedural — helper reaches a
+	muB.Unlock()
+}
+
+// needsA requires the caller to hold lk.a.
+//
+//satlint:locks lk.a
+func needsA() {}
+
+// bad: the precondition names a lock the registry does not declare.
+//
+//satlint:locks lk.nope
+func badPreName() {}
+
+func okPrecondition() {
+	muA.Lock()
+	needsA() // ok: lk.a is held
+	muA.Unlock()
+}
+
+func badPrecondition() {
+	needsA() // bad: lk.a is not held
+}
+
+func suppressedNested() {
+	muB.Lock()
+	//satlint:ignore lockorder fixture demonstrates a reasoned suppression
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func touchEverything(h *holder, e *embedded) {
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+	e.n++
+	muC.Lock()
+	muC.Unlock()
+	muX.Lock()
+	muX.Unlock()
+	muY.Lock()
+	muY.Unlock()
+	muBare.Lock()
+	muBare.Unlock()
+	muUnknown.Lock()
+	muUnknown.Unlock()
+	muTwo.Lock()
+	muTwo.Unlock()
+}

@@ -40,6 +40,7 @@ func AddBudgetFlags(fs *flag.FlagSet) *Budget {
 // swallowed the second Ctrl-C, leaving a stuck drain unkillable from its
 // own terminal). Callers must call the returned cancel.
 func (b *Budget) Context() (context.Context, context.CancelFunc) {
+	//satlint:ignore ctxflow Budget.Context mints the process-root context for CLI binaries; there is no caller ctx to thread
 	ctx, stop := ShutdownContext(context.Background())
 	if b.Timeout <= 0 {
 		return ctx, stop

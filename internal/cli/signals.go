@@ -44,6 +44,7 @@ func shutdownContext(parent context.Context, exit func(int), sigs ...os.Signal) 
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, sigs...)
 	done := make(chan struct{})
+	//satlint:goroutine detached terminates via the close(done) broadcast from the returned cancel; there is nothing for a caller to join
 	go func() {
 		defer signal.Stop(ch)
 		select {

@@ -170,6 +170,7 @@ type Solution struct {
 // system's tasks and messages, or reports infeasibility. It is
 // SolveContext under a background context — cfg.Timeout still applies.
 func Solve(sys *model.System, cfg Config) (*Solution, error) {
+	//satlint:ignore ctxflow no-ctx convenience wrapper: Solve's contract is "SolveContext under a background context"
 	return SolveContext(context.Background(), sys, cfg)
 }
 

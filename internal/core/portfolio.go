@@ -53,6 +53,7 @@ type PortfolioResult struct {
 // concurrent use. cfg.Trace records the heuristic arm under an "SA-arm"
 // span next to the exact pipeline's spans.
 func SolvePortfolio(sys *model.System, cfg Config, saOpts baseline.SAOptions) (*PortfolioResult, error) {
+	//satlint:ignore ctxflow no-ctx convenience wrapper: SolvePortfolio's contract is "SolvePortfolioContext under a background context"
 	return SolvePortfolioContext(context.Background(), sys, cfg, saOpts)
 }
 

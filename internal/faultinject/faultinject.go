@@ -45,8 +45,9 @@ const (
 
 var (
 	enabled atomic.Bool
-	mu      sync.Mutex
-	hook    func(site string)
+	//satlint:lock faultinject.hook
+	mu   sync.Mutex
+	hook func(site string)
 )
 
 // Set installs the hook and returns a restore function that removes it

@@ -45,6 +45,7 @@ type Event struct {
 //
 //satlint:nilsafe
 type Recorder struct {
+	//satlint:lock flightrec.ring
 	mu    sync.Mutex
 	epoch time.Time
 	buf   []Event // ring storage, len == capacity once full

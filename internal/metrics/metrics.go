@@ -193,6 +193,7 @@ type family struct {
 //
 //satlint:nilsafe
 type Registry struct {
+	//satlint:lock metrics.registry
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string // registration order of family names

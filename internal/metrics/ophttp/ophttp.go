@@ -104,6 +104,7 @@ type Handlers struct {
 
 	// Rate state between /progress scrapes, and the last explanation
 	// published for /explain (nil until PublishExplain runs).
+	//satlint:lock ophttp.scrape
 	mu            sync.Mutex
 	lastScrape    time.Time
 	lastConflicts int64

@@ -95,6 +95,7 @@ func (s HistogramSnapshot) Mean() float64 {
 // Safe for concurrent use; the zero value is unusable, construct with
 // NewLabelCap.
 type LabelCap struct {
+	//satlint:lock metrics.labelcap
 	mu       sync.Mutex
 	max      int
 	overflow string

@@ -21,6 +21,7 @@ const DefaultSpanRingCapacity = 256
 //
 //satlint:nilsafe
 type SpanRing struct {
+	//satlint:lock obs.spanring
 	mu      sync.Mutex
 	recs    []json.RawMessage
 	start   int // index of the oldest record

@@ -24,6 +24,7 @@ import (
 //
 //satlint:nilsafe
 type Tracer struct {
+	//satlint:lock obs.tracer
 	mu     sync.Mutex
 	w      io.Writer
 	epoch  time.Time

@@ -171,6 +171,7 @@ type sharedClause struct {
 // O(conflicts). The pool is a ring: when full, the oldest clauses are
 // overwritten and slow readers count the overwritten range as filtered.
 type exchange struct {
+	//satlint:lock sat.ringpool
 	mu   sync.Mutex
 	ring []sharedClause
 	cap  int
@@ -181,6 +182,10 @@ type exchange struct {
 	filtered atomic.Int64
 }
 
+// put publishes one clause into the ring; the caller batches puts under
+// a single lock acquisition.
+//
+//satlint:locks sat.ringpool
 func (ex *exchange) put(c sharedClause) {
 	if len(ex.ring) < ex.cap {
 		ex.ring = append(ex.ring, c)

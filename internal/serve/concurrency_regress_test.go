@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"satalloc/internal/faultinject"
+	"satalloc/internal/metrics"
+)
+
+// TestJournalConcurrentAppendsStayWhole is the regression test for the
+// lock-held-fsync fix: append now holds journal.mu only across the
+// single buffered write (Sync runs outside the critical section), and
+// this pins what that lock is for — concurrent appenders must never
+// interleave partial records. Every line of the resulting journal must
+// parse as one complete record, and none may be lost.
+func TestJournalConcurrentAppendsStayWhole(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, NewMetrics(metrics.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec(17)
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := record{T: "submit", ID: "j0000" + string(rune('a'+w)) + "x", Hash: "h", Spec: sp}
+				if err := j.append(r); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != writers*perWriter {
+		t.Fatalf("journal holds %d lines, want %d", len(lines), writers*perWriter)
+	}
+	for i, line := range lines {
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d is not one whole record (%v): %q", i+1, err, line)
+		}
+		if r.T != "submit" || r.Spec == nil {
+			t.Fatalf("line %d lost fields: %+v", i+1, r)
+		}
+	}
+}
+
+// TestQueueWaitRecordedOncePerJob is the regression test for moving the
+// queue-wait histogram observation out of the job-lock critical section:
+// the metric must still be recorded, exactly once per job — on the first
+// attempt, not again when a contained panic forces a retry.
+func TestQueueWaitRecordedOncePerJob(t *testing.T) {
+	var mu sync.Mutex
+	fired := false
+	restore := faultinject.Set(func(site string) {
+		if site != faultinject.SiteServeWorker {
+			return
+		}
+		mu.Lock()
+		first := !fired
+		fired = true
+		mu.Unlock()
+		if first {
+			panic("regress: force one retry")
+		}
+	})
+	defer restore()
+
+	s, ts := testServer(t, nil)
+	st, code := submit(t, ts, tinySpec(23))
+	if code != 202 {
+		t.Fatalf("submit: %d, want 202", code)
+	}
+	end := waitTerminal(t, ts, st.ID)
+	if end.State != StateDone {
+		t.Fatalf("state %s (%s), want done after the retry", end.State, end.Error)
+	}
+	if end.Attempts < 2 {
+		t.Fatalf("attempts %d, want >= 2 (the injected panic must force a retry)", end.Attempts)
+	}
+	snap := s.m.queueWaitMS("").Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("queue-wait histogram count %d, want exactly 1 (first attempt only)", snap.Count)
+	}
+}

@@ -68,6 +68,7 @@ type Job struct {
 	trace  *obs.SpanRing
 	tracer *obs.Tracer
 
+	//satlint:lock serve.job
 	mu        sync.Mutex
 	state     State
 	attempts  int

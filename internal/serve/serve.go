@@ -108,9 +108,11 @@ type Server struct {
 	seq     atomic.Int64
 	pending atomic.Int64
 
+	//satlint:lock serve.jobs
 	mu   sync.Mutex
 	jobs map[string]*Job
 
+	//satlint:lock serve.cache
 	cacheMu  sync.Mutex
 	cache    map[string]*Result
 	cacheErr error // first cache fault, surfaced via Health until restart
@@ -143,7 +145,9 @@ func New(o Options) (*Server, error) {
 		cache: st.cache,
 	}
 	s.seq.Store(st.nextSeq - 1)
+	//satlint:ignore ctxflow process-root lifecycle contexts: the server owns its workers' lifetime; cancellation is Drain/Close, not a caller ctx
 	s.solveCtx, s.solveCancel = context.WithCancel(context.Background())
+	//satlint:ignore ctxflow process-root lifecycle contexts: the server owns its workers' lifetime; cancellation is Drain/Close, not a caller ctx
 	s.workCtx, s.workCancel = context.WithCancel(context.Background())
 
 	for _, j := range st.pending {
@@ -551,10 +555,13 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.attempts++
 	attempt := j.attempts
+	// Queue wait is the first submit-to-run gap; retries wait on the
+	// backoff clock, not the admission queue. Capture the duration here
+	// but record it after the unlock: the histogram takes the registry
+	// lock, which must never nest under a job's.
+	queueWait := time.Duration(-1)
 	if attempt == 1 {
-		// Queue wait is the first submit-to-run gap; retries wait on the
-		// backoff clock, not the admission queue.
-		s.m.RecordQueueWait(j.Tenant, time.Since(j.submitted))
+		queueWait = time.Since(j.submitted)
 	}
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -567,6 +574,9 @@ func (s *Server) runJob(j *Job) {
 	j.version++
 	j.mu.Unlock()
 	defer cancel()
+	if queueWait >= 0 {
+		s.m.RecordQueueWait(j.Tenant, queueWait)
+	}
 
 	s.m.WorkersBusy.Add(1)
 	start := time.Now()
